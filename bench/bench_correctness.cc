@@ -1,0 +1,105 @@
+// Experiment E10 (Theorems 1 and 1'): every execution the VP protocol
+// produces is one-copy serializable, and its virtual partitions admit a
+// legal creation order (S1-S3 hold). We run long randomized fault storms
+// (random crashes + link failures + message drops) under concurrent
+// read-modify-write workloads, across protocols, and certify everything.
+//
+// The naive-view strawman is included to show the certifier has teeth: it
+// fails 1SR under the same storms.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace vp::bench {
+namespace {
+
+struct CorrectnessRow {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  bool one_copy_sr = false;
+  bool conflict_sr = false;
+  uint64_t safety_violations = 0;
+  uint64_t stale_reads = 0;
+};
+
+CorrectnessRow RunStorm(harness::Protocol protocol, uint64_t seed) {
+  harness::ClusterConfig config;
+  config.n_processors = 6;
+  config.n_objects = 8;
+  config.seed = seed;
+  config.protocol = protocol;
+  config.net.drop_prob = 0.01;
+  config.net.slow_prob = 0.01;
+  harness::Cluster cluster(config);
+  cluster.RunFor(sim::Seconds(1));
+
+  net::RandomFaultConfig faults;
+  faults.processor_mtbf = sim::Seconds(4);
+  faults.processor_mttr = sim::Millis(800);
+  faults.link_mtbf = sim::Seconds(2);
+  faults.link_mttr = sim::Millis(500);
+  faults.stop_after = cluster.scheduler().Now() + sim::Seconds(25);
+  cluster.injector().EnableRandomFaults(faults);
+
+  RunOptions opts;
+  opts.measure = sim::Seconds(25);
+  opts.drain = sim::Seconds(5);
+  opts.client.read_fraction = 0.6;
+  opts.client.ops_per_txn = 3;
+  opts.client.rmw = true;
+  opts.client.think_time = sim::Millis(10);
+  opts.client.seed = seed;
+  opts.certify = false;  // Done below with the conflict check too.
+  RunWorkload(cluster, opts);
+
+  // Heal and drain so in-doubt outcomes resolve before certification.
+  cluster.graph().Heal();
+  for (ProcessorId p = 0; p < cluster.size(); ++p)
+    cluster.graph().SetAlive(p, true);
+  cluster.RunFor(sim::Seconds(3));
+
+  CorrectnessRow row;
+  row.committed = cluster.recorder().committed_count();
+  row.aborted = cluster.recorder().aborted_count();
+  row.one_copy_sr = cluster.Certify().ok;
+  row.conflict_sr = cluster.CertifyConflicts().ok;
+  row.safety_violations = cluster.recorder().safety_violations().size();
+  row.stale_reads = cluster.recorder().CountStaleReads();
+  return row;
+}
+
+void Main() {
+  std::printf(
+      "E10: correctness under 25 s randomized fault storms (crashes, link "
+      "cuts,\n1%% message drops, 1%% performance failures), n=6, RMW "
+      "workload, 5 seeds each.\n\n");
+  Table table({"protocol", "seed", "committed", "aborted", "1SR", "CPSR",
+               "S1-S3 violations", "stale reads"});
+  for (harness::Protocol proto :
+       {harness::Protocol::kVirtualPartition,
+        harness::Protocol::kMajorityVoting,
+        harness::Protocol::kNaiveView}) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      CorrectnessRow r = RunStorm(proto, 1000 + seed);
+      table.AddRow({harness::ProtocolName(proto), std::to_string(seed),
+                    std::to_string(r.committed), std::to_string(r.aborted),
+                    r.one_copy_sr ? "yes" : "NO",
+                    r.conflict_sr ? "yes" : "NO",
+                    std::to_string(r.safety_violations),
+                    std::to_string(r.stale_reads)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: virtual-partition and majority-voting rows certify 1SR "
+      "on every\nseed; the naive-view strawman (Examples 1-2 generalized) "
+      "does not.\n");
+}
+
+}  // namespace
+}  // namespace vp::bench
+
+int main() {
+  vp::bench::Main();
+  return 0;
+}

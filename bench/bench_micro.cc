@@ -1,0 +1,140 @@
+// Substrate microbenchmarks (google-benchmark): event-kernel throughput,
+// network message fan-out, lock manager, replica store, certifier replay,
+// and end-to-end simulated-transaction rate. These measure the simulator
+// itself, not the protocol claims (see the other bench binaries for those).
+#include <benchmark/benchmark.h>
+
+#include "cc/lock_manager.h"
+#include "common/rng.h"
+#include "harness/cluster.h"
+#include "history/checker.h"
+#include "sim/scheduler.h"
+#include "storage/replica_store.h"
+#include "workload/client.h"
+
+namespace vp {
+namespace {
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler s;
+    for (int i = 0; i < 1000; ++i) s.ScheduleAfter(i, [] {});
+    benchmark::DoNotOptimize(s.RunUntilIdle());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerScheduleRun);
+
+void BM_SchedulerTimerChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler s;
+    int depth = 0;
+    std::function<void()> next = [&] {
+      if (++depth < 1000) s.ScheduleAfter(1, next);
+    };
+    s.ScheduleAfter(1, next);
+    s.RunUntilIdle();
+    benchmark::DoNotOptimize(depth);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerTimerChain);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfNext(benchmark::State& state) {
+  Rng rng(42);
+  ZipfGenerator zipf(static_cast<uint64_t>(state.range(0)), 0.99);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.Next(rng));
+}
+BENCHMARK(BM_ZipfNext)->Arg(100)->Arg(100000);
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  sim::Scheduler s;
+  cc::LockManager lm(&s);
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    TxnId txn{0, ++seq};
+    for (ObjectId obj = 0; obj < 8; ++obj) {
+      lm.Acquire(txn, obj, cc::LockMode::kExclusive, sim::Seconds(1),
+                 [](Status) {});
+    }
+    lm.ReleaseAll(txn);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void BM_StoreStageCommit(benchmark::State& state) {
+  storage::ReplicaStore store;
+  store.CreateCopy(0, "init");
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    TxnId txn{0, ++seq};
+    benchmark::DoNotOptimize(store.StageWrite(txn, 0, "value", VpId{seq, 0}));
+    benchmark::DoNotOptimize(store.CommitStage(txn, 0));
+  }
+}
+BENCHMARK(BM_StoreStageCommit);
+
+void BM_CertifierReplay(benchmark::State& state) {
+  // Build a chain of n committed transactions and certify it.
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<history::TxnHistory> txns;
+  std::string prev = "0";
+  for (size_t i = 0; i < n; ++i) {
+    history::TxnHistory h;
+    h.id = TxnId{0, i + 1};
+    h.vp = VpId{1, 0};
+    h.vp_first = h.vp;
+    h.has_vp = true;
+    h.decided = true;
+    h.committed = true;
+    h.decided_at = static_cast<sim::SimTime>(i);
+    h.ops.push_back(history::LogicalOp{history::LogicalOp::Kind::kRead, 0,
+                                       prev, kEpochDate, 0});
+    prev = "v" + std::to_string(i);
+    h.ops.push_back(history::LogicalOp{history::LogicalOp::Kind::kWrite, 0,
+                                       prev, kEpochDate, 0});
+    txns.push_back(std::move(h));
+  }
+  history::InitialDb db{{0, "0"}};
+  for (auto _ : state) {
+    auto result = history::CertifyOneCopySR(txns, db);
+    benchmark::DoNotOptimize(result.ok);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CertifierReplay)->Arg(100)->Arg(10000);
+
+void BM_EndToEndSimulatedSecond(benchmark::State& state) {
+  // Wall-clock cost of simulating 1 s of a busy 5-node VP cluster.
+  for (auto _ : state) {
+    harness::ClusterConfig config;
+    config.n_processors = 5;
+    config.n_objects = 16;
+    config.seed = 42;
+    config.protocol = harness::Protocol::kVirtualPartition;
+    harness::Cluster cluster(config);
+    cluster.RunFor(sim::Seconds(1));
+    std::vector<core::NodeBase*> nodes;
+    for (ProcessorId p = 0; p < 5; ++p) nodes.push_back(&cluster.node(p));
+    workload::ClientConfig cc;
+    cc.think_time = sim::Millis(2);
+    auto clients = workload::MakeClients(nodes, &cluster.scheduler(),
+                                         &cluster.graph(), 16, cc);
+    for (auto& c : clients) c->Start();
+    cluster.RunFor(sim::Seconds(1));
+    benchmark::DoNotOptimize(workload::Aggregate(clients).txns_committed);
+  }
+}
+BENCHMARK(BM_EndToEndSimulatedSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Per-processor strict two-phase-locking lock manager.
+//
+// Copies (not logical objects) are locked, matching §6's 2PL discussion.
+// Shared locks for physical reads, exclusive for physical writes; all locks
+// held until transaction end (strict 2PL ⇒ conflict-preserving serializable
+// executions, satisfying the paper's assumption A1).
+//
+// Deadlocks are broken by request timeouts: a request that cannot be
+// granted before its deadline fails with Status::Timeout, and the caller
+// aborts the transaction.
+#ifndef VPART_CC_LOCK_MANAGER_H_
+#define VPART_CC_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/scheduler.h"
+
+namespace vp::cc {
+
+enum class LockMode { kShared, kExclusive };
+
+/// Completion callback: OK (granted) or Timeout (deadline passed while
+/// queued; caller should abort the transaction).
+using LockCallback = std::function<void(Status)>;
+
+/// Lock-manager statistics.
+struct LockStats {
+  uint64_t grants = 0;
+  uint64_t waits = 0;      // Requests that had to queue.
+  uint64_t timeouts = 0;   // Requests that expired while queued.
+  uint64_t upgrades = 0;   // S→X upgrades granted.
+};
+
+/// Lock table for the copies stored at one processor.
+class LockManager {
+ public:
+  explicit LockManager(sim::Scheduler* scheduler) : scheduler_(scheduler) {}
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Requests `mode` on `obj` for `txn`. The callback fires exactly once:
+  /// synchronously if the lock is immediately grantable or already held,
+  /// otherwise later upon grant or timeout. A held shared lock upgrades to
+  /// exclusive when `txn` is the sole holder; otherwise the upgrade queues.
+  void Acquire(TxnId txn, ObjectId obj, LockMode mode, sim::Duration timeout,
+               LockCallback cb);
+
+  /// Releases every lock held by `txn` and cancels its queued requests
+  /// (their callbacks do NOT fire). Wakes up compatible waiters.
+  void ReleaseAll(TxnId txn);
+
+  /// True if `txn` currently holds a lock on `obj` of at least `mode`.
+  bool Holds(TxnId txn, ObjectId obj, LockMode mode) const;
+
+  /// True if any transaction holds an exclusive lock on `obj`.
+  bool IsWriteLocked(ObjectId obj) const;
+
+  /// Transactions currently holding or waiting on any lock.
+  size_t active_txns() const { return txn_objects_.size(); }
+
+  const LockStats& stats() const { return stats_; }
+
+ private:
+  struct Request {
+    uint64_t id;
+    TxnId txn;
+    LockMode mode;
+    LockCallback cb;
+    sim::EventId timeout_event = sim::kInvalidEvent;
+  };
+  struct Lock {
+    // Invariant: holders is empty, one exclusive holder, or >=1 shared
+    // holders. exclusive==true implies exactly one holder.
+    std::set<TxnId> holders;
+    bool exclusive = false;
+    std::deque<Request> queue;
+  };
+
+  /// Grants queued requests that have become compatible (FIFO, no
+  /// barging past an incompatible head).
+  void PumpQueue(ObjectId obj);
+
+  bool Compatible(const Lock& lock, TxnId txn, LockMode mode) const;
+  void Grant(ObjectId obj, Lock& lock, TxnId txn, LockMode mode);
+  void CancelTimeout(Request& req);
+
+  sim::Scheduler* scheduler_;
+  std::unordered_map<ObjectId, Lock> locks_;
+  std::unordered_map<TxnId, std::set<ObjectId>, TxnIdHash> txn_objects_;
+  LockStats stats_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace vp::cc
+
+#endif  // VPART_CC_LOCK_MANAGER_H_

@@ -1,0 +1,53 @@
+// Transaction bookkeeping shared by all replica-control protocols: outcome
+// tracking with presumed-abort semantics for the commit protocol's
+// in-doubt resolution path.
+#ifndef VPART_CC_TXN_H_
+#define VPART_CC_TXN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.h"
+
+namespace vp::cc {
+
+/// Decided fate of a transaction.
+enum class TxnOutcome {
+  kActive,     // Not yet decided (still executing at its coordinator).
+  kCommitted,  // Decision: commit.
+  kAborted,    // Decision: abort (also the presumed answer for unknowns).
+};
+
+/// Coordinator-side decision log (kept in stable storage in a real system;
+/// our crash model preserves node state, see DESIGN.md).
+///
+/// Presumed abort: a status query for a transaction this coordinator never
+/// recorded is answered kAborted, so an in-doubt participant whose
+/// coordinator crashed before deciding can safely roll back.
+class DecisionLog {
+ public:
+  void MarkActive(TxnId txn) { active_.insert(txn); }
+
+  void Decide(TxnId txn, bool committed) {
+    active_.erase(txn);
+    if (committed) committed_.insert(txn);
+    // Aborts are presumed; recording them is unnecessary.
+  }
+
+  TxnOutcome Query(TxnId txn) const {
+    if (committed_.count(txn) > 0) return TxnOutcome::kCommitted;
+    if (active_.count(txn) > 0) return TxnOutcome::kActive;
+    return TxnOutcome::kAborted;
+  }
+
+  size_t committed_count() const { return committed_.size(); }
+
+ private:
+  std::unordered_set<TxnId, TxnIdHash> active_;
+  std::unordered_set<TxnId, TxnIdHash> committed_;
+};
+
+}  // namespace vp::cc
+
+#endif  // VPART_CC_TXN_H_

@@ -1,0 +1,32 @@
+#include "common/logging.h"
+
+#include <cstring>
+
+namespace vp {
+
+LogLevel Logger::level_ = LogLevel::kOff;
+
+void Logger::InitFromEnv() {
+  const char* env = std::getenv("VPART_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "trace") == 0) level_ = LogLevel::kTrace;
+  else if (std::strcmp(env, "debug") == 0) level_ = LogLevel::kDebug;
+  else if (std::strcmp(env, "info") == 0) level_ = LogLevel::kInfo;
+  else if (std::strcmp(env, "warn") == 0) level_ = LogLevel::kWarn;
+  else if (std::strcmp(env, "error") == 0) level_ = LogLevel::kError;
+  else if (std::strcmp(env, "off") == 0) level_ = LogLevel::kOff;
+}
+
+void Logger::Write(LogLevel level, int64_t sim_us, const std::string& msg) {
+  static const char* const kNames[] = {"TRACE", "DEBUG", "INFO",
+                                       "WARN",  "ERROR", "OFF"};
+  if (sim_us >= 0) {
+    std::fprintf(stderr, "[%s] [t=%lld] %s\n", kNames[static_cast<int>(level)],
+                 static_cast<long long>(sim_us), msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)],
+                 msg.c_str());
+  }
+}
+
+}  // namespace vp

@@ -1,0 +1,82 @@
+// Leveled, simulation-time-aware logging. Off by default so tests stay
+// quiet; enable with Logger::SetLevel or the VPART_LOG environment variable.
+#ifndef VPART_COMMON_LOGGING_H_
+#define VPART_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace vp {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Process-wide logging configuration and sink.
+class Logger {
+ public:
+  static LogLevel level() { return level_; }
+  static void SetLevel(LogLevel level) { level_ = level; }
+
+  /// Reads VPART_LOG (trace|debug|info|warn|error|off) once at startup.
+  static void InitFromEnv();
+
+  /// Emits one line: "[lvl] [t=<sim_us>] <msg>". sim_us < 0 omits the clock.
+  static void Write(LogLevel level, int64_t sim_us, const std::string& msg);
+
+ private:
+  static LogLevel level_;
+};
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, int64_t sim_us) : level_(level), sim_us_(sim_us) {}
+  ~LogMessage() { Logger::Write(level_, sim_us_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  int64_t sim_us_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace vp
+
+// Stream-style logging with an optional simulated-time stamp:
+//   VP_LOG(kDebug, now_us) << "node " << id << " committed";
+#define VP_LOG(severity, sim_us)                                    \
+  if (::vp::LogLevel::severity < ::vp::Logger::level()) {           \
+  } else                                                            \
+    ::vp::internal::LogMessage(::vp::LogLevel::severity, (sim_us)).stream()
+
+// Invariant checking that survives NDEBUG builds. Aborts with context.
+#define VP_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "VP_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define VP_CHECK_MSG(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "VP_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, (msg));                                 \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // VPART_COMMON_LOGGING_H_

@@ -1,0 +1,25 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+namespace vp {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace vp

@@ -1,0 +1,134 @@
+// Status and Result<T>: exception-free error handling used across the
+// library (RocksDB idiom). Every fallible public API returns one of these.
+#ifndef VPART_COMMON_STATUS_H_
+#define VPART_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace vp {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  /// Transaction or logical operation was aborted (paper: "signal abort").
+  kAborted,
+  /// Object inaccessible: no (weighted) majority of copies in the view (R1),
+  /// or the processor is not assigned to any virtual partition.
+  kUnavailable,
+  /// Expected message or response did not arrive within its deadline.
+  kTimeout,
+  /// Referenced object/processor/transaction does not exist.
+  kNotFound,
+  /// Caller passed an argument violating a documented precondition.
+  kInvalidArgument,
+  /// Lock could not be granted (conflict); retry or abort.
+  kBusy,
+  /// Internal invariant violation; indicates a bug.
+  kInternal,
+};
+
+/// Human-readable name of a status code, e.g. "Aborted".
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Timeout(std::string msg = "") {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Aborted: <message>" or "OK".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. `value()` must only be called when `ok()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return 42;`.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status: `return Status::Aborted();`.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error; Status::Ok() when this holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& value_or(const T& fallback) const& {
+    return ok() ? std::get<T>(rep_) : fallback;
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace vp
+
+#endif  // VPART_COMMON_STATUS_H_

@@ -1,0 +1,53 @@
+// Fundamental identifier and value types shared by every module.
+#ifndef VPART_COMMON_TYPES_H_
+#define VPART_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace vp {
+
+/// Identifies a processor; index into the simulated system's processor set
+/// P = {0, 1, ..., n-1}.
+using ProcessorId = uint32_t;
+inline constexpr ProcessorId kInvalidProcessor =
+    std::numeric_limits<ProcessorId>::max();
+
+/// Identifies a logical data object (an element of L in the paper).
+using ObjectId = uint32_t;
+inline constexpr ObjectId kInvalidObject =
+    std::numeric_limits<ObjectId>::max();
+
+/// Vote weight of a physical copy (paper §4, R1: "possibly weighted
+/// majority"). Most placements use weight 1 for every copy.
+using Weight = uint32_t;
+
+/// The value stored by a copy of a logical object. Opaque bytes; workloads
+/// typically store decimal integers or tagged tokens used by the
+/// serializability certifier.
+using Value = std::string;
+
+/// Globally unique transaction identifier: (coordinator, local sequence).
+struct TxnId {
+  ProcessorId coordinator = kInvalidProcessor;
+  uint64_t seq = 0;
+
+  friend bool operator==(const TxnId&, const TxnId&) = default;
+  friend auto operator<=>(const TxnId&, const TxnId&) = default;
+
+  bool valid() const { return coordinator != kInvalidProcessor; }
+  std::string ToString() const {
+    return "t" + std::to_string(coordinator) + "." + std::to_string(seq);
+  }
+};
+
+struct TxnIdHash {
+  size_t operator()(const TxnId& id) const {
+    return std::hash<uint64_t>()((uint64_t{id.coordinator} << 40) ^ id.seq);
+  }
+};
+
+}  // namespace vp
+
+#endif  // VPART_COMMON_TYPES_H_

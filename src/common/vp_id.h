@@ -1,0 +1,54 @@
+// Virtual partition identifiers (paper §5, Fig. 3): a pair
+// (sequence number, initiating processor), totally ordered by
+//   v ≺ w  ⇔  v.n < w.n  ∨  (v.n = w.n ∧ v.p < w.p).
+//
+// A VpId doubles as the *logical date* stored with every physical copy:
+// date(l) is the identifier of the virtual partition in which the last
+// logical write of l executed. Because ≺ is a legal creation order
+// (Theorem 1'), "largest date" = "most recent value".
+#ifndef VPART_COMMON_VP_ID_H_
+#define VPART_COMMON_VP_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+
+namespace vp {
+
+struct VpId {
+  /// Monotone sequence number; each processor proposes successor of the
+  /// largest it has seen.
+  uint64_t n = 0;
+  /// The initiating processor, breaking ties between simultaneous creations.
+  ProcessorId p = 0;
+
+  friend bool operator==(const VpId&, const VpId&) = default;
+
+  /// The paper's ≺ relation.
+  friend bool operator<(const VpId& a, const VpId& b) {
+    if (a.n != b.n) return a.n < b.n;
+    return a.p < b.p;
+  }
+  friend bool operator>(const VpId& a, const VpId& b) { return b < a; }
+  friend bool operator<=(const VpId& a, const VpId& b) { return !(b < a); }
+  friend bool operator>=(const VpId& a, const VpId& b) { return !(a < b); }
+
+  std::string ToString() const {
+    return "(" + std::to_string(n) + "," + std::to_string(p) + ")";
+  }
+};
+
+/// The date assigned to never-written copies; smaller than any real vp-id.
+inline constexpr VpId kEpochDate{0, 0};
+
+struct VpIdHash {
+  size_t operator()(const VpId& v) const {
+    return std::hash<uint64_t>()((v.n << 20) ^ v.p);
+  }
+};
+
+}  // namespace vp
+
+#endif  // VPART_COMMON_VP_ID_H_

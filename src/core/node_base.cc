@@ -1,0 +1,383 @@
+#include "core/node_base.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vp::core {
+
+NodeBase::NodeBase(ProcessorId id, NodeEnv env, sim::Duration lock_timeout,
+                   sim::Duration outcome_retry_period)
+    : id_(id),
+      env_(env),
+      lock_timeout_(lock_timeout),
+      outcome_retry_period_(outcome_retry_period) {
+  VP_CHECK(env_.scheduler && env_.network && env_.placement && env_.store &&
+           env_.locks && env_.recorder);
+}
+
+void NodeBase::Start() {
+  env_.network->Register(id_, this);
+  ScheduleInDoubtSweep();
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side.
+// ---------------------------------------------------------------------------
+
+NodeBase::TxnRec* NodeBase::FindTxn(TxnId txn) {
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+void NodeBase::Begin(TxnId txn) {
+  VP_CHECK_MSG(txns_.count(txn) == 0, "duplicate transaction id");
+  txns_[txn] = TxnRec{};
+  decisions_.MarkActive(txn);
+  env_.recorder->TxnBegin(txn, id_, env_.scheduler->Now());
+  ++stats_.txns_begun;
+}
+
+void NodeBase::Abort(TxnId txn) { InternalAbort(txn); }
+
+void NodeBase::InternalAbort(TxnId txn) {
+  TxnRec* rec = FindTxn(txn);
+  if (rec == nullptr || rec->st != cc::TxnOutcome::kActive) return;
+  Decide(txn, rec, /*committed=*/false);
+}
+
+void NodeBase::Commit(TxnId txn, CommitCallback cb) {
+  TxnRec* rec = FindTxn(txn);
+  if (rec == nullptr) {
+    cb(Status::NotFound("unknown transaction"));
+    return;
+  }
+  if (rec->st != cc::TxnOutcome::kActive) {
+    cb(Status::Aborted("transaction already decided"));
+    return;
+  }
+  if (rec->doomed) {
+    InternalAbort(txn);
+    cb(Status::Aborted("a prior operation failed"));
+    return;
+  }
+  Status admit = ValidateCommit(*rec);
+  if (!admit.ok()) {
+    InternalAbort(txn);
+    cb(admit);
+    return;
+  }
+  Decide(txn, rec, /*committed=*/true);
+  cb(Status::Ok());
+}
+
+void NodeBase::Decide(TxnId txn, TxnRec* rec, bool committed) {
+  rec->st = committed ? cc::TxnOutcome::kCommitted : cc::TxnOutcome::kAborted;
+  decisions_.Decide(txn, committed);
+  if (committed) {
+    env_.recorder->TxnCommit(txn, env_.scheduler->Now());
+    ++stats_.txns_committed;
+  } else {
+    env_.recorder->TxnAbort(txn, env_.scheduler->Now());
+    ++stats_.txns_aborted;
+  }
+  rec->outcome_unacked = rec->participants;
+  BroadcastOutcome(txn);
+}
+
+void NodeBase::BroadcastOutcome(TxnId txn) {
+  TxnRec* rec = FindTxn(txn);
+  if (rec == nullptr || rec->outcome_unacked.empty()) return;
+  const bool committed = rec->st == cc::TxnOutcome::kCommitted;
+  for (ProcessorId p : rec->outcome_unacked) {
+    Send(p, msg::kTxnOutcome, msg::TxnOutcomeMsg{txn, committed});
+  }
+  ScheduleOutcomeRetry(txn);
+}
+
+void NodeBase::ScheduleOutcomeRetry(TxnId txn) {
+  TxnRec* rec = FindTxn(txn);
+  if (rec == nullptr) return;
+  if (rec->retry_event != sim::kInvalidEvent) {
+    env_.scheduler->Cancel(rec->retry_event);
+  }
+  rec->retry_event =
+      env_.scheduler->ScheduleAfter(outcome_retry_period_, [this, txn]() {
+        TxnRec* r = FindTxn(txn);
+        if (r == nullptr) return;
+        r->retry_event = sim::kInvalidEvent;
+        if (Crashed()) {
+          // Keep the retry loop alive; it resumes doing useful work when
+          // the processor recovers (state is durable).
+          ScheduleOutcomeRetry(txn);
+          return;
+        }
+        if (!r->outcome_unacked.empty()) BroadcastOutcome(txn);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Participant side.
+// ---------------------------------------------------------------------------
+
+Status NodeBase::ValidateAccess(const TxnId&, VpId, ObjectId,
+                                const std::set<ProcessorId>&, bool, bool) {
+  return Status::Ok();
+}
+
+bool NodeBase::MaybeDefer(const net::Message&) { return false; }
+
+Status NodeBase::ValidateCommit(const TxnRec&) { return Status::Ok(); }
+
+void NodeBase::HandlePhysRead(const net::Message& m) {
+  const auto& req = net::BodyAs<msg::PhysRead>(m);
+  if (MaybeDefer(m)) return;
+  Status admit = ValidateAccess(req.txn, req.v, req.obj, req.footprint,
+                                req.recovery, /*is_write=*/false);
+  const ProcessorId reply_to = m.src;
+  if (!admit.ok()) {
+    Send(reply_to, msg::kPhysReadReply,
+         msg::PhysReadReply{req.op_id, false, std::string(admit.message()),
+                            Value(), kEpochDate});
+    return;
+  }
+  if (!env_.store->HasCopy(req.obj)) {
+    Send(reply_to, msg::kPhysReadReply,
+         msg::PhysReadReply{req.op_id, false, "no-copy", Value(), kEpochDate});
+    return;
+  }
+  const TxnId locker = req.recovery ? SyntheticTxnId() : req.txn;
+  const ObjectId obj = req.obj;
+  const uint64_t op_id = req.op_id;
+  const TxnId txn = req.txn;
+  const bool recovery = req.recovery;
+  const cc::LockMode mode =
+      req.for_update ? cc::LockMode::kExclusive : cc::LockMode::kShared;
+  env_.locks->Acquire(
+      locker, obj, mode, lock_timeout_,
+      [this, locker, obj, op_id, txn, recovery, reply_to](Status s) {
+        if (!s.ok()) {
+          Send(reply_to, msg::kPhysReadReply,
+               msg::PhysReadReply{op_id, false, "lock-timeout", Value(),
+                                  kEpochDate});
+          return;
+        }
+        auto version = env_.store->Read(obj);
+        VP_CHECK(version.ok());
+        if (!recovery) {
+          // Read-your-own-writes: a transaction re-reading a copy it has
+          // staged a write on must see that staged value.
+          if (auto staged = env_.store->StagedValue(txn, obj);
+              staged.has_value()) {
+            version = *staged;
+          }
+        }
+        if (recovery) {
+          // Recovery reads release their lock immediately (§6 condition
+          // (3) is met by having waited for any write lock).
+          env_.locks->ReleaseAll(locker);
+        } else {
+          RemoteTxn& rt = remote_txns_[txn];
+          rt.coordinator = txn.coordinator;
+          rt.last_activity = env_.scheduler->Now();
+          env_.recorder->PhysicalOp(id_, txn, obj, /*is_write=*/false,
+                                    env_.scheduler->Now());
+        }
+        Send(reply_to, msg::kPhysReadReply,
+             msg::PhysReadReply{op_id, true, "", version.value().value,
+                                version.value().date});
+      });
+}
+
+void NodeBase::HandlePhysWrite(const net::Message& m) {
+  const auto& req = net::BodyAs<msg::PhysWrite>(m);
+  if (MaybeDefer(m)) return;
+  Status admit = ValidateAccess(req.txn, req.v, req.obj, req.footprint,
+                                /*is_recovery=*/false, /*is_write=*/true);
+  const ProcessorId reply_to = m.src;
+  if (!admit.ok()) {
+    Send(reply_to, msg::kPhysWriteReply,
+         msg::PhysWriteReply{req.op_id, false, std::string(admit.message())});
+    return;
+  }
+  if (!env_.store->HasCopy(req.obj)) {
+    Send(reply_to, msg::kPhysWriteReply,
+         msg::PhysWriteReply{req.op_id, false, "no-copy"});
+    return;
+  }
+  const TxnId txn = req.txn;
+  const ObjectId obj = req.obj;
+  const uint64_t op_id = req.op_id;
+  const Value value = req.value;
+  const VpId date = req.v;
+  env_.locks->Acquire(
+      txn, obj, cc::LockMode::kExclusive, lock_timeout_,
+      [this, txn, obj, op_id, value, date, reply_to](Status s) {
+        if (!s.ok()) {
+          Send(reply_to, msg::kPhysWriteReply,
+               msg::PhysWriteReply{op_id, false, "lock-timeout"});
+          return;
+        }
+        Status st = env_.store->StageWrite(txn, obj, value, date);
+        if (!st.ok()) {
+          Send(reply_to, msg::kPhysWriteReply,
+               msg::PhysWriteReply{op_id, false, std::string(st.message())});
+          return;
+        }
+        RemoteTxn& rt = remote_txns_[txn];
+        rt.coordinator = txn.coordinator;
+        rt.staged.insert(obj);
+        rt.last_activity = env_.scheduler->Now();
+        env_.recorder->PhysicalOp(id_, txn, obj, /*is_write=*/true,
+                                  env_.scheduler->Now());
+        Send(reply_to, msg::kPhysWriteReply,
+             msg::PhysWriteReply{op_id, true, ""});
+      });
+}
+
+void NodeBase::HandleLogQuery(const net::Message& m) {
+  const auto& req = net::BodyAs<msg::LogQuery>(m);
+  if (MaybeDefer(m)) return;
+  Status admit = ValidateAccess(TxnId{}, req.v, req.obj, {},
+                                /*is_recovery=*/true, /*is_write=*/false);
+  const ProcessorId reply_to = m.src;
+  if (!admit.ok() || !env_.store->HasCopy(req.obj)) {
+    Send(reply_to, msg::kLogReply, msg::LogReply{req.op_id, false, req.obj, {}});
+    return;
+  }
+  const TxnId locker = SyntheticTxnId();
+  const ObjectId obj = req.obj;
+  const uint64_t op_id = req.op_id;
+  const VpId after = req.after;
+  env_.locks->Acquire(
+      locker, obj, cc::LockMode::kShared, lock_timeout_,
+      [this, locker, obj, op_id, after, reply_to](Status s) {
+        if (!s.ok()) {
+          Send(reply_to, msg::kLogReply, msg::LogReply{op_id, false, obj, {}});
+          return;
+        }
+        msg::LogReply reply{op_id, true, obj, {}};
+        for (const storage::LogRecord& r : env_.store->LogSince(obj, after)) {
+          reply.records.emplace_back(r.date, r.value, r.txn);
+        }
+        env_.locks->ReleaseAll(locker);
+        Send(reply_to, msg::kLogReply, std::move(reply));
+      });
+}
+
+void NodeBase::ApplyOutcomeLocally(TxnId txn, bool committed) {
+  auto it = remote_txns_.find(txn);
+  if (it != remote_txns_.end()) {
+    for (ObjectId obj : it->second.staged) {
+      if (committed) {
+        Status s = env_.store->CommitStage(txn, obj);
+        VP_CHECK(s.ok());
+      } else {
+        env_.store->DiscardStage(txn, obj);
+      }
+    }
+    remote_txns_.erase(it);
+  }
+  env_.locks->ReleaseAll(txn);
+}
+
+void NodeBase::HandleTxnOutcome(const net::Message& m) {
+  const auto& body = net::BodyAs<msg::TxnOutcomeMsg>(m);
+  ApplyOutcomeLocally(body.txn, body.committed);
+  Send(m.src, msg::kTxnOutcomeAck, msg::TxnOutcomeAck{body.txn, id_});
+}
+
+void NodeBase::HandleTxnOutcomeAck(const net::Message& m) {
+  const auto& body = net::BodyAs<msg::TxnOutcomeAck>(m);
+  TxnRec* rec = FindTxn(body.txn);
+  if (rec == nullptr) return;
+  rec->outcome_unacked.erase(body.from);
+  if (rec->outcome_unacked.empty() &&
+      rec->retry_event != sim::kInvalidEvent) {
+    env_.scheduler->Cancel(rec->retry_event);
+    rec->retry_event = sim::kInvalidEvent;
+  }
+}
+
+void NodeBase::HandleTxnStatusQuery(const net::Message& m) {
+  const auto& body = net::BodyAs<msg::TxnStatusQuery>(m);
+  Send(m.src, msg::kTxnStatusReply,
+       msg::TxnStatusReply{body.txn, decisions_.Query(body.txn)});
+}
+
+void NodeBase::HandleTxnStatusReply(const net::Message& m) {
+  const auto& body = net::BodyAs<msg::TxnStatusReply>(m);
+  switch (body.outcome) {
+    case cc::TxnOutcome::kActive:
+      if (auto it = remote_txns_.find(body.txn); it != remote_txns_.end()) {
+        it->second.last_activity = env_.scheduler->Now();
+      }
+      break;
+    case cc::TxnOutcome::kCommitted:
+      ApplyOutcomeLocally(body.txn, /*committed=*/true);
+      break;
+    case cc::TxnOutcome::kAborted:
+      ApplyOutcomeLocally(body.txn, /*committed=*/false);
+      break;
+  }
+}
+
+void NodeBase::InDoubtSweep() {
+  const sim::SimTime now = env_.scheduler->Now();
+  const sim::Duration patience = 4 * outcome_retry_period_;
+  std::vector<std::pair<TxnId, bool>> local_resolved;
+  for (const auto& [txn, rt] : remote_txns_) {
+    if (now - rt.last_activity < patience) continue;
+    if (txn.coordinator == id_) {
+      // Self-coordinated: consult the local decision log directly. This
+      // covers stages created by a deferred physical write replayed AFTER
+      // the outcome was already delivered and acknowledged (the outcome
+      // broadcast will not repeat for us).
+      const cc::TxnOutcome outcome = decisions_.Query(txn);
+      if (outcome != cc::TxnOutcome::kActive) {
+        local_resolved.emplace_back(txn,
+                                    outcome == cc::TxnOutcome::kCommitted);
+      }
+      continue;
+    }
+    Send(rt.coordinator, msg::kTxnStatusQuery, msg::TxnStatusQuery{txn, id_});
+  }
+  for (const auto& [txn, committed] : local_resolved) {
+    ApplyOutcomeLocally(txn, committed);
+  }
+}
+
+void NodeBase::ScheduleInDoubtSweep() {
+  env_.scheduler->ScheduleAfter(2 * outcome_retry_period_, [this]() {
+    if (!Crashed()) InDoubtSweep();
+    ScheduleInDoubtSweep();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+void NodeBase::HandleMessage(const net::Message& m) {
+  if (Crashed()) return;  // Defensive; the network already drops these.
+  if (m.type == msg::kPhysRead) {
+    HandlePhysRead(m);
+  } else if (m.type == msg::kPhysWrite) {
+    HandlePhysWrite(m);
+  } else if (m.type == msg::kLogQuery) {
+    HandleLogQuery(m);
+  } else if (m.type == msg::kTxnOutcome) {
+    HandleTxnOutcome(m);
+  } else if (m.type == msg::kTxnOutcomeAck) {
+    HandleTxnOutcomeAck(m);
+  } else if (m.type == msg::kTxnStatusQuery) {
+    HandleTxnStatusQuery(m);
+  } else if (m.type == msg::kTxnStatusReply) {
+    HandleTxnStatusReply(m);
+  } else {
+    const bool handled = HandleProtocolMessage(m);
+    VP_CHECK_MSG(handled, "unknown message type");
+  }
+}
+
+}  // namespace vp::core

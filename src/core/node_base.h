@@ -1,0 +1,166 @@
+// Protocol-independent machinery shared by every replica-control
+// implementation (the VP protocol and the baselines):
+//
+//  * coordinator-side transaction records and decisions (presumed abort),
+//  * outcome broadcast with periodic retry until every participant acks,
+//  * participant-side physical access: strict-2PL locking, write staging,
+//    outcome application, and in-doubt resolution by querying the
+//    coordinator,
+//  * per-node protocol statistics.
+//
+// Derived protocols plug in their policies via the Validate*/MaybeDefer
+// hooks and implement the logical read/write translation.
+#ifndef VPART_CORE_NODE_BASE_H_
+#define VPART_CORE_NODE_BASE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/lock_manager.h"
+#include "cc/txn.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/vp_id.h"
+#include "core/replica_control.h"
+#include "core/vp_messages.h"
+#include "history/recorder.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+#include "sim/timer.h"
+#include "storage/placement.h"
+#include "storage/replica_store.h"
+
+namespace vp::core {
+
+/// Everything a node needs from its environment.
+struct NodeEnv {
+  sim::Scheduler* scheduler = nullptr;
+  net::Network* network = nullptr;
+  const storage::CopyPlacement* placement = nullptr;
+  storage::ReplicaStore* store = nullptr;
+  cc::LockManager* locks = nullptr;
+  history::Recorder* recorder = nullptr;
+};
+
+/// Base class of all protocol nodes. See file comment.
+class NodeBase : public net::NodeInterface, public ReplicaControl {
+ public:
+  NodeBase(ProcessorId id, NodeEnv env, sim::Duration lock_timeout,
+           sim::Duration outcome_retry_period);
+  ~NodeBase() override = default;
+
+  // --- ReplicaControl (common parts) ---
+  void Begin(TxnId txn) override;
+  void Abort(TxnId txn) override;
+  void Commit(TxnId txn, CommitCallback cb) override;
+  ProcessorId processor() const override { return id_; }
+  const ProtocolStats& stats() const override { return stats_; }
+
+  /// Allocates a fresh client transaction id coordinated here.
+  TxnId NewTxnId() { return TxnId{id_, next_txn_seq_++}; }
+
+  /// Registers with the network and starts periodic tasks. Derived classes
+  /// extend this.
+  virtual void Start();
+
+  // --- NodeInterface ---
+  void HandleMessage(const net::Message& m) override;
+
+ protected:
+  /// Coordinator-side record of a transaction this node coordinates.
+  struct TxnRec {
+    cc::TxnOutcome st = cc::TxnOutcome::kActive;
+    /// An operation failed; the transaction can only abort.
+    bool doomed = false;
+    /// Virtual partition the transaction executes in (R4); protocols
+    /// without partitions leave vp_set false.
+    VpId vp;
+    bool vp_set = false;
+    /// Processors whose copies this transaction physically touched.
+    std::set<ProcessorId> participants;
+    /// Participants that have not yet acknowledged the outcome.
+    std::set<ProcessorId> outcome_unacked;
+    sim::EventId retry_event = sim::kInvalidEvent;
+  };
+
+  /// Participant-side record of a transaction that touched local copies.
+  struct RemoteTxn {
+    ProcessorId coordinator = kInvalidProcessor;
+    std::set<ObjectId> staged;  // Local copies with pending writes.
+    sim::SimTime last_activity = 0;
+  };
+
+  // --- hooks for derived protocols ---
+  /// Accepts or rejects a physical access tagged with partition id `v`.
+  /// Returning non-OK nacks the request with the status message as the
+  /// error string. The base accepts everything.
+  virtual Status ValidateAccess(const TxnId& txn, VpId v, ObjectId obj,
+                                const std::set<ProcessorId>& footprint,
+                                bool is_recovery, bool is_write);
+  /// Returns true to park the message for later reprocessing (e.g. the VP
+  /// protocol defers accesses during partition initialization).
+  virtual bool MaybeDefer(const net::Message& m);
+  /// Commit-time admission check (e.g. R4: still in the transaction's vp).
+  virtual Status ValidateCommit(const TxnRec& rec);
+  /// Dispatch for protocol-specific message types. Return false if the
+  /// type is unknown.
+  virtual bool HandleProtocolMessage(const net::Message& m) = 0;
+
+  // --- coordinator-side helpers ---
+  TxnRec* FindTxn(TxnId txn);
+  /// Dooms and aborts an active transaction; broadcasts the abort outcome.
+  void InternalAbort(TxnId txn);
+  /// Decides and broadcasts; rec.st must be kActive.
+  void Decide(TxnId txn, TxnRec* rec, bool committed);
+  void BroadcastOutcome(TxnId txn);
+
+  // --- participant-side helpers ---
+  void HandlePhysRead(const net::Message& m);
+  void HandlePhysWrite(const net::Message& m);
+  void HandleLogQuery(const net::Message& m);
+  void HandleTxnOutcome(const net::Message& m);
+  void HandleTxnOutcomeAck(const net::Message& m);
+  void HandleTxnStatusQuery(const net::Message& m);
+  void HandleTxnStatusReply(const net::Message& m);
+  /// Applies a learned outcome to local stages and locks.
+  void ApplyOutcomeLocally(TxnId txn, bool committed);
+  void InDoubtSweep();
+
+  /// True if this processor is currently crashed (then handlers and timers
+  /// do nothing; the network already drops inbound messages).
+  bool Crashed() const { return !env_.network->graph()->Alive(id_); }
+
+  void Send(ProcessorId dst, const char* type, std::any body) {
+    env_.network->Send(id_, dst, type, std::move(body));
+  }
+
+  /// Synthetic transaction id for short-lived recovery-read locks.
+  TxnId SyntheticTxnId() { return TxnId{id_, kSyntheticBase + synth_seq_++}; }
+
+  static constexpr uint64_t kSyntheticBase = uint64_t{1} << 62;
+
+  const ProcessorId id_;
+  const NodeEnv env_;
+  const sim::Duration lock_timeout_;
+  const sim::Duration outcome_retry_period_;
+
+  ProtocolStats stats_;
+  uint64_t next_txn_seq_ = 1;
+  uint64_t synth_seq_ = 1;
+  uint64_t next_op_id_ = 1;
+
+  std::unordered_map<TxnId, TxnRec, TxnIdHash> txns_;
+  cc::DecisionLog decisions_;
+  std::unordered_map<TxnId, RemoteTxn, TxnIdHash> remote_txns_;
+
+ private:
+  void ScheduleInDoubtSweep();
+  void ScheduleOutcomeRetry(TxnId txn);
+};
+
+}  // namespace vp::core
+
+#endif  // VPART_CORE_NODE_BASE_H_

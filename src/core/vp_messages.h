@@ -1,0 +1,174 @@
+// Wire messages of the virtual-partition protocol. Names follow the paper's
+// figures: "newvp" / "OK" / "commit" (Fig. 5-6), "probe" / "ack" (Fig. 7-8),
+// "read" / "write" and their replies (Fig. 9-12), plus the transaction-
+// outcome subprotocol that realizes atomic commitment of staged writes.
+#ifndef VPART_CORE_VP_MESSAGES_H_
+#define VPART_CORE_VP_MESSAGES_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "common/vp_id.h"
+#include "cc/txn.h"
+
+namespace vp::core::msg {
+
+// ---- Virtual partition management (Fig. 5, 6) ----
+
+/// Invitation to join a new virtual partition (phase 1).
+struct NewVp {
+  VpId new_id;
+};
+inline constexpr const char* kNewVp = "newvp";
+
+/// Acceptance of an invitation. `previous` is the last virtual partition
+/// the acceptor was assigned to (§6: previous_v(q)), collected at no extra
+/// message cost.
+struct VpOk {
+  VpId v;
+  ProcessorId r = kInvalidProcessor;
+  VpId previous;
+};
+inline constexpr const char* kVpOk = "vp-ok";
+
+/// Phase-2 commit: the initiator's computed view for partition `v`.
+struct VpCommit {
+  VpId v;
+  std::set<ProcessorId> view;
+  /// previous_v(q) for each q in view (§6 optimization 1).
+  std::map<ProcessorId, VpId> previous;
+};
+inline constexpr const char* kVpCommit = "vp-commit";
+
+// ---- Probing (Fig. 7, 8) ----
+
+struct Probe {
+  ProcessorId q = kInvalidProcessor;
+  VpId v;
+  uint64_t seq = 0;
+};
+inline constexpr const char* kProbe = "probe";
+
+struct ProbeAck {
+  ProcessorId q = kInvalidProcessor;
+  uint64_t seq = 0;
+};
+inline constexpr const char* kProbeAck = "probe-ack";
+
+// ---- Physical access (Fig. 9-12) ----
+
+/// Physical read request. `recovery` marks Update-Copies-in-View reads
+/// (Fig. 9), which are served from the committed version without waiting
+/// for partition-initialization locks (but do wait for write locks, §6
+/// condition (3)).
+struct PhysRead {
+  TxnId txn;
+  ObjectId obj = kInvalidObject;
+  VpId v;
+  bool recovery = false;
+  /// Acquire an exclusive (not shared) lock: used by quorum consensus's
+  /// version poll, which precedes an intent to write.
+  bool for_update = false;
+  uint64_t op_id = 0;
+  /// Weakened R4 (§6): processors already touched by `txn`; the server
+  /// accepts a cross-vp access only if these are all in its current view.
+  std::set<ProcessorId> footprint;
+};
+inline constexpr const char* kPhysRead = "read";
+
+struct PhysReadReply {
+  uint64_t op_id = 0;
+  bool ok = false;
+  /// Failure reason when !ok: "wrong-vp", "lock-timeout", "no-copy".
+  std::string error;
+  Value value;
+  VpId date;
+};
+inline constexpr const char* kPhysReadReply = "read-reply";
+
+struct PhysWrite {
+  TxnId txn;
+  ObjectId obj = kInvalidObject;
+  Value value;
+  VpId v;
+  uint64_t op_id = 0;
+  std::set<ProcessorId> footprint;
+};
+inline constexpr const char* kPhysWrite = "write";
+
+struct PhysWriteReply {
+  uint64_t op_id = 0;
+  bool ok = false;
+  std::string error;
+};
+inline constexpr const char* kPhysWriteReply = "write-reply";
+
+/// Date-poll recovery (§6 "optimized search", value-fetch variant): ask a
+/// copy for its date only; the full value is fetched from the freshest
+/// copy afterwards.
+struct DateQuery {
+  ObjectId obj = kInvalidObject;
+  VpId v;
+  uint64_t op_id = 0;
+};
+inline constexpr const char* kDateQuery = "date-query";
+
+struct DateReply {
+  uint64_t op_id = 0;
+  bool ok = false;
+  ObjectId obj = kInvalidObject;
+  VpId date;
+};
+inline constexpr const char* kDateReply = "date-reply";
+
+/// §6 optimization 2: fetch the writes a copy missed since `after`.
+struct LogQuery {
+  ObjectId obj = kInvalidObject;
+  VpId after;
+  VpId v;
+  uint64_t op_id = 0;
+};
+inline constexpr const char* kLogQuery = "log-query";
+
+struct LogReply {
+  uint64_t op_id = 0;
+  bool ok = false;
+  ObjectId obj = kInvalidObject;
+  /// (date, value, txn) triples, ascending by date.
+  std::vector<std::tuple<VpId, Value, TxnId>> records;
+};
+inline constexpr const char* kLogReply = "log-reply";
+
+// ---- Transaction outcome propagation ----
+
+/// Coordinator's decision, broadcast (and re-broadcast) to participants.
+struct TxnOutcomeMsg {
+  TxnId txn;
+  bool committed = false;
+};
+inline constexpr const char* kTxnOutcome = "txn-outcome";
+
+struct TxnOutcomeAck {
+  TxnId txn;
+  ProcessorId from = kInvalidProcessor;
+};
+inline constexpr const char* kTxnOutcomeAck = "txn-outcome-ack";
+
+/// In-doubt participant asks the coordinator for a transaction's fate.
+struct TxnStatusQuery {
+  TxnId txn;
+  ProcessorId from = kInvalidProcessor;
+};
+inline constexpr const char* kTxnStatusQuery = "txn-status-q";
+
+struct TxnStatusReply {
+  TxnId txn;
+  cc::TxnOutcome outcome = cc::TxnOutcome::kAborted;
+};
+inline constexpr const char* kTxnStatusReply = "txn-status-r";
+
+}  // namespace vp::core::msg
+
+#endif  // VPART_CORE_VP_MESSAGES_H_

@@ -1,0 +1,990 @@
+#include "core/vp_node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vp::core {
+
+VpNode::VpNode(ProcessorId id, NodeEnv env, VpConfig config)
+    : NodeBase(id, env, config.lock_timeout, config.outcome_retry_period),
+      config_(config),
+      cur_id_{0, id},
+      max_id_{0, id},
+      lview_{id},
+      monitor_timer_(env.scheduler) {}
+
+void VpNode::Start() {
+  NodeBase::Start();
+  // The initial assignment is the singleton partition (0, myid), per
+  // Fig. 3's initializers; probing merges the system into larger
+  // partitions within Δ.
+  env_.recorder->JoinVp(id_, cur_id_, lview_, env_.scheduler->Now());
+  // Stagger first probes so n probe storms do not collide at t=π.
+  const sim::Duration stagger =
+      config_.probe_period * (id_ + 1) / (env_.network->graph()->size() + 1);
+  env_.scheduler->ScheduleAfter(stagger, [this]() { ProbeTick(); });
+}
+
+// ---------------------------------------------------------------------------
+// Virtual partition management (Fig. 4, 5, 6).
+// ---------------------------------------------------------------------------
+
+void VpNode::CreateNewVp() {
+  // Fig. 4: only an assigned processor initiates; an unassigned one already
+  // has a creation in progress (or a monitor timer pending).
+  if (!assigned_) return;
+  Depart();
+  max_id_ = VpId{max_id_.n + 1, id_};
+  StartCreateVp(max_id_);
+}
+
+void VpNode::Depart() {
+  if (!assigned_) return;
+  assigned_ = false;
+  ++join_generation_;
+  env_.recorder->DepartVp(id_, env_.scheduler->Now());
+}
+
+void VpNode::StartCreateVp(VpId new_id) {
+  ++stats_.vp_creations_initiated;
+  create_open_ = true;
+  ++create_generation_;
+  create_id_ = new_id;
+  accepting_ = {id_};
+  accept_previous_ = {{id_, cur_id_}};
+  const uint32_t n = env_.network->graph()->size();
+  for (ProcessorId p = 0; p < n; ++p) {
+    if (p == id_) continue;
+    Send(p, msg::kNewVp, msg::NewVp{new_id});
+  }
+  const uint64_t gen = create_generation_;
+  env_.scheduler->ScheduleAfter(2 * config_.delta,
+                                [this, gen]() { FinishCreateVp(gen); });
+}
+
+void VpNode::FinishCreateVp(uint64_t generation) {
+  if (generation != create_generation_) return;  // Superseded attempt.
+  create_open_ = false;
+  if (Crashed()) return;
+  // Fig. 5 line 14: commit only if no higher-numbered invitation was seen
+  // while collecting acceptances.
+  if (create_id_ == max_id_) {
+    std::set<ProcessorId> view = accepting_;
+    std::map<ProcessorId, VpId> previous = accept_previous_;
+    // Phase 2: distribute the view. The paper broadcasts to all of P;
+    // commit_to_acceptors_only narrows this to the acceptors.
+    const uint32_t n = env_.network->graph()->size();
+    for (ProcessorId p = 0; p < n; ++p) {
+      if (p == id_) continue;
+      if (config_.commit_to_acceptors_only && view.count(p) == 0) continue;
+      Send(p, msg::kVpCommit, msg::VpCommit{create_id_, view, previous});
+    }
+    monitor_timer_.Reset();
+    CommitToVp(create_id_, std::move(view), std::move(previous));
+    return;
+  }
+  // The attempt failed (a higher invitation arrived). Progress guarantee:
+  // if the competing initiator's commit never arrives, the monitor timer
+  // must eventually fire; arm it if the acceptance path has not.
+  if (!assigned_ && !monitor_timer_.armed()) {
+    monitor_timer_.Set(3 * config_.delta, [this]() { OnMonitorTimeout(); });
+  }
+}
+
+void VpNode::HandleNewVp(const net::Message& m) {
+  const auto& body = net::BodyAs<msg::NewVp>(m);
+  const VpId v = body.new_id;
+  // Fig. 6 lines 5-10: accept iff strictly higher than anything seen.
+  if (!(max_id_ < v)) return;
+  max_id_ = v;
+  Depart();
+  Send(v.p, msg::kVpOk, msg::VpOk{v, id_, cur_id_});
+  monitor_timer_.Set(3 * config_.delta, [this]() { OnMonitorTimeout(); });
+  // max-id moved: parked accesses tagged with lower vp-ids are now dead.
+  ReprocessDeferred();
+}
+
+void VpNode::HandleVpOk(const net::Message& m) {
+  const auto& body = net::BodyAs<msg::VpOk>(m);
+  if (!create_open_ || !(body.v == create_id_)) return;
+  accepting_.insert(body.r);
+  accept_previous_[body.r] = body.previous;
+}
+
+void VpNode::HandleVpCommit(const net::Message& m) {
+  const auto& body = net::BodyAs<msg::VpCommit>(m);
+  // Fig. 6 lines 12-20: commit iff this is the partition we accepted last.
+  if (!(body.v == max_id_)) return;
+  if (assigned_ && cur_id_ == body.v) return;  // Duplicate commit.
+  if (body.view.count(id_) == 0) {
+    // Our acceptance was lost: the view omits us. Committing would break
+    // S2 (reflexivity), so start our own partition instead.
+    monitor_timer_.Reset();
+    OnMonitorTimeout();
+    return;
+  }
+  monitor_timer_.Reset();
+  CommitToVp(body.v, body.view, body.previous);
+}
+
+void VpNode::OnMonitorTimeout() {
+  // Fig. 6 lines 22-24: the promised commit never arrived; initiate a
+  // fresh, higher-numbered partition.
+  if (Crashed()) {
+    // Retry after recovery; otherwise a crashed processor would stay
+    // unassigned forever once it recovers.
+    monitor_timer_.Set(3 * config_.delta, [this]() { OnMonitorTimeout(); });
+    return;
+  }
+  max_id_ = VpId{max_id_.n + 1, id_};
+  StartCreateVp(max_id_);
+}
+
+void VpNode::CommitToVp(VpId v, std::set<ProcessorId> view,
+                        std::map<ProcessorId, VpId> previous) {
+  ++join_generation_;
+  cur_id_ = v;
+  if (max_id_ < v) max_id_ = v;
+  lview_ = std::move(view);
+  previous_ = std::move(previous);
+  assigned_ = true;
+  ++stats_.vp_joins;
+  env_.recorder->JoinVp(id_, v, lview_, env_.scheduler->Now());
+  VP_LOG(kInfo, env_.scheduler->Now())
+      << "p" << id_ << " joined vp " << v.ToString() << " (|view|="
+      << lview_.size() << ")";
+
+  // R4: transactions of earlier partitions abort when their coordinator
+  // joins a new one. Under the §6 weakening a transaction survives if its
+  // footprint is contained in the new view (condition (2)); condition (1)
+  // is re-checked per-operation and condition (3) holds structurally.
+  std::vector<TxnId> doomed;
+  for (auto& [txn, rec] : txns_) {
+    if (rec.st != cc::TxnOutcome::kActive || !rec.vp_set) continue;
+    if (rec.vp == v) continue;
+    if (config_.weakened_r4) {
+      bool contained = true;
+      for (ProcessorId p : rec.participants) {
+        if (lview_.count(p) == 0) {
+          contained = false;
+          break;
+        }
+      }
+      if (contained) continue;
+    }
+    doomed.push_back(txn);
+  }
+  for (TxnId txn : doomed) InternalAbort(txn);
+
+  // R5: lock accessible local copies until initialized (Fig. 5 line 18).
+  recovery_retries_.clear();
+  locked_.clear();
+  // Dirt carried from before this join: these copies' previous recovery
+  // never completed, so the same-previous skip must not trust them.
+  const std::set<ObjectId> was_dirty = dirty_;
+  for (ObjectId obj : env_.store->LocalObjects()) {
+    if (env_.placement->Accessible(obj, lview_)) {
+      locked_.insert(obj);
+      dirty_.insert(obj);  // Pending until Unlock.
+    }
+  }
+  StartUpdateCopies(was_dirty);
+  ReprocessDeferred();
+}
+
+// ---------------------------------------------------------------------------
+// Probing (Fig. 7, 8).
+// ---------------------------------------------------------------------------
+
+void VpNode::ProbeTick() {
+  // The loop persists across crashes; a crashed processor skips the round.
+  env_.scheduler->ScheduleAfter(config_.probe_period,
+                                [this]() { ProbeTick(); });
+  if (Crashed() || !assigned_) return;
+  ++probe_seq_;
+  probe_round_open_ = true;
+  probe_attempt_ = 0;
+  probe_acks_ = {id_};
+  const uint32_t n = env_.network->graph()->size();
+  for (ProcessorId p = 0; p < n; ++p) {
+    if (p == id_) continue;
+    Send(p, msg::kProbe, msg::Probe{id_, cur_id_, probe_seq_});
+  }
+  env_.scheduler->ScheduleAfter(
+      2 * config_.delta, [this, seq = probe_seq_]() {
+        if (seq == probe_seq_) FinishProbeRound();
+      });
+}
+
+void VpNode::FinishProbeRound() {
+  if (!probe_round_open_) return;
+  if (Crashed()) {
+    probe_round_open_ = false;
+    return;
+  }
+  if (!assigned_ || probe_acks_ == lview_) {
+    probe_round_open_ = false;
+    return;
+  }
+  // Discrepancy. A single missing ack may be a dropped message rather than
+  // a topology change; re-probe the unresponsive members before acting
+  // (config_.probe_retries = 0 reproduces Fig. 7 exactly).
+  if (probe_attempt_ < config_.probe_retries) {
+    ++probe_attempt_;
+    for (ProcessorId p : lview_) {
+      if (probe_acks_.count(p) == 0) {
+        Send(p, msg::kProbe, msg::Probe{id_, cur_id_, probe_seq_});
+      }
+    }
+    env_.scheduler->ScheduleAfter(
+        2 * config_.delta, [this, seq = probe_seq_]() {
+          if (seq == probe_seq_) FinishProbeRound();
+        });
+    return;
+  }
+  probe_round_open_ = false;
+  // Fig. 7 line 21: the discrepancy is real; change partitions.
+  CreateNewVp();
+}
+
+void VpNode::HandleProbe(const net::Message& m) {
+  const auto& body = net::BodyAs<msg::Probe>(m);
+  if (!assigned_) return;
+  if (body.v == cur_id_) {
+    Send(body.q, msg::kProbeAck, msg::ProbeAck{id_, body.seq});
+  } else if (cur_id_ < body.v) {
+    // Communication across partitions demonstrated; merge (Fig. 8 line 7).
+    CreateNewVp();
+  }
+  // body.v < cur_id_: stale probe; ignore.
+}
+
+void VpNode::HandleProbeAck(const net::Message& m) {
+  const auto& body = net::BodyAs<msg::ProbeAck>(m);
+  if (!probe_round_open_ || body.seq != probe_seq_) return;
+  probe_acks_.insert(body.q);
+}
+
+// ---------------------------------------------------------------------------
+// R5: Update-Copies-in-View (Fig. 9, plus the §6 optimizations).
+// ---------------------------------------------------------------------------
+
+void VpNode::StartUpdateCopies(const std::set<ObjectId>& was_dirty) {
+  if (locked_.empty()) return;
+
+  if (config_.recovery != RecoveryMode::kFullRead && !previous_.empty()) {
+    // §6 optimization 1, common case: every member split off from the same
+    // previous partition, so every accessible copy is already up to date —
+    // EXCEPT copies whose initialization in that previous partition never
+    // completed (`was_dirty`): membership alone does not make them fresh.
+    bool all_same = true;
+    const VpId first = previous_.begin()->second;
+    for (ProcessorId p : lview_) {
+      auto it = previous_.find(p);
+      if (it == previous_.end() || !(it->second == first)) {
+        all_same = false;
+        break;
+      }
+    }
+    if (all_same) {
+      const std::vector<ObjectId> all(locked_.begin(), locked_.end());
+      for (ObjectId obj : all) {
+        if (was_dirty.count(obj) > 0) {
+          StartObjectRecovery(obj);
+        } else {
+          ++stats_.recovery_skipped_objects;
+          Unlock(obj);
+        }
+      }
+      return;
+    }
+  }
+
+  const std::vector<ObjectId> objs(locked_.begin(), locked_.end());
+  for (ObjectId obj : objs) StartObjectRecovery(obj);
+}
+
+void VpNode::StartObjectRecovery(ObjectId obj) {
+  switch (config_.recovery) {
+    case RecoveryMode::kLogCatchup:
+      RecoverObjectLogCatchup(obj);
+      break;
+    case RecoveryMode::kDatePoll:
+      RecoverObjectDatePoll(obj);
+      break;
+    case RecoveryMode::kFullRead:
+    case RecoveryMode::kPreviousSkip:
+      RecoverObjectFullRead(obj);
+      break;
+  }
+}
+
+void VpNode::RecoverObjectFullRead(ObjectId obj) {
+  const uint64_t op_id = next_op_id_++;
+  PendingRecovery rec;
+  rec.obj = obj;
+  rec.join_gen = join_generation_;
+  for (ProcessorId q : env_.placement->CopyHolders(obj)) {
+    if (lview_.count(q) > 0) rec.awaiting.insert(q);
+  }
+  VP_CHECK(!rec.awaiting.empty());
+  recovery_by_object_[obj] = op_id;
+  const std::set<ProcessorId> targets = rec.awaiting;
+  rec.timeout_event = env_.scheduler->ScheduleAfter(
+      2 * config_.delta + config_.lock_timeout,
+      [this, obj, gen = rec.join_gen]() { RecoveryFailed(obj, gen); });
+  pending_recoveries_[op_id] = std::move(rec);
+
+  for (ProcessorId q : targets) {
+    if (q == id_) {
+      // Local copy: same lock discipline, no network hop.
+      const TxnId locker = SyntheticTxnId();
+      env_.locks->Acquire(
+          locker, obj, cc::LockMode::kShared, lock_timeout_,
+          [this, locker, obj, op_id](Status s) {
+            if (!s.ok()) {
+              HandleRecoveryReadReply(op_id, false, Value(), kEpochDate, id_);
+              return;
+            }
+            auto v = env_.store->Read(obj);
+            env_.locks->ReleaseAll(locker);
+            VP_CHECK(v.ok());
+            HandleRecoveryReadReply(op_id, true, v.value().value,
+                                    v.value().date, id_);
+          });
+    } else {
+      ++stats_.recovery_reads_sent;
+      Send(q, msg::kPhysRead,
+           msg::PhysRead{SyntheticTxnId(), obj, cur_id_, /*recovery=*/true,
+                         /*for_update=*/false, op_id, {}});
+    }
+  }
+}
+
+void VpNode::RecoverObjectLogCatchup(ObjectId obj) {
+  auto local = env_.store->Read(obj);
+  VP_CHECK(local.ok());
+  const VpId after = local.value().date;
+
+  const uint64_t op_id = next_op_id_++;
+  PendingRecovery rec;
+  rec.obj = obj;
+  rec.join_gen = join_generation_;
+  rec.log_mode = true;
+  for (ProcessorId q : env_.placement->CopyHolders(obj)) {
+    if (q != id_ && lview_.count(q) > 0) rec.awaiting.insert(q);
+  }
+  if (rec.awaiting.empty()) {
+    // All in-view copies are local; nothing can be newer.
+    Unlock(obj);
+    return;
+  }
+  recovery_by_object_[obj] = op_id;
+  const std::set<ProcessorId> targets = rec.awaiting;
+  rec.timeout_event = env_.scheduler->ScheduleAfter(
+      2 * config_.delta + config_.lock_timeout,
+      [this, obj, gen = rec.join_gen]() { RecoveryFailed(obj, gen); });
+  pending_recoveries_[op_id] = std::move(rec);
+
+  for (ProcessorId q : targets) {
+    ++stats_.recovery_reads_sent;
+    Send(q, msg::kLogQuery, msg::LogQuery{obj, after, cur_id_, op_id});
+  }
+}
+
+void VpNode::RecoverObjectDatePoll(ObjectId obj) {
+  auto local = env_.store->Read(obj);
+  VP_CHECK(local.ok());
+
+  const uint64_t op_id = next_op_id_++;
+  PendingRecovery rec;
+  rec.obj = obj;
+  rec.join_gen = join_generation_;
+  rec.date_mode = true;
+  rec.best_date = local.value().date;
+  rec.best_holder = id_;
+  for (ProcessorId q : env_.placement->CopyHolders(obj)) {
+    if (q != id_ && lview_.count(q) > 0) rec.awaiting.insert(q);
+  }
+  if (rec.awaiting.empty()) {
+    Unlock(obj);
+    return;
+  }
+  recovery_by_object_[obj] = op_id;
+  const std::set<ProcessorId> targets = rec.awaiting;
+  rec.timeout_event = env_.scheduler->ScheduleAfter(
+      2 * config_.delta + config_.lock_timeout,
+      [this, obj, gen = rec.join_gen]() { RecoveryFailed(obj, gen); });
+  pending_recoveries_[op_id] = std::move(rec);
+
+  for (ProcessorId q : targets) {
+    ++stats_.recovery_date_polls;
+    Send(q, msg::kDateQuery, msg::DateQuery{obj, cur_id_, op_id});
+  }
+}
+
+void VpNode::HandleDateQuery(const net::Message& m) {
+  const auto& req = net::BodyAs<msg::DateQuery>(m);
+  if (MaybeDefer(m)) return;
+  Status admit = ValidateAccess(TxnId{}, req.v, req.obj, {},
+                                /*is_recovery=*/true, /*is_write=*/false);
+  const ProcessorId reply_to = m.src;
+  if (!admit.ok() || !env_.store->HasCopy(req.obj)) {
+    Send(reply_to, msg::kDateReply,
+         msg::DateReply{req.op_id, false, req.obj, kEpochDate});
+    return;
+  }
+  // The §6 condition (3) lock discipline applies to date reads too: a
+  // staged (possibly committed-elsewhere) write must resolve first, or
+  // the date could under-report.
+  const TxnId locker = SyntheticTxnId();
+  const ObjectId obj = req.obj;
+  const uint64_t op_id = req.op_id;
+  env_.locks->Acquire(
+      locker, obj, cc::LockMode::kShared, lock_timeout_,
+      [this, locker, obj, op_id, reply_to](Status s) {
+        if (!s.ok()) {
+          Send(reply_to, msg::kDateReply,
+               msg::DateReply{op_id, false, obj, kEpochDate});
+          return;
+        }
+        auto v = env_.store->Read(obj);
+        env_.locks->ReleaseAll(locker);
+        VP_CHECK(v.ok());
+        Send(reply_to, msg::kDateReply,
+             msg::DateReply{op_id, true, obj, v.value().date});
+      });
+}
+
+void VpNode::HandleDateReply(const net::Message& m) {
+  const auto& body = net::BodyAs<msg::DateReply>(m);
+  auto it = pending_recoveries_.find(body.op_id);
+  if (it == pending_recoveries_.end()) return;
+  PendingRecovery& rec = it->second;
+  if (rec.join_gen != join_generation_) {
+    env_.scheduler->Cancel(rec.timeout_event);
+    recovery_by_object_.erase(rec.obj);
+    pending_recoveries_.erase(it);
+    return;
+  }
+  if (!body.ok) {
+    RecoveryFailed(rec.obj, rec.join_gen);
+    return;
+  }
+  if (rec.best_date < body.date) {
+    rec.best_date = body.date;
+    rec.best_holder = m.src;
+  }
+  rec.awaiting.erase(m.src);
+  if (!rec.awaiting.empty()) return;
+
+  if (rec.best_holder == id_) {
+    // The local copy is already the freshest: no value fetch at all.
+    const ObjectId obj = rec.obj;
+    env_.scheduler->Cancel(rec.timeout_event);
+    pending_recoveries_.erase(it);
+    recovery_by_object_.erase(obj);
+    Unlock(obj);
+    return;
+  }
+  // Phase 2: fetch the full value from the freshest copy only.
+  rec.fetching_value = true;
+  rec.awaiting = {rec.best_holder};
+  rec.have_value = false;
+  env_.scheduler->Cancel(rec.timeout_event);
+  rec.timeout_event = env_.scheduler->ScheduleAfter(
+      2 * config_.delta + config_.lock_timeout,
+      [this, obj = rec.obj, gen = rec.join_gen]() {
+        RecoveryFailed(obj, gen);
+      });
+  ++stats_.recovery_value_fetches;
+  ++stats_.recovery_reads_sent;
+  Send(rec.best_holder, msg::kPhysRead,
+       msg::PhysRead{SyntheticTxnId(), rec.obj, cur_id_, /*recovery=*/true,
+                     /*for_update=*/false, body.op_id, {}});
+}
+
+void VpNode::HandleRecoveryReadReply(uint64_t op_id, bool ok,
+                                     const Value& value, VpId date,
+                                     ProcessorId from) {
+  auto it = pending_recoveries_.find(op_id);
+  if (it == pending_recoveries_.end()) return;
+  PendingRecovery& rec = it->second;
+  if (rec.join_gen != join_generation_) {
+    // Joined another partition meanwhile; this task is dead.
+    env_.scheduler->Cancel(rec.timeout_event);
+    recovery_by_object_.erase(rec.obj);
+    pending_recoveries_.erase(it);
+    return;
+  }
+  if (!ok) {
+    const ObjectId obj = rec.obj;
+    const uint64_t gen = rec.join_gen;
+    RecoveryFailed(obj, gen);
+    return;
+  }
+  rec.awaiting.erase(from);
+  if (!rec.have_value || rec.best_date < date) {
+    rec.best_value = value;
+    rec.best_date = date;
+    rec.have_value = true;
+  }
+  if (rec.awaiting.empty()) FinishRecovery(rec.obj, rec.join_gen);
+}
+
+void VpNode::HandleLogReply(const net::Message& m) {
+  const auto& body = net::BodyAs<msg::LogReply>(m);
+  auto it = pending_recoveries_.find(body.op_id);
+  if (it == pending_recoveries_.end()) return;
+  PendingRecovery& rec = it->second;
+  if (rec.join_gen != join_generation_) {
+    env_.scheduler->Cancel(rec.timeout_event);
+    recovery_by_object_.erase(rec.obj);
+    pending_recoveries_.erase(it);
+    return;
+  }
+  if (!body.ok) {
+    RecoveryFailed(rec.obj, rec.join_gen);
+    return;
+  }
+  auto& suffix = rec.records_by_src[m.src];
+  for (const auto& [date, value, txn] : body.records) {
+    suffix.push_back(storage::LogRecord{date, value, txn});
+  }
+  rec.awaiting.erase(m.src);
+  if (rec.awaiting.empty()) FinishRecovery(rec.obj, rec.join_gen);
+}
+
+void VpNode::FinishRecovery(ObjectId obj, uint64_t join_gen) {
+  auto oit = recovery_by_object_.find(obj);
+  if (oit == recovery_by_object_.end()) return;
+  const uint64_t op_id = oit->second;
+  auto it = pending_recoveries_.find(op_id);
+  if (it == pending_recoveries_.end()) return;
+  PendingRecovery rec = std::move(it->second);
+  env_.scheduler->Cancel(rec.timeout_event);
+  pending_recoveries_.erase(it);
+  recovery_by_object_.erase(oit);
+  // Fig. 9 lines 15-17: install only if still in the same partition.
+  if (join_gen != join_generation_ || !assigned_) return;
+
+  if (rec.log_mode) {
+    // Pick the freshest source: the suffix whose final record carries the
+    // greatest date (ties: the longest suffix). Suffixes are applied in
+    // their original per-copy order because dates do not order writes
+    // within one partition.
+    const std::vector<storage::LogRecord>* best = nullptr;
+    for (const auto& [src, suffix] : rec.records_by_src) {
+      if (suffix.empty()) continue;
+      if (best == nullptr || best->back().date < suffix.back().date ||
+          (best->back().date == suffix.back().date &&
+           best->size() < suffix.size())) {
+        best = &suffix;
+      }
+    }
+    if (best != nullptr) {
+      stats_.recovery_log_records += best->size();
+      Status s = env_.store->ApplyLogSuffix(obj, *best);
+      VP_CHECK(s.ok());
+    }
+  } else if (rec.have_value) {
+    Status s = env_.store->InstallRecovery(obj, rec.best_value, rec.best_date);
+    VP_CHECK(s.ok());
+  }
+  Unlock(obj);
+}
+
+void VpNode::RecoveryFailed(ObjectId obj, uint64_t join_gen) {
+  auto oit = recovery_by_object_.find(obj);
+  if (oit != recovery_by_object_.end()) {
+    auto it = pending_recoveries_.find(oit->second);
+    if (it != pending_recoveries_.end()) {
+      env_.scheduler->Cancel(it->second.timeout_event);
+      pending_recoveries_.erase(it);
+    }
+    recovery_by_object_.erase(oit);
+  }
+  if (Crashed() || join_gen != join_generation_) return;
+  // A recovery read can fail because the remote copy is write-locked by a
+  // live transaction (§6 condition (3) makes it wait) rather than because
+  // the view is wrong. Retry a few times before concluding the latter.
+  if (recovery_retries_[obj] < kMaxRecoveryRetries) {
+    ++recovery_retries_[obj];
+    StartObjectRecovery(obj);
+    return;
+  }
+  // Fig. 9 line 12's exception handler: no-response ⇒ the view is wrong;
+  // form a new partition. Remaining locked objects stay locked; the next
+  // join restarts their initialization.
+  CreateNewVp();
+}
+
+void VpNode::Unlock(ObjectId obj) {
+  locked_.erase(obj);
+  dirty_.erase(obj);  // Recovery completed; the copy is known fresh.
+  ReprocessDeferred();
+}
+
+// ---------------------------------------------------------------------------
+// Logical operations (Fig. 10, 11).
+// ---------------------------------------------------------------------------
+
+Status VpNode::AdmitLogicalOp(TxnId txn, ObjectId obj, TxnRec** rec_out) {
+  TxnRec* rec = FindTxn(txn);
+  if (rec == nullptr) return Status::NotFound("unknown transaction");
+  *rec_out = rec;
+  if (rec->st != cc::TxnOutcome::kActive || rec->doomed) {
+    return Status::Aborted("transaction already doomed");
+  }
+  if (!assigned_ || !env_.placement->Accessible(obj, lview_)) {
+    rec->doomed = true;
+    InternalAbort(txn);
+    return Status::Unavailable("object inaccessible (R1)");
+  }
+  if (!rec->vp_set) {
+    rec->vp = cur_id_;
+    rec->vp_set = true;
+    env_.recorder->TxnSetVp(txn, cur_id_);
+  } else if (!(rec->vp == cur_id_)) {
+    if (config_.weakened_r4) {
+      // The transaction continues in the new partition; Theorem 1' then
+      // orders it with the latest partition it executed in.
+      rec->vp = cur_id_;
+      env_.recorder->TxnSetVp(txn, cur_id_);
+    } else {
+      // R4 violation (should have been aborted at join; defensive).
+      rec->doomed = true;
+      InternalAbort(txn);
+      return Status::Aborted("R4: partition changed");
+    }
+  }
+  return Status::Ok();
+}
+
+ProcessorId VpNode::Nearest(ObjectId obj) const {
+  ProcessorId best = kInvalidProcessor;
+  double best_cost = 0;
+  for (ProcessorId q : env_.placement->CopyHolders(obj)) {
+    if (lview_.count(q) == 0) continue;
+    const double cost = q == id_ ? 0.0 : env_.network->graph()->Cost(id_, q);
+    if (best == kInvalidProcessor || cost < best_cost) {
+      best = q;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+void VpNode::LogicalRead(TxnId txn, ObjectId obj, ReadCallback cb) {
+  ++stats_.reads_attempted;
+  TxnRec* rec = nullptr;
+  Status admit = AdmitLogicalOp(txn, obj, &rec);
+  if (!admit.ok()) {
+    if (admit.IsUnavailable()) ++stats_.reads_unavailable;
+    else ++stats_.reads_failed;
+    cb(admit);
+    return;
+  }
+
+  const uint64_t op_id = next_op_id_++;
+  PendingRead pr;
+  pr.txn = txn;
+  pr.obj = obj;
+  pr.cb = std::move(cb);
+  pr.target = Nearest(obj);
+  VP_CHECK(pr.target != kInvalidProcessor);
+  if (config_.read_retry) {
+    // Remaining in-view copies, by ascending cost, as fallbacks.
+    std::vector<std::pair<double, ProcessorId>> rest;
+    for (ProcessorId q : env_.placement->CopyHolders(obj)) {
+      if (q == pr.target || lview_.count(q) == 0) continue;
+      rest.emplace_back(q == id_ ? 0.0 : env_.network->graph()->Cost(id_, q),
+                        q);
+    }
+    std::sort(rest.begin(), rest.end());
+    for (auto& [cost, q] : rest) pr.fallbacks.push_back(q);
+  }
+  pr.timeout_event = env_.scheduler->ScheduleAfter(
+      2 * config_.delta + config_.lock_timeout, [this, op_id]() {
+        auto it = pending_reads_.find(op_id);
+        if (it == pending_reads_.end()) return;
+        // No response within the deadline: the view is suspect (Fig. 10
+        // line 5's no-response handler).
+        PendingRead pr2 = std::move(it->second);
+        pending_reads_.erase(it);
+        ++stats_.reads_failed;
+        TxnRec* r = FindTxn(pr2.txn);
+        if (r != nullptr) r->doomed = true;
+        InternalAbort(pr2.txn);
+        if (!Crashed()) CreateNewVp();
+        pr2.cb(Status::Timeout("no response from copy holder"));
+      });
+
+  ++stats_.phys_reads_sent;
+  Send(pr.target, msg::kPhysRead,
+       msg::PhysRead{txn, obj, cur_id_, /*recovery=*/false,
+                     /*for_update=*/false, op_id, rec->participants});
+  pending_reads_[op_id] = std::move(pr);
+}
+
+void VpNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
+                          WriteCallback cb) {
+  ++stats_.writes_attempted;
+  TxnRec* rec = nullptr;
+  Status admit = AdmitLogicalOp(txn, obj, &rec);
+  if (!admit.ok()) {
+    if (admit.IsUnavailable()) ++stats_.writes_unavailable;
+    else ++stats_.writes_failed;
+    cb(admit);
+    return;
+  }
+
+  const uint64_t op_id = next_op_id_++;
+  PendingWrite pw;
+  pw.txn = txn;
+  pw.obj = obj;
+  pw.value = value;
+  pw.cb = std::move(cb);
+  for (ProcessorId q : env_.placement->CopyHolders(obj)) {
+    if (lview_.count(q) > 0) pw.awaiting.insert(q);
+  }
+  VP_CHECK(!pw.awaiting.empty());
+  pw.timeout_event = env_.scheduler->ScheduleAfter(
+      2 * config_.delta + config_.lock_timeout, [this, op_id]() {
+        auto it = pending_writes_.find(op_id);
+        if (it == pending_writes_.end()) return;
+        PendingWrite pw2 = std::move(it->second);
+        pending_writes_.erase(it);
+        ++stats_.writes_failed;
+        TxnRec* r = FindTxn(pw2.txn);
+        if (r != nullptr) r->doomed = true;
+        InternalAbort(pw2.txn);
+        if (!Crashed()) CreateNewVp();
+        pw2.cb(Status::Timeout("write-all incomplete"));
+      });
+
+  const std::set<ProcessorId> targets = pw.awaiting;
+  pending_writes_[op_id] = std::move(pw);
+  // Targets become participants as soon as the request is issued: they may
+  // stage the write even if this coordinator later aborts, so the outcome
+  // broadcast must reach them.
+  const std::set<ProcessorId> footprint = rec->participants;
+  for (ProcessorId q : targets) rec->participants.insert(q);
+  for (ProcessorId q : targets) {
+    ++stats_.phys_writes_sent;
+    Send(q, msg::kPhysWrite,
+         msg::PhysWrite{txn, obj, value, cur_id_, op_id, footprint});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NodeBase hooks (participant side; Fig. 12).
+// ---------------------------------------------------------------------------
+
+Status VpNode::ValidateAccess(const TxnId& txn, VpId v, ObjectId obj,
+                              const std::set<ProcessorId>& footprint,
+                              bool is_recovery, bool is_write) {
+  (void)txn;
+  (void)is_write;
+  if (!assigned_) return Status::Aborted("wrong-vp");
+  if (v == cur_id_) return Status::Ok();
+  if (config_.weakened_r4 && !is_recovery) {
+    // §6 conditions (1) and (2), evaluated against the server's view.
+    bool contained = env_.placement->Accessible(obj, lview_);
+    for (ProcessorId p : footprint) {
+      if (lview_.count(p) == 0) {
+        contained = false;
+        break;
+      }
+    }
+    if (contained) return Status::Ok();
+  }
+  return Status::Aborted("wrong-vp");
+}
+
+bool VpNode::MaybeDefer(const net::Message& m) {
+  if (reprocessing_) return false;  // Decide for real during reprocessing.
+  // Park accesses addressed to the partition we are about to commit to.
+  VpId v;
+  ObjectId obj = kInvalidObject;
+  bool transactional = false;
+  if (m.type == msg::kPhysRead) {
+    const auto& r = net::BodyAs<msg::PhysRead>(m);
+    v = r.v;
+    obj = r.obj;
+    transactional = !r.recovery;
+  } else if (m.type == msg::kPhysWrite) {
+    const auto& w = net::BodyAs<msg::PhysWrite>(m);
+    v = w.v;
+    obj = w.obj;
+    transactional = true;
+  } else if (m.type == msg::kLogQuery) {
+    const auto& q = net::BodyAs<msg::LogQuery>(m);
+    v = q.v;
+    obj = q.obj;
+  } else if (m.type == msg::kDateQuery) {
+    const auto& q = net::BodyAs<msg::DateQuery>(m);
+    v = q.v;
+    obj = q.obj;
+  } else {
+    return false;
+  }
+  if (!assigned_ && v == max_id_) {
+    deferred_.push_back(m);
+    return true;
+  }
+  // Fig. 12's "wait until l ∉ locked": transactional accesses to a copy
+  // still being initialized wait; recovery reads are served from the
+  // committed version (the max-date aggregation makes that sound). The
+  // weakened-R4 path accepts accesses tagged with older vp-ids, so those
+  // must wait on the initialization lock too.
+  if (transactional && assigned_ && locked_.count(obj) > 0 &&
+      (v == cur_id_ || config_.weakened_r4)) {
+    deferred_.push_back(m);
+    return true;
+  }
+  return false;
+}
+
+void VpNode::ReprocessDeferred() {
+  if (deferred_.empty()) return;
+  std::vector<net::Message> msgs = std::move(deferred_);
+  deferred_.clear();
+  for (net::Message& m : msgs) {
+    // Re-run the normal pipeline; MaybeDefer may park the message again if
+    // its precondition still holds (e.g. a different object still locked).
+    const bool defer_again = MaybeDefer(m);
+    if (defer_again) continue;
+    reprocessing_ = true;
+    NodeBase::HandleMessage(m);
+    reprocessing_ = false;
+  }
+}
+
+Status VpNode::ValidateCommit(const TxnRec& rec) {
+  if (!rec.vp_set) return Status::Ok();  // Pure begin/commit, no ops.
+  if (!assigned_) return Status::Aborted("R4: not assigned at commit");
+  if (config_.weakened_r4) return Status::Ok();
+  if (!(rec.vp == cur_id_)) {
+    return Status::Aborted("R4: partition changed before commit");
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch.
+// ---------------------------------------------------------------------------
+
+bool VpNode::HandleProtocolMessage(const net::Message& m) {
+  if (m.type == msg::kNewVp) {
+    HandleNewVp(m);
+  } else if (m.type == msg::kVpOk) {
+    HandleVpOk(m);
+  } else if (m.type == msg::kVpCommit) {
+    HandleVpCommit(m);
+  } else if (m.type == msg::kProbe) {
+    HandleProbe(m);
+  } else if (m.type == msg::kProbeAck) {
+    HandleProbeAck(m);
+  } else if (m.type == msg::kPhysReadReply) {
+    const auto& body = net::BodyAs<msg::PhysReadReply>(m);
+    // A read reply resolves either a pending logical read or a pending
+    // recovery read.
+    auto it = pending_reads_.find(body.op_id);
+    if (it != pending_reads_.end()) {
+      PendingRead pr = std::move(it->second);
+      pending_reads_.erase(it);
+      env_.scheduler->Cancel(pr.timeout_event);
+      TxnRec* rec = FindTxn(pr.txn);
+      if (rec == nullptr || rec->st != cc::TxnOutcome::kActive) {
+        // Transaction is gone (aborted); nothing to deliver.
+        pr.cb(Status::Aborted("transaction aborted"));
+        return true;
+      }
+      if (body.ok) {
+        ++stats_.reads_ok;
+        rec->participants.insert(m.src);
+        env_.recorder->TxnRead(pr.txn, pr.obj, body.value, body.date,
+                               env_.scheduler->Now());
+        pr.cb(ReadResult{body.value, body.date, m.src});
+      } else if (config_.read_retry && !pr.fallbacks.empty() &&
+                 body.error != "wrong-vp") {
+        // R2's optional retry at the next-nearest copy.
+        const uint64_t op_id = next_op_id_++;
+        pr.target = pr.fallbacks.front();
+        pr.fallbacks.erase(pr.fallbacks.begin());
+        pr.timeout_event = env_.scheduler->ScheduleAfter(
+            2 * config_.delta + config_.lock_timeout, [this, op_id]() {
+              auto it2 = pending_reads_.find(op_id);
+              if (it2 == pending_reads_.end()) return;
+              PendingRead pr2 = std::move(it2->second);
+              pending_reads_.erase(it2);
+              ++stats_.reads_failed;
+              InternalAbort(pr2.txn);
+              if (!Crashed()) CreateNewVp();
+              pr2.cb(Status::Timeout("no response from copy holder"));
+            });
+        ++stats_.phys_reads_sent;
+        Send(pr.target, msg::kPhysRead,
+             msg::PhysRead{pr.txn, pr.obj, cur_id_, /*recovery=*/false,
+                           /*for_update=*/false, op_id, rec->participants});
+        pending_reads_[op_id] = std::move(pr);
+      } else {
+        ++stats_.reads_failed;
+        rec->doomed = true;
+        InternalAbort(pr.txn);
+        pr.cb(Status::Aborted("physical read failed: " + body.error));
+      }
+      return true;
+    }
+    HandleRecoveryReadReply(body.op_id, body.ok, body.value, body.date,
+                            m.src);
+  } else if (m.type == msg::kPhysWriteReply) {
+    const auto& body = net::BodyAs<msg::PhysWriteReply>(m);
+    auto it = pending_writes_.find(body.op_id);
+    if (it == pending_writes_.end()) return true;
+    PendingWrite& pw = it->second;
+    TxnRec* rec = FindTxn(pw.txn);
+    if (rec == nullptr || rec->st != cc::TxnOutcome::kActive) {
+      env_.scheduler->Cancel(pw.timeout_event);
+      PendingWrite done = std::move(it->second);
+      pending_writes_.erase(it);
+      done.cb(Status::Aborted("transaction aborted"));
+      return true;
+    }
+    rec->participants.insert(m.src);
+    if (!body.ok) {
+      env_.scheduler->Cancel(pw.timeout_event);
+      PendingWrite done = std::move(it->second);
+      pending_writes_.erase(it);
+      ++stats_.writes_failed;
+      rec->doomed = true;
+      InternalAbort(done.txn);
+      done.cb(Status::Aborted("physical write failed: " + body.error));
+      return true;
+    }
+    pw.awaiting.erase(m.src);
+    if (pw.awaiting.empty()) {
+      env_.scheduler->Cancel(pw.timeout_event);
+      PendingWrite done = std::move(it->second);
+      pending_writes_.erase(it);
+      ++stats_.writes_ok;
+      env_.recorder->TxnWrite(done.txn, done.obj, done.value,
+                              env_.scheduler->Now());
+      done.cb(Status::Ok());
+    }
+  } else if (m.type == msg::kLogReply) {
+    HandleLogReply(m);
+  } else if (m.type == msg::kDateQuery) {
+    HandleDateQuery(m);
+  } else if (m.type == msg::kDateReply) {
+    HandleDateReply(m);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace vp::core

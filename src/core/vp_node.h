@@ -1,0 +1,210 @@
+// The virtual-partition replica control protocol (paper §5), implemented as
+// an event-driven state machine per processor:
+//
+//   Fig. 4  Create-new-VP        → CreateNewVp()
+//   Fig. 5  Create-VP            → StartCreateVp() / FinishCreateVp()
+//   Fig. 6  Monitor-VP-Creations → HandleNewVp() / HandleVpCommit() /
+//                                  OnMonitorTimeout()
+//   Fig. 7  Send-Probes          → ProbeTick() / FinishProbeRound()
+//   Fig. 8  Monitor-Probes       → HandleProbe()
+//   Fig. 9  Update-Copies-in-View→ StartUpdateCopies() et al.
+//   Fig. 10 Logical-Read         → LogicalRead()
+//   Fig. 11 Logical-Write        → LogicalWrite()
+//   Fig. 12 Physical-Access      → NodeBase handlers + ValidateAccess/
+//                                  MaybeDefer overrides
+//
+// Deviations from the printed pseudocode (each documented in DESIGN.md):
+//   * physical-access requests whose vp-id cannot currently be honored are
+//     nacked explicitly ("wrong-vp") instead of silently dropped, so the
+//     coordinator aborts promptly instead of always burning the 2δ timeout;
+//   * a processor only commits to a partition whose view contains itself
+//     (preserving S2 when its acceptance message was lost);
+//   * a failed Create-VP attempt re-arms the 3δ timer so an isolated
+//     processor cannot stall unassigned forever.
+#ifndef VPART_CORE_VP_NODE_H_
+#define VPART_CORE_VP_NODE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/node_base.h"
+#include "core/vp_config.h"
+
+namespace vp::core {
+
+class VpNode : public NodeBase {
+ public:
+  VpNode(ProcessorId id, NodeEnv env, VpConfig config);
+
+  void Start() override;
+
+  // --- ReplicaControl ---
+  void LogicalRead(TxnId txn, ObjectId obj, ReadCallback cb) override;
+  void LogicalWrite(TxnId txn, ObjectId obj, Value value,
+                    WriteCallback cb) override;
+  std::string name() const override { return "virtual-partition"; }
+
+  // --- Introspection (tests, harness) ---
+  bool assigned() const { return assigned_; }
+  VpId cur_id() const { return cur_id_; }
+  VpId max_id() const { return max_id_; }
+  const std::set<ProcessorId>& view() const { return lview_; }
+  const std::set<ObjectId>& locked_objects() const { return locked_; }
+  const VpConfig& config() const { return config_; }
+
+  /// The paper's accessible(l, view) from this node's perspective.
+  bool Accessible(ObjectId obj) const {
+    return assigned_ && env_.placement->Accessible(obj, lview_);
+  }
+
+  /// Forces an immediate partition-creation attempt (tests).
+  void ForceCreateNewVp() { CreateNewVp(); }
+
+ protected:
+  // --- NodeBase hooks ---
+  Status ValidateAccess(const TxnId& txn, VpId v, ObjectId obj,
+                        const std::set<ProcessorId>& footprint,
+                        bool is_recovery, bool is_write) override;
+  bool MaybeDefer(const net::Message& m) override;
+  Status ValidateCommit(const TxnRec& rec) override;
+  bool HandleProtocolMessage(const net::Message& m) override;
+
+ private:
+  // --- Virtual partition management ---
+  void CreateNewVp();
+  void Depart();
+  void StartCreateVp(VpId new_id);
+  void FinishCreateVp(uint64_t generation);
+  void HandleNewVp(const net::Message& m);
+  void HandleVpOk(const net::Message& m);
+  void HandleVpCommit(const net::Message& m);
+  void OnMonitorTimeout();
+  void CommitToVp(VpId v, std::set<ProcessorId> view,
+                  std::map<ProcessorId, VpId> previous);
+
+  // --- Probing ---
+  void ProbeTick();
+  void FinishProbeRound();
+  void HandleProbe(const net::Message& m);
+  void HandleProbeAck(const net::Message& m);
+
+  // --- R5: Update-Copies-in-View ---
+  void StartUpdateCopies(const std::set<ObjectId>& was_dirty);
+  void RecoverObjectFullRead(ObjectId obj);
+  void RecoverObjectLogCatchup(ObjectId obj);
+  void RecoverObjectDatePoll(ObjectId obj);
+  void HandleDateQuery(const net::Message& m);
+  void HandleDateReply(const net::Message& m);
+  /// Dispatches to the per-mode recovery start for `obj`.
+  void StartObjectRecovery(ObjectId obj);
+  void HandleRecoveryReadReply(uint64_t op_id, bool ok, const Value& value,
+                               VpId date, ProcessorId from);
+  void HandleLogReply(const net::Message& m);
+  void FinishRecovery(ObjectId obj, uint64_t join_gen);
+  void RecoveryFailed(ObjectId obj, uint64_t join_gen);
+  void Unlock(ObjectId obj);
+
+  // --- Logical operations ---
+  /// Checks assignment + R1 and pins the transaction's vp (R4). Returns
+  /// non-OK (and dooms the txn) if the operation must abort.
+  Status AdmitLogicalOp(TxnId txn, ObjectId obj, TxnRec** rec_out);
+  ProcessorId Nearest(ObjectId obj) const;
+  void ReprocessDeferred();
+
+  const VpConfig config_;
+
+  // Paper Fig. 3 shared variables.
+  VpId cur_id_;
+  VpId max_id_;
+  bool assigned_ = true;
+  std::set<ProcessorId> lview_;
+  std::set<ObjectId> locked_;
+
+  /// Objects whose initialization started in SOME partition but never
+  /// completed (the partition died mid-recovery). The §6 same-previous
+  /// skip is unsound for these: membership in the shared previous
+  /// partition does not imply the copy was brought up to date there.
+  /// Cleared per object when its recovery completes (Unlock).
+  std::set<ObjectId> dirty_;
+
+  /// previous_v(q) for the current vp's view (§6 optimization 1).
+  std::map<ProcessorId, VpId> previous_;
+
+  /// Bumps on every join/depart; in-flight async work carries the
+  /// generation it started under and dies quietly when superseded.
+  uint64_t join_generation_ = 0;
+
+  // Create-VP (initiator) state.
+  bool create_open_ = false;
+  uint64_t create_generation_ = 0;
+  VpId create_id_;
+  std::set<ProcessorId> accepting_;
+  std::map<ProcessorId, VpId> accept_previous_;
+
+  sim::Timer monitor_timer_;  // Fig. 6's T (3δ).
+
+  // Probe round state.
+  uint64_t probe_seq_ = 0;
+  bool probe_round_open_ = false;
+  int probe_attempt_ = 0;  // Retries used within the current round.
+  std::set<ProcessorId> probe_acks_;
+
+  // Coordinator-side pending logical operations.
+  struct PendingRead {
+    TxnId txn;
+    ObjectId obj;
+    ReadCallback cb;
+    ProcessorId target = kInvalidProcessor;
+    std::vector<ProcessorId> fallbacks;  // For config_.read_retry.
+    sim::EventId timeout_event = sim::kInvalidEvent;
+  };
+  struct PendingWrite {
+    TxnId txn;
+    ObjectId obj;
+    WriteCallback cb;
+    Value value;
+    std::set<ProcessorId> awaiting;
+    sim::EventId timeout_event = sim::kInvalidEvent;
+    bool failed = false;
+  };
+  std::map<uint64_t, PendingRead> pending_reads_;
+  std::map<uint64_t, PendingWrite> pending_writes_;
+
+  // R5 recovery state, per object being initialized.
+  struct PendingRecovery {
+    ObjectId obj = kInvalidObject;
+    uint64_t join_gen = 0;
+    std::set<ProcessorId> awaiting;
+    Value best_value;
+    VpId best_date = kEpochDate;
+    bool have_value = false;
+    // Log-catchup mode: per-source suffixes. Dates do not order writes
+    // WITHIN a partition, so suffixes must be applied in their original
+    // per-copy order; FinishRecovery picks the freshest source.
+    bool log_mode = false;
+    std::map<ProcessorId, std::vector<storage::LogRecord>> records_by_src;
+    // Date-poll mode: phase 1 collects dates only; phase 2 (if needed)
+    // fetches the value from `best_holder`.
+    bool date_mode = false;
+    bool fetching_value = false;
+    ProcessorId best_holder = kInvalidProcessor;
+    sim::EventId timeout_event = sim::kInvalidEvent;
+  };
+  std::map<uint64_t, PendingRecovery> pending_recoveries_;
+  std::map<ObjectId, uint64_t> recovery_by_object_;
+  /// Per-object recovery retry budget within the current join (lock waits
+  /// can make individual recovery reads fail transiently).
+  static constexpr int kMaxRecoveryRetries = 3;
+  std::map<ObjectId, int> recovery_retries_;
+
+  // Messages parked by MaybeDefer, reprocessed on join / unlock /
+  // max-id movement.
+  std::vector<net::Message> deferred_;
+  bool reprocessing_ = false;
+};
+
+}  // namespace vp::core
+
+#endif  // VPART_CORE_VP_NODE_H_

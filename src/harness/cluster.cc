@@ -1,0 +1,159 @@
+#include "harness/cluster.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vp::harness {
+
+std::string ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kVirtualPartition:
+      return "virtual-partition";
+    case Protocol::kQuorum:
+      return "quorum";
+    case Protocol::kMajorityVoting:
+      return "majority-voting";
+    case Protocol::kRowa:
+      return "rowa";
+    case Protocol::kNaiveView:
+      return "naive-view";
+  }
+  return "?";
+}
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)),
+      graph_(config_.n_processors),
+      network_(&scheduler_, &graph_, config_.net, config_.seed ^ 0x9e37),
+      injector_(&scheduler_, &graph_, config_.seed ^ 0x79b9),
+      placement_(config_.has_custom_placement
+                     ? config_.placement
+                     : storage::CopyPlacement::FullReplication(
+                           config_.n_processors, config_.n_objects)) {
+  const uint32_t n = config_.n_processors;
+  stores_.reserve(n);
+  locks_.reserve(n);
+  nodes_.reserve(n);
+  for (ProcessorId p = 0; p < n; ++p) {
+    stores_.push_back(std::make_unique<storage::ReplicaStore>());
+    locks_.push_back(std::make_unique<cc::LockManager>(&scheduler_));
+    for (ObjectId obj : placement_.LocalObjects(p)) {
+      auto it = config_.initial_values.find(obj);
+      const Value& init =
+          it != config_.initial_values.end() ? it->second
+                                             : config_.initial_value;
+      stores_[p]->CreateCopy(obj, init, kEpochDate);
+    }
+  }
+  for (ProcessorId p = 0; p < n; ++p) {
+    core::NodeEnv env;
+    env.scheduler = &scheduler_;
+    env.network = &network_;
+    env.placement = &placement_;
+    env.store = stores_[p].get();
+    env.locks = locks_[p].get();
+    env.recorder = &recorder_;
+    switch (config_.protocol) {
+      case Protocol::kVirtualPartition:
+        nodes_.push_back(std::make_unique<core::VpNode>(p, env, config_.vp));
+        break;
+      case Protocol::kQuorum:
+        nodes_.push_back(
+            std::make_unique<protocols::QuorumNode>(p, env, config_.quorum));
+        break;
+      case Protocol::kMajorityVoting:
+        nodes_.push_back(std::make_unique<protocols::QuorumNode>(
+            p, env, protocols::MajorityVotingConfig()));
+        break;
+      case Protocol::kRowa:
+        nodes_.push_back(std::make_unique<protocols::QuorumNode>(
+            p, env, protocols::RowaConfig()));
+        break;
+      case Protocol::kNaiveView:
+        nodes_.push_back(std::make_unique<protocols::NaiveViewNode>(
+            p, env, config_.naive));
+        break;
+    }
+  }
+  for (auto& node : nodes_) node->Start();
+}
+
+core::VpNode& Cluster::vp_node(ProcessorId p) {
+  VP_CHECK(config_.protocol == Protocol::kVirtualPartition);
+  return static_cast<core::VpNode&>(*nodes_[p]);
+}
+
+protocols::NaiveViewNode& Cluster::naive_node(ProcessorId p) {
+  VP_CHECK(config_.protocol == Protocol::kNaiveView);
+  return static_cast<protocols::NaiveViewNode&>(*nodes_[p]);
+}
+
+history::InitialDb Cluster::initial_db() const {
+  history::InitialDb db;
+  for (ObjectId obj = 0; obj < placement_.object_count(); ++obj) {
+    auto it = config_.initial_values.find(obj);
+    db[obj] = it != config_.initial_values.end() ? it->second
+                                                 : config_.initial_value;
+  }
+  return db;
+}
+
+history::CertifyResult Cluster::Certify() const {
+  return history::CertifyOneCopySR(recorder_.Committed(), initial_db());
+}
+
+history::CertifyResult Cluster::CertifyAnyOrder(size_t max_txns) const {
+  return history::CertifyOneCopySRAnyOrder(recorder_.Committed(), initial_db(),
+                                           max_txns);
+}
+
+history::CertifyResult Cluster::CertifyConflicts() const {
+  return history::CheckConflictSerializable(recorder_.physical_ops(),
+                                            recorder_.Committed());
+}
+
+core::ProtocolStats Cluster::AggregateStats() const {
+  core::ProtocolStats sum;
+  for (const auto& node : nodes_) {
+    const core::ProtocolStats& s = node->stats();
+    sum.txns_begun += s.txns_begun;
+    sum.txns_committed += s.txns_committed;
+    sum.txns_aborted += s.txns_aborted;
+    sum.reads_attempted += s.reads_attempted;
+    sum.reads_ok += s.reads_ok;
+    sum.reads_unavailable += s.reads_unavailable;
+    sum.reads_failed += s.reads_failed;
+    sum.writes_attempted += s.writes_attempted;
+    sum.writes_ok += s.writes_ok;
+    sum.writes_unavailable += s.writes_unavailable;
+    sum.writes_failed += s.writes_failed;
+    sum.phys_reads_sent += s.phys_reads_sent;
+    sum.phys_writes_sent += s.phys_writes_sent;
+    sum.vp_creations_initiated += s.vp_creations_initiated;
+    sum.vp_joins += s.vp_joins;
+    sum.recovery_reads_sent += s.recovery_reads_sent;
+    sum.recovery_skipped_objects += s.recovery_skipped_objects;
+    sum.recovery_log_records += s.recovery_log_records;
+    sum.recovery_date_polls += s.recovery_date_polls;
+    sum.recovery_value_fetches += s.recovery_value_fetches;
+  }
+  return sum;
+}
+
+bool Cluster::VpConverged() const {
+  if (config_.protocol != Protocol::kVirtualPartition) return false;
+  for (ProcessorId a = 0; a < config_.n_processors; ++a) {
+    if (!graph_.Alive(a)) continue;
+    const auto& na = static_cast<const core::VpNode&>(*nodes_[a]);
+    if (!na.assigned()) return false;
+    for (ProcessorId b = a + 1; b < config_.n_processors; ++b) {
+      if (!graph_.Alive(b) || !graph_.CanCommunicate(a, b)) continue;
+      const auto& nb = static_cast<const core::VpNode&>(*nodes_[b]);
+      if (!nb.assigned() || !(na.cur_id() == nb.cur_id())) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vp::harness

@@ -1,0 +1,101 @@
+#include "history/trace.h"
+
+#include <map>
+#include <sstream>
+
+namespace vp::history {
+
+namespace {
+
+std::string FmtMs(sim::SimTime t) {
+  std::ostringstream os;
+  os << (t / 1000) << "." << (t % 1000) / 100 << "ms";
+  return os.str();
+}
+
+std::string FmtSet(const std::set<ProcessorId>& s) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (ProcessorId p : s) {
+    if (!first) os << ",";
+    os << p;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+bool Touches(const TxnHistory& t, ObjectId obj) {
+  if (obj == kInvalidObject) return true;
+  for (const LogicalOp& op : t.ops) {
+    if (op.obj == obj) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string FormatTransactions(const Recorder& recorder,
+                               const TraceOptions& options) {
+  std::ostringstream os;
+  for (const TxnHistory& t : recorder.Decided()) {
+    if (!t.committed && !options.include_aborted) continue;
+    if (!Touches(t, options.only_object)) continue;
+    os << t.id.ToString();
+    if (t.has_vp) os << " [vp " << t.vp.ToString() << "]";
+    os << (t.committed ? " commit" : " abort");
+    if (options.timestamps) os << "@" << FmtMs(t.decided_at);
+    os << ":";
+    for (const LogicalOp& op : t.ops) {
+      if (options.only_object != kInvalidObject &&
+          op.obj != options.only_object) {
+        continue;
+      }
+      os << " " << (op.kind == LogicalOp::Kind::kRead ? "R" : "W") << "(o"
+         << op.obj << ")='" << op.value << "'";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string FormatViewEvents(const Recorder& recorder) {
+  std::ostringstream os;
+  for (const Recorder::ViewEvent& e : recorder.view_events()) {
+    os << "@" << FmtMs(e.at) << " p" << e.p;
+    if (e.is_join) {
+      os << " join " << e.vp.ToString() << " view=" << FmtSet(e.view);
+    } else {
+      os << " depart";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string ExplainCertifyFailure(const Recorder& recorder,
+                                  const CertifyResult& result,
+                                  const InitialDb& initial) {
+  std::ostringstream os;
+  if (result.ok) return "certification passed; nothing to explain\n";
+  os << "certification failed: " << result.detail << "\n";
+
+  // Extract "obj N" from the detail to focus the context dump.
+  ObjectId obj = kInvalidObject;
+  const std::string& d = result.detail;
+  if (auto pos = d.find("obj "); pos != std::string::npos) {
+    obj = static_cast<ObjectId>(std::strtoul(d.c_str() + pos + 4, nullptr, 10));
+  }
+  if (obj != kInvalidObject) {
+    auto init = initial.find(obj);
+    os << "history of object " << obj << " (initial '"
+       << (init != initial.end() ? init->second : Value()) << "'):\n";
+    TraceOptions options;
+    options.only_object = obj;
+    os << FormatTransactions(recorder, options);
+  }
+  return os.str();
+}
+
+}  // namespace vp::history

@@ -1,0 +1,44 @@
+// Human-readable rendering of recorded executions: a chronological event
+// trace and a per-transaction summary. Intended for debugging failed
+// certifications ("show me what actually happened") and for documentation
+// examples; the format is stable enough to assert on in tests.
+#ifndef VPART_HISTORY_TRACE_H_
+#define VPART_HISTORY_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "history/checker.h"
+#include "history/recorder.h"
+
+namespace vp::history {
+
+struct TraceOptions {
+  /// Include per-op timestamps (ms).
+  bool timestamps = true;
+  /// Include aborted transactions.
+  bool include_aborted = false;
+  /// Restrict to transactions touching this object (kInvalidObject = all).
+  ObjectId only_object = kInvalidObject;
+};
+
+/// One line per committed (optionally aborted) transaction, in decision
+/// order:
+///   t1.3 [vp (4,2)] commit@1234ms: R(o2)='x' W(o0)='y'
+std::string FormatTransactions(const Recorder& recorder,
+                               const TraceOptions& options = {});
+
+/// One line per view event, in record order:
+///   @88ms p3 join (5,1) view={1,2,3}
+std::string FormatViewEvents(const Recorder& recorder);
+
+/// Renders a certification failure with the surrounding context: the
+/// violating transaction, the conflicting writers of the object involved,
+/// and the serial prefix replayed so far.
+std::string ExplainCertifyFailure(const Recorder& recorder,
+                                  const CertifyResult& result,
+                                  const InitialDb& initial);
+
+}  // namespace vp::history
+
+#endif  // VPART_HISTORY_TRACE_H_

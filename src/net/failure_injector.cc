@@ -1,0 +1,178 @@
+#include "net/failure_injector.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vp::net {
+
+FailureInjector::FailureInjector(sim::Scheduler* scheduler, CommGraph* graph,
+                                 uint64_t seed)
+    : scheduler_(scheduler), graph_(graph), rng_(seed) {}
+
+void FailureInjector::Schedule(FaultAction action) {
+  VP_CHECK(action.at >= scheduler_->Now());
+  scheduler_->ScheduleAt(action.at,
+                         [this, a = std::move(action)]() { Apply(a); });
+}
+
+void FailureInjector::CrashAt(sim::SimTime t, ProcessorId p) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kCrashProcessor;
+  a.a = p;
+  Schedule(std::move(a));
+}
+
+void FailureInjector::RecoverAt(sim::SimTime t, ProcessorId p) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kRecoverProcessor;
+  a.a = p;
+  Schedule(std::move(a));
+}
+
+void FailureInjector::LinkDownAt(sim::SimTime t, ProcessorId x,
+                                 ProcessorId y) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kLinkDown;
+  a.a = x;
+  a.b = y;
+  Schedule(std::move(a));
+}
+
+void FailureInjector::LinkUpAt(sim::SimTime t, ProcessorId x, ProcessorId y) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kLinkUp;
+  a.a = x;
+  a.b = y;
+  Schedule(std::move(a));
+}
+
+void FailureInjector::PartitionAt(
+    sim::SimTime t, std::vector<std::vector<ProcessorId>> groups) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kPartition;
+  a.groups = std::move(groups);
+  Schedule(std::move(a));
+}
+
+void FailureInjector::HealAt(sim::SimTime t) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kHeal;
+  Schedule(std::move(a));
+}
+
+void FailureInjector::At(sim::SimTime t, std::function<void()> fn) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kCustom;
+  a.custom = std::move(fn);
+  Schedule(std::move(a));
+}
+
+void FailureInjector::Apply(const FaultAction& action) {
+  using Kind = FaultAction::Kind;
+  switch (action.kind) {
+    case Kind::kCrashProcessor:
+      graph_->SetAlive(action.a, false);
+      break;
+    case Kind::kRecoverProcessor:
+      graph_->SetAlive(action.a, true);
+      break;
+    case Kind::kLinkDown:
+      graph_->SetEdge(action.a, action.b, false);
+      break;
+    case Kind::kLinkUp:
+      graph_->SetEdge(action.a, action.b, true);
+      break;
+    case Kind::kPartition:
+      graph_->Partition(action.groups);
+      break;
+    case Kind::kHeal:
+      graph_->Heal();
+      break;
+    case Kind::kCustom:
+      if (action.custom) action.custom();
+      break;
+  }
+  ++actions_applied_;
+  VP_LOG(kDebug, scheduler_->Now())
+      << "fault action applied (kind=" << static_cast<int>(action.kind) << ")";
+  if (on_change_) on_change_();
+}
+
+bool FailureInjector::RandomFaultsActive() const {
+  return random_enabled_ &&
+         (random_.stop_after == 0 || scheduler_->Now() < random_.stop_after);
+}
+
+void FailureInjector::EnableRandomFaults(const RandomFaultConfig& config) {
+  random_ = config;
+  random_enabled_ = true;
+  if (random_.processor_mtbf > 0) ScheduleNextProcessorFault();
+  if (random_.link_mtbf > 0) ScheduleNextLinkFault();
+}
+
+void FailureInjector::ScheduleNextProcessorFault() {
+  const auto gap = static_cast<sim::Duration>(
+      rng_.Exponential(static_cast<double>(random_.processor_mtbf)));
+  scheduler_->ScheduleAfter(std::max<sim::Duration>(gap, 1), [this]() {
+    if (!RandomFaultsActive()) return;
+    const ProcessorId victim =
+        static_cast<ProcessorId>(rng_.Uniform(graph_->size()));
+    if (graph_->Alive(victim)) {
+      FaultAction crash;
+      crash.kind = FaultAction::Kind::kCrashProcessor;
+      crash.a = victim;
+      Apply(crash);
+      const auto repair = static_cast<sim::Duration>(
+          rng_.Exponential(static_cast<double>(random_.processor_mttr)));
+      scheduler_->ScheduleAfter(std::max<sim::Duration>(repair, 1),
+                                [this, victim]() {
+                                  FaultAction up;
+                                  up.kind = FaultAction::Kind::kRecoverProcessor;
+                                  up.a = victim;
+                                  Apply(up);
+                                });
+    }
+    ScheduleNextProcessorFault();
+  });
+}
+
+void FailureInjector::ScheduleNextLinkFault() {
+  const auto gap = static_cast<sim::Duration>(
+      rng_.Exponential(static_cast<double>(random_.link_mtbf)));
+  scheduler_->ScheduleAfter(std::max<sim::Duration>(gap, 1), [this]() {
+    if (!RandomFaultsActive()) return;
+    const uint32_t n = graph_->size();
+    if (n >= 2) {
+      ProcessorId a = static_cast<ProcessorId>(rng_.Uniform(n));
+      ProcessorId b = static_cast<ProcessorId>(rng_.Uniform(n));
+      if (a != b && graph_->EdgeUp(a, b)) {
+        FaultAction down;
+        down.kind = FaultAction::Kind::kLinkDown;
+        down.a = a;
+        down.b = b;
+        Apply(down);
+        const auto repair = static_cast<sim::Duration>(
+            rng_.Exponential(static_cast<double>(random_.link_mttr)));
+        scheduler_->ScheduleAfter(std::max<sim::Duration>(repair, 1),
+                                  [this, a, b]() {
+                                    FaultAction up;
+                                    up.kind = FaultAction::Kind::kLinkUp;
+                                    up.a = a;
+                                    up.b = b;
+                                    Apply(up);
+                                  });
+      }
+    }
+    ScheduleNextLinkFault();
+  });
+}
+
+}  // namespace vp::net

@@ -1,0 +1,100 @@
+// Scripted and stochastic fault injection over a CommGraph.
+//
+// Scenarios are declared as a schedule of actions ("at t=400ms partition
+// {A,B} | {C,D}; at t=2s heal") and/or as random crash/recovery and link
+// flap processes with exponential inter-arrival times.
+#ifndef VPART_NET_FAILURE_INJECTOR_H_
+#define VPART_NET_FAILURE_INJECTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/topology.h"
+#include "sim/scheduler.h"
+
+namespace vp::net {
+
+/// One scripted fault/recovery action.
+struct FaultAction {
+  enum class Kind {
+    kCrashProcessor,
+    kRecoverProcessor,
+    kLinkDown,
+    kLinkUp,
+    kPartition,  // `groups` defines the new components.
+    kHeal,
+    kCustom,     // Runs `custom`.
+  };
+
+  sim::SimTime at = 0;
+  Kind kind = Kind::kHeal;
+  ProcessorId a = kInvalidProcessor;
+  ProcessorId b = kInvalidProcessor;
+  std::vector<std::vector<ProcessorId>> groups;
+  std::function<void()> custom;
+};
+
+/// Parameters for the stochastic fault process (0 disables a process).
+struct RandomFaultConfig {
+  /// Mean time between processor crashes (exponential), 0 = never.
+  sim::Duration processor_mtbf = 0;
+  /// Mean time to repair a crashed processor.
+  sim::Duration processor_mttr = sim::Seconds(1);
+  /// Mean time between individual link failures, 0 = never.
+  sim::Duration link_mtbf = 0;
+  /// Mean time to repair a failed link.
+  sim::Duration link_mttr = sim::Seconds(1);
+  /// Stop injecting random faults after this time (0 = no limit).
+  sim::SimTime stop_after = 0;
+};
+
+/// Applies scripted actions and drives the random fault processes.
+class FailureInjector {
+ public:
+  FailureInjector(sim::Scheduler* scheduler, CommGraph* graph, uint64_t seed);
+
+  /// Registers one scripted action. Call before Start (actions in the past
+  /// are rejected).
+  void Schedule(FaultAction action);
+
+  /// Convenience wrappers for common scripts.
+  void CrashAt(sim::SimTime t, ProcessorId p);
+  void RecoverAt(sim::SimTime t, ProcessorId p);
+  void LinkDownAt(sim::SimTime t, ProcessorId a, ProcessorId b);
+  void LinkUpAt(sim::SimTime t, ProcessorId a, ProcessorId b);
+  void PartitionAt(sim::SimTime t,
+                   std::vector<std::vector<ProcessorId>> groups);
+  void HealAt(sim::SimTime t);
+  void At(sim::SimTime t, std::function<void()> fn);
+
+  /// Enables the stochastic fault processes.
+  void EnableRandomFaults(const RandomFaultConfig& config);
+
+  /// Invoked after every applied action; protocols use this to model
+  /// immediate local crash detection if desired (the VP protocol does not
+  /// need it — probing suffices).
+  void SetOnChange(std::function<void()> cb) { on_change_ = std::move(cb); }
+
+  uint64_t actions_applied() const { return actions_applied_; }
+
+ private:
+  void Apply(const FaultAction& action);
+  void ScheduleNextProcessorFault();
+  void ScheduleNextLinkFault();
+  bool RandomFaultsActive() const;
+
+  sim::Scheduler* scheduler_;
+  CommGraph* graph_;
+  Rng rng_;
+  RandomFaultConfig random_;
+  bool random_enabled_ = false;
+  std::function<void()> on_change_;
+  uint64_t actions_applied_ = 0;
+};
+
+}  // namespace vp::net
+
+#endif  // VPART_NET_FAILURE_INJECTOR_H_

@@ -1,0 +1,95 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vp::net {
+
+Network::Network(sim::Scheduler* scheduler, CommGraph* graph,
+                 NetworkConfig config, uint64_t seed)
+    : scheduler_(scheduler),
+      graph_(graph),
+      config_(config),
+      rng_(seed),
+      nodes_(graph->size(), nullptr) {}
+
+void Network::Register(ProcessorId p, NodeInterface* node) {
+  VP_CHECK(p < nodes_.size());
+  nodes_[p] = node;
+}
+
+void Network::Send(ProcessorId src, ProcessorId dst, std::string type,
+                   std::any body) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.type = std::move(type);
+  m.body = std::move(body);
+  Send(std::move(m));
+}
+
+sim::Duration Network::Delta() const {
+  double max_cost = 1.0;
+  for (ProcessorId a = 0; a < graph_->size(); ++a)
+    for (ProcessorId b = a + 1; b < graph_->size(); ++b)
+      max_cost = std::max(max_cost, graph_->Cost(a, b));
+  return static_cast<sim::Duration>(
+      std::ceil(static_cast<double>(config_.max_delay) * max_cost));
+}
+
+sim::Duration Network::SampleDelay(ProcessorId src, ProcessorId dst,
+                                   bool* slow) {
+  *slow = false;
+  if (src == dst) return config_.local_delay;
+  if (config_.slow_prob > 0 && rng_.Bernoulli(config_.slow_prob)) {
+    *slow = true;
+    return rng_.UniformInt(config_.slow_min_delay, config_.slow_max_delay);
+  }
+  const double cost = graph_->Cost(src, dst);
+  const auto base =
+      rng_.UniformInt(config_.min_delay, config_.max_delay);
+  return static_cast<sim::Duration>(
+      std::ceil(static_cast<double>(base) * std::max(cost, 0.01)));
+}
+
+void Network::Send(Message msg) {
+  VP_CHECK(msg.src < nodes_.size() && msg.dst < nodes_.size());
+  msg.sent_at = scheduler_->Now();
+  ++stats_.sent;
+  if (msg.src != msg.dst) ++stats_.sent_remote;
+  ++stats_.sent_by_type[msg.type];
+
+  // Route check at send time: the can-communicate relation of the moment.
+  if (!graph_->CanCommunicate(msg.src, msg.dst)) {
+    ++stats_.dropped_no_route;
+    return;
+  }
+  if (msg.src != msg.dst && config_.drop_prob > 0 &&
+      rng_.Bernoulli(config_.drop_prob)) {
+    ++stats_.dropped_fault;
+    return;
+  }
+  bool slow = false;
+  const sim::Duration delay = SampleDelay(msg.src, msg.dst, &slow);
+  if (slow) ++stats_.slow;
+
+  scheduler_->ScheduleAfter(delay, [this, m = std::move(msg)]() {
+    // Deliveries to processors that crashed in flight are lost; a link that
+    // went down in flight also loses the message (omission semantics).
+    if (!graph_->Alive(m.dst) ||
+        (m.src != m.dst && !graph_->EdgeUp(m.src, m.dst))) {
+      ++stats_.dropped_dead_receiver;
+      return;
+    }
+    NodeInterface* node = nodes_[m.dst];
+    VP_CHECK_MSG(node != nullptr, "message to unregistered processor");
+    ++stats_.delivered;
+    ++stats_.delivered_by_type[m.type];
+    node->HandleMessage(m);
+  });
+}
+
+}  // namespace vp::net

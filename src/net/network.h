@@ -1,0 +1,116 @@
+// The message-passing service over a CommGraph: samples delays and faults,
+// schedules deliveries on the simulation kernel, dispatches to nodes, and
+// keeps per-type traffic statistics.
+//
+// Failure model (paper §2):
+//  * omission failures  — a message is dropped with `drop_prob`, or because
+//    an endpoint is crashed or the edge is down at delivery-decision time;
+//  * performance failures — with `slow_prob` a message's delay is drawn
+//    from [slow_min_delay, slow_max_delay], typically beyond the protocol's
+//    assumed bound δ.
+#ifndef VPART_NET_NETWORK_H_
+#define VPART_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/message.h"
+#include "net/topology.h"
+#include "sim/scheduler.h"
+
+namespace vp::net {
+
+/// A protocol endpoint. Each processor registers exactly one handler.
+class NodeInterface {
+ public:
+  virtual ~NodeInterface() = default;
+  /// Invoked at delivery time (receiver alive, edge was up at send time).
+  virtual void HandleMessage(const Message& msg) = 0;
+};
+
+/// Tunable delay/fault parameters.
+struct NetworkConfig {
+  /// Normal per-hop delay range, scaled by the edge cost:
+  /// delay ~ U[min_delay, max_delay] * cost(src, dst). Local messages
+  /// (src == dst) are delivered after `local_delay`.
+  sim::Duration min_delay = sim::Millis(1);
+  sim::Duration max_delay = sim::Millis(5);
+  sim::Duration local_delay = sim::Micros(10);
+
+  /// Probability a message is silently lost (omission failure).
+  double drop_prob = 0.0;
+
+  /// Probability a message is delayed into the slow range (performance
+  /// failure); drawn after the drop decision.
+  double slow_prob = 0.0;
+  sim::Duration slow_min_delay = sim::Millis(50);
+  sim::Duration slow_max_delay = sim::Millis(200);
+};
+
+/// Per-message-type traffic counters.
+struct NetworkStats {
+  uint64_t sent = 0;
+  /// Sends with src != dst (actual network traffic; cost metrics use this).
+  uint64_t sent_remote = 0;
+  uint64_t delivered = 0;
+  uint64_t dropped_fault = 0;       // Random omission.
+  uint64_t dropped_no_route = 0;    // Edge down / endpoint crashed at send.
+  uint64_t dropped_dead_receiver = 0;  // Receiver crashed before delivery.
+  uint64_t slow = 0;                // Performance-failure deliveries.
+  std::map<std::string, uint64_t> sent_by_type;
+  std::map<std::string, uint64_t> delivered_by_type;
+
+  void Reset() { *this = NetworkStats(); }
+};
+
+/// The simulated network.
+class Network {
+ public:
+  Network(sim::Scheduler* scheduler, CommGraph* graph, NetworkConfig config,
+          uint64_t seed);
+
+  /// Registers the handler for processor `p`. Must be called once per
+  /// processor before any message can be delivered to it.
+  void Register(ProcessorId p, NodeInterface* node);
+
+  /// Sends a message. The send itself never fails; faults surface as
+  /// non-delivery. Messages from/to crashed processors are dropped.
+  void Send(Message msg);
+
+  /// Convenience: builds and sends a message.
+  void Send(ProcessorId src, ProcessorId dst, std::string type,
+            std::any body);
+
+  const NetworkStats& stats() const { return stats_; }
+  NetworkStats* mutable_stats() { return &stats_; }
+
+  CommGraph* graph() { return graph_; }
+  const CommGraph* graph() const { return graph_; }
+  sim::Scheduler* scheduler() { return scheduler_; }
+  NetworkConfig* mutable_config() { return &config_; }
+  const NetworkConfig& config() const { return config_; }
+
+  /// An upper bound δ on one-hop message delay under fault-free operation,
+  /// for the worst-cost edge in the graph. Protocol timeouts (2δ, 3δ) are
+  /// derived from this.
+  sim::Duration Delta() const;
+
+ private:
+  sim::Duration SampleDelay(ProcessorId src, ProcessorId dst, bool* slow);
+
+  sim::Scheduler* scheduler_;
+  CommGraph* graph_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<NodeInterface*> nodes_;
+  NetworkStats stats_;
+};
+
+}  // namespace vp::net
+
+#endif  // VPART_NET_NETWORK_H_

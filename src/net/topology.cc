@@ -1,0 +1,102 @@
+#include "net/topology.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace vp::net {
+
+CommGraph::CommGraph(uint32_t n)
+    : n_(n),
+      edge_up_(static_cast<size_t>(n) * n, 1),
+      cost_(static_cast<size_t>(n) * n, 1.0),
+      alive_(n, 1) {
+  VP_CHECK(n > 0);
+  for (ProcessorId p = 0; p < n_; ++p) cost_[Index(p, p)] = 0.0;
+}
+
+bool CommGraph::CanCommunicate(ProcessorId a, ProcessorId b) const {
+  VP_CHECK(a < n_ && b < n_);
+  if (!alive_[a] || !alive_[b]) return false;
+  if (a == b) return true;
+  return edge_up_[Index(a, b)] != 0;
+}
+
+bool CommGraph::EdgeUp(ProcessorId a, ProcessorId b) const {
+  VP_CHECK(a < n_ && b < n_);
+  if (a == b) return true;
+  return edge_up_[Index(a, b)] != 0;
+}
+
+void CommGraph::SetEdge(ProcessorId a, ProcessorId b, bool up) {
+  VP_CHECK(a < n_ && b < n_);
+  if (a == b) return;
+  edge_up_[Index(a, b)] = up ? 1 : 0;
+  edge_up_[Index(b, a)] = up ? 1 : 0;
+}
+
+double CommGraph::Cost(ProcessorId a, ProcessorId b) const {
+  VP_CHECK(a < n_ && b < n_);
+  return cost_[Index(a, b)];
+}
+
+void CommGraph::SetCost(ProcessorId a, ProcessorId b, double cost) {
+  VP_CHECK(a < n_ && b < n_);
+  if (a == b) return;
+  cost_[Index(a, b)] = cost;
+  cost_[Index(b, a)] = cost;
+}
+
+void CommGraph::Partition(const std::vector<std::vector<ProcessorId>>& groups) {
+  std::vector<int> group_of(n_, -1);
+  int g = 0;
+  for (const auto& group : groups) {
+    for (ProcessorId p : group) {
+      VP_CHECK(p < n_);
+      group_of[p] = g;
+    }
+    ++g;
+  }
+  for (ProcessorId a = 0; a < n_; ++a) {
+    for (ProcessorId b = a + 1; b < n_; ++b) {
+      const bool same = group_of[a] >= 0 && group_of[a] == group_of[b];
+      SetEdge(a, b, same);
+    }
+  }
+}
+
+void CommGraph::Heal() {
+  for (ProcessorId a = 0; a < n_; ++a)
+    for (ProcessorId b = a + 1; b < n_; ++b) SetEdge(a, b, true);
+}
+
+std::vector<ProcessorId> CommGraph::ClusterOf(ProcessorId p) const {
+  VP_CHECK(p < n_);
+  std::vector<ProcessorId> out;
+  if (!alive_[p]) return out;
+  std::vector<uint8_t> seen(n_, 0);
+  std::deque<ProcessorId> frontier{p};
+  seen[p] = 1;
+  while (!frontier.empty()) {
+    const ProcessorId cur = frontier.front();
+    frontier.pop_front();
+    out.push_back(cur);
+    for (ProcessorId q = 0; q < n_; ++q) {
+      if (!seen[q] && CanCommunicate(cur, q)) {
+        seen[q] = 1;
+        frontier.push_back(q);
+      }
+    }
+  }
+  return out;
+}
+
+bool CommGraph::ClusterIsClique(ProcessorId p) const {
+  const auto cluster = ClusterOf(p);
+  for (size_t i = 0; i < cluster.size(); ++i)
+    for (size_t j = i + 1; j < cluster.size(); ++j)
+      if (!CanCommunicate(cluster[i], cluster[j])) return false;
+  return true;
+}
+
+}  // namespace vp::net

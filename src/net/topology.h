@@ -1,0 +1,72 @@
+// The communication graph: the instantaneous can-communicate relation of
+// the paper (§3). Nodes are processors; an undirected edge (a, b) means
+// messages between a and b arrive within the delay bound. The relation is
+// NOT assumed transitive: arbitrary graphs, including the triangle-minus-
+// one-edge of Example 1, are expressible.
+#ifndef VPART_NET_TOPOLOGY_H_
+#define VPART_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vp::net {
+
+/// Mutable communication graph over n processors.
+///
+/// Besides per-edge state the graph tracks per-processor liveness: a
+/// crashed processor neither sends nor receives, independent of edge state
+/// (so recovery restores its previous edges).
+class CommGraph {
+ public:
+  explicit CommGraph(uint32_t n);
+
+  uint32_t size() const { return n_; }
+
+  /// True iff both endpoints are alive and the edge is up. Reflexive:
+  /// an alive processor can always communicate with itself.
+  bool CanCommunicate(ProcessorId a, ProcessorId b) const;
+
+  /// Raw edge state, ignoring liveness.
+  bool EdgeUp(ProcessorId a, ProcessorId b) const;
+
+  void SetEdge(ProcessorId a, ProcessorId b, bool up);
+
+  /// Routing cost of the edge; Logical-Read's `nearest()` minimizes this.
+  /// Self-cost is always 0.
+  double Cost(ProcessorId a, ProcessorId b) const;
+  void SetCost(ProcessorId a, ProcessorId b, double cost);
+
+  bool Alive(ProcessorId p) const { return alive_[p]; }
+  void SetAlive(ProcessorId p, bool alive) { alive_[p] = alive; }
+
+  /// Partitions the system: edges inside each group come up, edges between
+  /// different groups go down. Processors absent from every group are
+  /// isolated (all their edges go down).
+  void Partition(const std::vector<std::vector<ProcessorId>>& groups);
+
+  /// Restores full connectivity (all edges up). Liveness is unchanged.
+  void Heal();
+
+  /// Connected component of `p` under CanCommunicate (BFS). Crashed
+  /// processors form empty components.
+  std::vector<ProcessorId> ClusterOf(ProcessorId p) const;
+
+  /// True if the component containing `p` is a clique.
+  bool ClusterIsClique(ProcessorId p) const;
+
+ private:
+  size_t Index(ProcessorId a, ProcessorId b) const {
+    return static_cast<size_t>(a) * n_ + b;
+  }
+
+  uint32_t n_;
+  std::vector<uint8_t> edge_up_;   // n*n, symmetric.
+  std::vector<double> cost_;       // n*n, symmetric.
+  std::vector<uint8_t> alive_;     // n.
+};
+
+}  // namespace vp::net
+
+#endif  // VPART_NET_TOPOLOGY_H_

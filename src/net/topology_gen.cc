@@ -1,0 +1,55 @@
+#include "net/topology_gen.h"
+
+#include <cmath>
+
+namespace vp::net {
+
+void MakeWanCosts(CommGraph* graph, uint32_t sites, double lan_cost,
+                  double wan_cost) {
+  const uint32_t n = graph->size();
+  for (ProcessorId a = 0; a < n; ++a) {
+    for (ProcessorId b = a + 1; b < n; ++b) {
+      const bool same_site = WanSiteOf(a, sites) == WanSiteOf(b, sites);
+      graph->SetCost(a, b, same_site ? lan_cost : wan_cost);
+    }
+  }
+}
+
+void MakeRing(CommGraph* graph) {
+  const uint32_t n = graph->size();
+  for (ProcessorId a = 0; a < n; ++a) {
+    for (ProcessorId b = a + 1; b < n; ++b) {
+      const bool adjacent = (b == a + 1) || (a == 0 && b == n - 1);
+      graph->SetEdge(a, b, adjacent);
+    }
+  }
+}
+
+void MakeStar(CommGraph* graph, ProcessorId hub) {
+  const uint32_t n = graph->size();
+  for (ProcessorId a = 0; a < n; ++a) {
+    for (ProcessorId b = a + 1; b < n; ++b) {
+      graph->SetEdge(a, b, a == hub || b == hub);
+    }
+  }
+}
+
+void MakeRandom(CommGraph* graph, double p_edge, Rng* rng) {
+  const uint32_t n = graph->size();
+  for (ProcessorId a = 0; a < n; ++a) {
+    for (ProcessorId b = a + 1; b < n; ++b) {
+      graph->SetEdge(a, b, rng->Bernoulli(p_edge));
+    }
+  }
+}
+
+void MakeLineCosts(CommGraph* graph) {
+  const uint32_t n = graph->size();
+  for (ProcessorId a = 0; a < n; ++a) {
+    for (ProcessorId b = a + 1; b < n; ++b) {
+      graph->SetCost(a, b, static_cast<double>(b - a));
+    }
+  }
+}
+
+}  // namespace vp::net

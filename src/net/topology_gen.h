@@ -1,0 +1,42 @@
+// Topology and cost-model generators for realistic experiments:
+// wide-area cluster layouts (cheap LAN edges inside a site, expensive WAN
+// edges between sites), rings, stars, and random G(n, p) connectivity.
+// These shape both the routing-cost matrix (which drives `nearest()` and
+// delay scaling) and, for the random generator, the initial edge set.
+#ifndef VPART_NET_TOPOLOGY_GEN_H_
+#define VPART_NET_TOPOLOGY_GEN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace vp::net {
+
+/// Assigns costs for a WAN of `sites` groups: edges within a site cost
+/// `lan_cost`, edges between sites cost `wan_cost`. Processor p belongs to
+/// site p % sites. Edge states are untouched (all up by default).
+void MakeWanCosts(CommGraph* graph, uint32_t sites, double lan_cost = 1.0,
+                  double wan_cost = 20.0);
+
+/// The site of processor `p` under MakeWanCosts's assignment.
+inline uint32_t WanSiteOf(ProcessorId p, uint32_t sites) { return p % sites; }
+
+/// Ring: only consecutive processors (mod n) are connected.
+void MakeRing(CommGraph* graph);
+
+/// Star: processor `hub` is connected to everyone; spokes are not
+/// connected to each other (a deliberately non-transitive graph).
+void MakeStar(CommGraph* graph, ProcessorId hub);
+
+/// Random graph: each edge is up independently with probability `p_edge`.
+void MakeRandom(CommGraph* graph, double p_edge, Rng* rng);
+
+/// Linear costs: cost(a, b) = |a - b| (models a chain of sites); useful
+/// for checking that `nearest()` really picks the closest copy.
+void MakeLineCosts(CommGraph* graph);
+
+}  // namespace vp::net
+
+#endif  // VPART_NET_TOPOLOGY_GEN_H_

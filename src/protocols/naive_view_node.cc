@@ -1,0 +1,178 @@
+#include "protocols/naive_view_node.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vp::protocols {
+
+using core::msg::PhysRead;
+using core::msg::PhysReadReply;
+using core::msg::PhysWrite;
+using core::msg::PhysWriteReply;
+
+NaiveViewNode::NaiveViewNode(ProcessorId id, core::NodeEnv env,
+                             NaiveConfig config)
+    : NodeBase(id, env, config.lock_timeout, config.outcome_retry_period),
+      config_(config) {}
+
+std::set<ProcessorId> NaiveViewNode::CurrentView() const {
+  if (view_override_.has_value()) return *view_override_;
+  std::set<ProcessorId> view{id_};
+  const net::CommGraph* g = env_.network->graph();
+  for (ProcessorId q = 0; q < g->size(); ++q) {
+    if (q != id_ && g->CanCommunicate(id_, q)) view.insert(q);
+  }
+  return view;
+}
+
+void NaiveViewNode::LogicalRead(TxnId txn, ObjectId obj,
+                                core::ReadCallback cb) {
+  ++stats_.reads_attempted;
+  TxnRec* rec = FindTxn(txn);
+  if (rec == nullptr || rec->st != cc::TxnOutcome::kActive || rec->doomed) {
+    ++stats_.reads_failed;
+    cb(Status::Aborted("transaction not active"));
+    return;
+  }
+  const std::set<ProcessorId> view = CurrentView();
+  if (!env_.placement->Accessible(obj, view)) {
+    ++stats_.reads_unavailable;
+    rec->doomed = true;
+    InternalAbort(txn);
+    cb(Status::Unavailable("no majority in view"));
+    return;
+  }
+  // Nearest copy in the view.
+  ProcessorId target = kInvalidProcessor;
+  double best = 0;
+  for (ProcessorId q : env_.placement->CopyHolders(obj)) {
+    if (view.count(q) == 0) continue;
+    const double cost = q == id_ ? 0.0 : env_.network->graph()->Cost(id_, q);
+    if (target == kInvalidProcessor || cost < best) {
+      target = q;
+      best = cost;
+    }
+  }
+  VP_CHECK(target != kInvalidProcessor);
+
+  const uint64_t op_id = next_op_id_++;
+  PendingRead pr;
+  pr.txn = txn;
+  pr.obj = obj;
+  pr.cb = std::move(cb);
+  pr.timeout_event = env_.scheduler->ScheduleAfter(
+      config_.op_timeout + config_.lock_timeout, [this, op_id]() {
+        auto it = pending_reads_.find(op_id);
+        if (it == pending_reads_.end()) return;
+        PendingRead done = std::move(it->second);
+        pending_reads_.erase(it);
+        ++stats_.reads_failed;
+        InternalAbort(done.txn);
+        done.cb(Status::Timeout("copy holder unresponsive"));
+      });
+  rec->participants.insert(target);
+  ++stats_.phys_reads_sent;
+  Send(target, core::msg::kPhysRead,
+       PhysRead{txn, obj, kEpochDate, /*recovery=*/false,
+                /*for_update=*/false, op_id, {}});
+  pending_reads_[op_id] = std::move(pr);
+}
+
+void NaiveViewNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
+                                 core::WriteCallback cb) {
+  ++stats_.writes_attempted;
+  TxnRec* rec = FindTxn(txn);
+  if (rec == nullptr || rec->st != cc::TxnOutcome::kActive || rec->doomed) {
+    ++stats_.writes_failed;
+    cb(Status::Aborted("transaction not active"));
+    return;
+  }
+  const std::set<ProcessorId> view = CurrentView();
+  if (!env_.placement->Accessible(obj, view)) {
+    ++stats_.writes_unavailable;
+    rec->doomed = true;
+    InternalAbort(txn);
+    cb(Status::Unavailable("no majority in view"));
+    return;
+  }
+
+  const uint64_t op_id = next_op_id_++;
+  PendingWrite pw;
+  pw.txn = txn;
+  pw.obj = obj;
+  pw.value = value;
+  pw.cb = std::move(cb);
+  for (ProcessorId q : env_.placement->CopyHolders(obj)) {
+    if (view.count(q) > 0) pw.awaiting.insert(q);
+  }
+  pw.timeout_event = env_.scheduler->ScheduleAfter(
+      config_.op_timeout + config_.lock_timeout, [this, op_id]() {
+        auto it = pending_writes_.find(op_id);
+        if (it == pending_writes_.end()) return;
+        PendingWrite done = std::move(it->second);
+        pending_writes_.erase(it);
+        ++stats_.writes_failed;
+        InternalAbort(done.txn);
+        done.cb(Status::Timeout("write-all-in-view incomplete"));
+      });
+  const VpId date{++write_counter_, id_};
+  const std::set<ProcessorId> targets = pw.awaiting;
+  pending_writes_[op_id] = std::move(pw);
+  for (ProcessorId q : targets) {
+    rec->participants.insert(q);
+    ++stats_.phys_writes_sent;
+    Send(q, core::msg::kPhysWrite, PhysWrite{txn, obj, value, date, op_id, {}});
+  }
+}
+
+bool NaiveViewNode::HandleProtocolMessage(const net::Message& m) {
+  if (m.type == core::msg::kPhysReadReply) {
+    const auto& body = net::BodyAs<PhysReadReply>(m);
+    auto it = pending_reads_.find(body.op_id);
+    if (it == pending_reads_.end()) return true;
+    PendingRead done = std::move(it->second);
+    pending_reads_.erase(it);
+    env_.scheduler->Cancel(done.timeout_event);
+    if (!body.ok) {
+      ++stats_.reads_failed;
+      InternalAbort(done.txn);
+      done.cb(Status::Aborted("physical read failed: " + body.error));
+      return true;
+    }
+    ++stats_.reads_ok;
+    env_.recorder->TxnRead(done.txn, done.obj, body.value, body.date,
+                           env_.scheduler->Now());
+    done.cb(core::ReadResult{body.value, body.date, m.src});
+    return true;
+  }
+  if (m.type == core::msg::kPhysWriteReply) {
+    const auto& body = net::BodyAs<PhysWriteReply>(m);
+    auto it = pending_writes_.find(body.op_id);
+    if (it == pending_writes_.end()) return true;
+    PendingWrite& pw = it->second;
+    if (!body.ok) {
+      PendingWrite done = std::move(it->second);
+      pending_writes_.erase(it);
+      env_.scheduler->Cancel(done.timeout_event);
+      ++stats_.writes_failed;
+      InternalAbort(done.txn);
+      done.cb(Status::Aborted("physical write failed: " + body.error));
+      return true;
+    }
+    pw.awaiting.erase(m.src);
+    if (pw.awaiting.empty()) {
+      PendingWrite done = std::move(it->second);
+      pending_writes_.erase(it);
+      env_.scheduler->Cancel(done.timeout_event);
+      ++stats_.writes_ok;
+      env_.recorder->TxnWrite(done.txn, done.obj, done.value,
+                              env_.scheduler->Now());
+      done.cb(Status::Ok());
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace vp::protocols

@@ -1,0 +1,297 @@
+#include "protocols/quorum_node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vp::protocols {
+
+using core::msg::PhysRead;
+using core::msg::PhysReadReply;
+using core::msg::PhysWrite;
+using core::msg::PhysWriteReply;
+
+QuorumConfig MajorityVotingConfig() {
+  QuorumConfig c;
+  c.read_quorum = 0;  // majority
+  c.write_quorum = 0;
+  c.display_name = "majority-voting";
+  return c;
+}
+
+QuorumConfig RowaConfig() {
+  QuorumConfig c;
+  c.read_quorum = 1;
+  c.write_quorum = 0;
+  c.write_all = true;
+  c.display_name = "rowa";
+  return c;
+}
+
+QuorumNode::QuorumNode(ProcessorId id, core::NodeEnv env, QuorumConfig config)
+    : NodeBase(id, env, config.lock_timeout, config.outcome_retry_period),
+      config_(std::move(config)) {}
+
+Weight QuorumNode::ReadQuorum(ObjectId obj) const {
+  if (config_.read_quorum > 0) return config_.read_quorum;
+  return env_.placement->TotalWeight(obj) / 2 + 1;
+}
+
+Weight QuorumNode::WriteQuorum(ObjectId obj) const {
+  if (config_.write_all) return env_.placement->TotalWeight(obj);
+  if (config_.write_quorum > 0) return config_.write_quorum;
+  return env_.placement->TotalWeight(obj) / 2 + 1;
+}
+
+std::vector<ProcessorId> QuorumNode::SelectCopies(ObjectId obj,
+                                                  Weight needed) const {
+  // Cheapest-first greedy selection.
+  std::vector<std::pair<double, ProcessorId>> ranked;
+  for (ProcessorId q : env_.placement->CopyHolders(obj)) {
+    ranked.emplace_back(q == id_ ? 0.0 : env_.network->graph()->Cost(id_, q),
+                        q);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<ProcessorId> out;
+  Weight votes = 0;
+  for (auto& [cost, q] : ranked) {
+    if (!config_.poll_all && votes >= needed) break;
+    out.push_back(q);
+    votes += env_.placement->WeightOf(obj, q);
+  }
+  if (votes < needed) return {};
+  return out;
+}
+
+Status QuorumNode::AdmitOp(TxnId txn, core::NodeBase::TxnRec** rec_out) {
+  TxnRec* rec = FindTxn(txn);
+  if (rec == nullptr) return Status::NotFound("unknown transaction");
+  *rec_out = rec;
+  if (rec->st != cc::TxnOutcome::kActive || rec->doomed) {
+    return Status::Aborted("transaction already doomed");
+  }
+  return Status::Ok();
+}
+
+void QuorumNode::LogicalRead(TxnId txn, ObjectId obj, core::ReadCallback cb) {
+  ++stats_.reads_attempted;
+  TxnRec* rec = nullptr;
+  Status admit = AdmitOp(txn, &rec);
+  if (!admit.ok()) {
+    ++stats_.reads_failed;
+    cb(admit);
+    return;
+  }
+  const Weight needed = ReadQuorum(obj);
+  std::vector<ProcessorId> targets = SelectCopies(obj, needed);
+  if (targets.empty()) {
+    ++stats_.reads_unavailable;
+    rec->doomed = true;
+    InternalAbort(txn);
+    cb(Status::Unavailable("no read quorum available"));
+    return;
+  }
+
+  const uint64_t op_id = next_op_id_++;
+  PendingRead pr;
+  pr.txn = txn;
+  pr.obj = obj;
+  pr.cb = std::move(cb);
+  pr.votes_needed = needed;
+  pr.outstanding.insert(targets.begin(), targets.end());
+  pr.timeout_event = env_.scheduler->ScheduleAfter(
+      config_.op_timeout + config_.lock_timeout,
+      [this, op_id]() { FailRead(op_id, Status::Timeout("read quorum")); });
+  pending_reads_[op_id] = std::move(pr);
+  for (ProcessorId q : targets) {
+    rec->participants.insert(q);
+    ++stats_.phys_reads_sent;
+    Send(q, core::msg::kPhysRead,
+         PhysRead{txn, obj, kEpochDate, /*recovery=*/false,
+                  /*for_update=*/false, op_id, {}});
+  }
+}
+
+void QuorumNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
+                              core::WriteCallback cb) {
+  ++stats_.writes_attempted;
+  TxnRec* rec = nullptr;
+  Status admit = AdmitOp(txn, &rec);
+  if (!admit.ok()) {
+    ++stats_.writes_failed;
+    cb(admit);
+    return;
+  }
+  const Weight needed = WriteQuorum(obj);
+  std::vector<ProcessorId> targets = SelectCopies(obj, needed);
+  if (targets.empty()) {
+    ++stats_.writes_unavailable;
+    rec->doomed = true;
+    InternalAbort(txn);
+    cb(Status::Unavailable("no write quorum available"));
+    return;
+  }
+
+  const uint64_t op_id = next_op_id_++;
+  PendingWrite pw;
+  pw.txn = txn;
+  pw.obj = obj;
+  pw.value = std::move(value);
+  pw.cb = std::move(cb);
+  pw.votes_needed = needed;
+  pw.outstanding.insert(targets.begin(), targets.end());
+  pw.timeout_event = env_.scheduler->ScheduleAfter(
+      config_.op_timeout + config_.lock_timeout, [this, op_id]() {
+        FailWrite(op_id, Status::Timeout("write version poll"));
+      });
+  pending_writes_[op_id] = std::move(pw);
+  // Phase 1: version poll under exclusive locks.
+  for (ProcessorId q : targets) {
+    rec->participants.insert(q);
+    ++stats_.phys_reads_sent;
+    Send(q, core::msg::kPhysRead,
+         PhysRead{txn, obj, kEpochDate, /*recovery=*/false,
+                  /*for_update=*/true, op_id, {}});
+  }
+}
+
+void QuorumNode::FailRead(uint64_t op_id, Status why) {
+  auto it = pending_reads_.find(op_id);
+  if (it == pending_reads_.end()) return;
+  PendingRead pr = std::move(it->second);
+  pending_reads_.erase(it);
+  env_.scheduler->Cancel(pr.timeout_event);
+  ++stats_.reads_failed;
+  TxnRec* rec = FindTxn(pr.txn);
+  if (rec != nullptr) rec->doomed = true;
+  InternalAbort(pr.txn);
+  pr.cb(why);
+}
+
+void QuorumNode::FailWrite(uint64_t op_id, Status why) {
+  auto it = pending_writes_.find(op_id);
+  if (it == pending_writes_.end()) return;
+  PendingWrite pw = std::move(it->second);
+  pending_writes_.erase(it);
+  env_.scheduler->Cancel(pw.timeout_event);
+  ++stats_.writes_failed;
+  TxnRec* rec = FindTxn(pw.txn);
+  if (rec != nullptr) rec->doomed = true;
+  InternalAbort(pw.txn);
+  pw.cb(why);
+}
+
+void QuorumNode::StartWritePhase2(uint64_t op_id) {
+  auto it = pending_writes_.find(op_id);
+  if (it == pending_writes_.end()) return;
+  PendingWrite& pw = it->second;
+  pw.polling = false;
+  // New version: one past the largest seen, tie-broken by writer id.
+  const VpId new_date{pw.max_date.n + 1, id_};
+  pw.outstanding = pw.pollers;
+  env_.scheduler->Cancel(pw.timeout_event);
+  pw.timeout_event = env_.scheduler->ScheduleAfter(
+      config_.op_timeout,
+      [this, op_id]() { FailWrite(op_id, Status::Timeout("write phase")); });
+  const TxnId txn = pw.txn;
+  const ObjectId obj = pw.obj;
+  const Value value = pw.value;
+  const std::set<ProcessorId> targets = pw.pollers;
+  for (ProcessorId q : targets) {
+    ++stats_.phys_writes_sent;
+    Send(q, core::msg::kPhysWrite,
+         PhysWrite{txn, obj, value, new_date, op_id, {}});
+  }
+}
+
+bool QuorumNode::HandleProtocolMessage(const net::Message& m) {
+  if (m.type == core::msg::kPhysReadReply) {
+    const auto& body = net::BodyAs<PhysReadReply>(m);
+    // A read reply resolves a logical read or a write's version poll.
+    if (auto it = pending_reads_.find(body.op_id);
+        it != pending_reads_.end()) {
+      PendingRead& pr = it->second;
+      pr.outstanding.erase(m.src);
+      if (body.ok) {
+        pr.votes_have += env_.placement->WeightOf(pr.obj, m.src);
+        if (!pr.have_value || pr.best_date < body.date) {
+          pr.best_value = body.value;
+          pr.best_date = body.date;
+          pr.have_value = true;
+        }
+      }
+      if (pr.votes_have >= pr.votes_needed) {
+        PendingRead done = std::move(it->second);
+        pending_reads_.erase(it);
+        env_.scheduler->Cancel(done.timeout_event);
+        ++stats_.reads_ok;
+        env_.recorder->TxnRead(done.txn, done.obj, done.best_value,
+                               done.best_date, env_.scheduler->Now());
+        done.cb(core::ReadResult{done.best_value, done.best_date, m.src});
+        return true;
+      }
+      // Can the remaining replies still reach the quorum?
+      Weight potential = pr.votes_have;
+      for (ProcessorId q : pr.outstanding) {
+        potential += env_.placement->WeightOf(pr.obj, q);
+      }
+      if (potential < pr.votes_needed) {
+        FailRead(body.op_id, Status::Aborted("read quorum unreachable: " +
+                                             body.error));
+      }
+      return true;
+    }
+    if (auto it = pending_writes_.find(body.op_id);
+        it != pending_writes_.end()) {
+      PendingWrite& pw = it->second;
+      if (!pw.polling) return true;  // Stale poll reply.
+      pw.outstanding.erase(m.src);
+      if (body.ok) {
+        pw.votes_have += env_.placement->WeightOf(pw.obj, m.src);
+        pw.pollers.insert(m.src);
+        if (pw.max_date < body.date) pw.max_date = body.date;
+      }
+      if (pw.votes_have >= pw.votes_needed) {
+        StartWritePhase2(body.op_id);
+        return true;
+      }
+      Weight potential = pw.votes_have;
+      for (ProcessorId q : pw.outstanding) {
+        potential += env_.placement->WeightOf(pw.obj, q);
+      }
+      if (potential < pw.votes_needed) {
+        FailWrite(body.op_id, Status::Aborted("write quorum unreachable: " +
+                                              body.error));
+      }
+      return true;
+    }
+    return true;  // Reply to an operation that already completed/failed.
+  }
+  if (m.type == core::msg::kPhysWriteReply) {
+    const auto& body = net::BodyAs<PhysWriteReply>(m);
+    auto it = pending_writes_.find(body.op_id);
+    if (it == pending_writes_.end()) return true;
+    PendingWrite& pw = it->second;
+    if (pw.polling) return true;
+    if (!body.ok) {
+      FailWrite(body.op_id,
+                Status::Aborted("physical write failed: " + body.error));
+      return true;
+    }
+    pw.outstanding.erase(m.src);
+    if (pw.outstanding.empty()) {
+      PendingWrite done = std::move(it->second);
+      pending_writes_.erase(it);
+      env_.scheduler->Cancel(done.timeout_event);
+      ++stats_.writes_ok;
+      env_.recorder->TxnWrite(done.txn, done.obj, done.value,
+                              env_.scheduler->Now());
+      done.cb(Status::Ok());
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace vp::protocols

@@ -1,0 +1,116 @@
+// Weighted-voting quorum consensus (Gifford [G]) over the same substrate as
+// the VP protocol, for apples-to-apples comparison.
+//
+// Every copy carries a version (stored in the date field's sequence
+// number). A logical read collects replies from copies worth at least
+// `read_quorum` votes and returns the highest-versioned value. A logical
+// write first polls a write quorum for the current version under exclusive
+// locks, then writes value/version+1 to those copies.
+//
+// Specializations:
+//   * majority voting (Thomas [T]): read_quorum = write_quorum = ⌊V/2⌋+1,
+//   * ROWA: read_quorum = 1, write_quorum = V (no fault tolerance for
+//     writes; the availability baseline).
+//
+// Configurable copy-selection policy:
+//   * minimal (default): contact the cheapest set of copies forming a
+//     quorum — fewest messages, but a single unresponsive member aborts
+//     the operation;
+//   * poll_all: contact every copy and succeed once a quorum of replies
+//     arrives — more messages, maximal availability.
+#ifndef VPART_PROTOCOLS_QUORUM_NODE_H_
+#define VPART_PROTOCOLS_QUORUM_NODE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/node_base.h"
+
+namespace vp::protocols {
+
+struct QuorumConfig {
+  /// Votes required to read. 0 means "majority" (computed per object).
+  Weight read_quorum = 0;
+  /// Votes required to write. 0 means "majority".
+  Weight write_quorum = 0;
+  /// When read_quorum/write_quorum are 0 and this is true, the write
+  /// quorum is ALL votes (ROWA).
+  bool write_all = false;
+  /// Contact every copy instead of a minimal quorum.
+  bool poll_all = false;
+  sim::Duration op_timeout = sim::Millis(20);
+  sim::Duration lock_timeout = sim::Millis(100);
+  sim::Duration outcome_retry_period = sim::Millis(40);
+  std::string display_name = "quorum";
+};
+
+class QuorumNode : public core::NodeBase {
+ public:
+  QuorumNode(ProcessorId id, core::NodeEnv env, QuorumConfig config);
+
+  void LogicalRead(TxnId txn, ObjectId obj, core::ReadCallback cb) override;
+  void LogicalWrite(TxnId txn, ObjectId obj, Value value,
+                    core::WriteCallback cb) override;
+  std::string name() const override { return config_.display_name; }
+
+  /// Effective quorums for an object (resolving the "majority" defaults).
+  Weight ReadQuorum(ObjectId obj) const;
+  Weight WriteQuorum(ObjectId obj) const;
+
+ protected:
+  bool HandleProtocolMessage(const net::Message& m) override;
+
+ private:
+  /// Copies to contact for a quorum of `needed` votes; empty if no such
+  /// set exists (object under-replicated for the quorum).
+  std::vector<ProcessorId> SelectCopies(ObjectId obj, Weight needed) const;
+
+  Status AdmitOp(TxnId txn, core::NodeBase::TxnRec** rec_out);
+
+  struct PendingRead {
+    TxnId txn;
+    ObjectId obj;
+    core::ReadCallback cb;
+    Weight votes_needed = 0;
+    Weight votes_have = 0;
+    std::set<ProcessorId> outstanding;
+    Value best_value;
+    VpId best_date;
+    bool have_value = false;
+    sim::EventId timeout_event = sim::kInvalidEvent;
+  };
+  struct PendingWrite {
+    TxnId txn;
+    ObjectId obj;
+    Value value;
+    core::WriteCallback cb;
+    // Phase 1: version poll (exclusive locks); phase 2: write.
+    bool polling = true;
+    Weight votes_needed = 0;
+    Weight votes_have = 0;
+    std::set<ProcessorId> outstanding;
+    std::set<ProcessorId> pollers;  // Copies that answered the poll.
+    VpId max_date;
+    sim::EventId timeout_event = sim::kInvalidEvent;
+  };
+
+  void FailRead(uint64_t op_id, Status why);
+  void FailWrite(uint64_t op_id, Status why);
+  void StartWritePhase2(uint64_t op_id);
+
+  QuorumConfig config_;
+  std::map<uint64_t, PendingRead> pending_reads_;
+  std::map<uint64_t, PendingWrite> pending_writes_;
+};
+
+/// Thomas-style majority voting: r = w = majority.
+QuorumConfig MajorityVotingConfig();
+
+/// Read-one/write-all without views: r = 1, w = all votes.
+QuorumConfig RowaConfig();
+
+}  // namespace vp::protocols
+
+#endif  // VPART_PROTOCOLS_QUORUM_NODE_H_

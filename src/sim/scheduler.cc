@@ -1,0 +1,54 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+namespace vp::sim {
+
+bool Scheduler::RunOne() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; we must copy the closure out
+    // before pop. Closures in this codebase are small (captured ids and
+    // pointers), so the copy is cheap.
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;  // Discarded; try the next queued event.
+    }
+    VP_CHECK(ev.when >= now_);
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t Scheduler::RunUntil(SimTime deadline) {
+  uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    VP_CHECK(ev.when >= now_);
+    now_ = ev.when;
+    ++executed_;
+    ++n;
+    ev.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+uint64_t Scheduler::RunUntilIdle(uint64_t max_events) {
+  uint64_t n = 0;
+  while (n < max_events && RunOne()) ++n;
+  return n;
+}
+
+}  // namespace vp::sim

@@ -1,0 +1,97 @@
+// The discrete-event kernel: a virtual clock and an event queue.
+//
+// Determinism: events at equal times fire in the order they were scheduled
+// (a monotone sequence number breaks ties), so a run is a pure function of
+// the seed and the scenario script.
+#ifndef VPART_SIM_SCHEDULER_H_
+#define VPART_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/time.h"
+
+namespace vp::sim {
+
+/// Handle for a scheduled event; used to cancel it.
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Single-threaded discrete-event scheduler.
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` from now (delay >= 0). Returns a handle
+  /// that can be passed to Cancel.
+  EventId ScheduleAfter(Duration delay, std::function<void()> fn) {
+    VP_CHECK(delay >= 0);
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `when` (>= Now()).
+  EventId ScheduleAt(SimTime when, std::function<void()> fn) {
+    VP_CHECK(when >= now_);
+    const EventId id = next_id_++;
+    queue_.push(Event{when, id, std::move(fn)});
+    return id;
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or already-
+  /// cancelled event is a no-op.
+  void Cancel(EventId id) {
+    if (id == kInvalidEvent) return;
+    cancelled_.insert(id);
+  }
+
+  /// True if any (possibly cancelled) event is still queued.
+  bool HasWork() const { return !queue_.empty(); }
+
+  /// Pops the next event. If it was cancelled it is discarded without
+  /// running and without advancing the clock. Returns false when the queue
+  /// is empty.
+  bool RunOne();
+
+  /// Runs events with time <= `deadline`, then advances the clock to
+  /// `deadline`. Returns the number of events executed.
+  uint64_t RunUntil(SimTime deadline);
+
+  /// Runs until no events remain (or `max_events` executed, as a runaway
+  /// guard). Returns the number of events executed.
+  uint64_t RunUntilIdle(uint64_t max_events = UINT64_MAX);
+
+  /// Total events executed since construction.
+  uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among simultaneous events.
+    }
+  };
+
+  SimTime now_ = kSimTimeZero;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace vp::sim
+
+#endif  // VPART_SIM_SCHEDULER_H_

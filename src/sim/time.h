@@ -1,0 +1,30 @@
+// Simulated time. All protocol parameters (δ, π, timeouts) are expressed in
+// these units; the kernel advances the clock discretely from event to event.
+#ifndef VPART_SIM_TIME_H_
+#define VPART_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace vp::sim {
+
+/// Absolute simulated time in microseconds since the start of the run.
+using SimTime = int64_t;
+
+/// A span of simulated time in microseconds.
+using Duration = int64_t;
+
+inline constexpr SimTime kSimTimeZero = 0;
+inline constexpr SimTime kSimTimeMax = INT64_MAX;
+
+/// Convenience constructors so configuration reads naturally:
+/// `Millis(10)` instead of `10'000`.
+constexpr Duration Micros(int64_t us) { return us; }
+constexpr Duration Millis(int64_t ms) { return ms * 1000; }
+constexpr Duration Seconds(int64_t s) { return s * 1000 * 1000; }
+
+constexpr double ToMillis(Duration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / 1e6; }
+
+}  // namespace vp::sim
+
+#endif  // VPART_SIM_TIME_H_

@@ -1,0 +1,56 @@
+// A restartable one-shot timer, matching the paper's `Timer` objects
+// (Fig. 5-8): `T.set(d)` arms it, `T.reset` disarms it, expiry invokes a
+// callback ("T.timeout" branch).
+#ifndef VPART_SIM_TIMER_H_
+#define VPART_SIM_TIMER_H_
+
+#include <functional>
+#include <utility>
+
+#include "sim/scheduler.h"
+
+namespace vp::sim {
+
+/// One-shot timer bound to a Scheduler. Re-arming an armed timer replaces
+/// the previous deadline. Not copyable; protocol state machines own theirs.
+class Timer {
+ public:
+  explicit Timer(Scheduler* scheduler) : scheduler_(scheduler) {}
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() { Reset(); }
+
+  /// Arms the timer: `on_timeout` fires after `delay` unless Reset or Set
+  /// is called first.
+  void Set(Duration delay, std::function<void()> on_timeout) {
+    Reset();
+    ++generation_;
+    const uint64_t gen = generation_;
+    event_ = scheduler_->ScheduleAfter(
+        delay, [this, gen, cb = std::move(on_timeout)]() {
+          if (gen != generation_) return;  // Superseded by a later Set.
+          event_ = kInvalidEvent;
+          cb();
+        });
+  }
+
+  /// Disarms the timer (paper: "T.reset"). No-op if not armed.
+  void Reset() {
+    if (event_ != kInvalidEvent) {
+      scheduler_->Cancel(event_);
+      event_ = kInvalidEvent;
+    }
+    ++generation_;
+  }
+
+  bool armed() const { return event_ != kInvalidEvent; }
+
+ private:
+  Scheduler* scheduler_;
+  EventId event_ = kInvalidEvent;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace vp::sim
+
+#endif  // VPART_SIM_TIMER_H_

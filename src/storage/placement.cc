@@ -1,0 +1,63 @@
+#include "storage/placement.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vp::storage {
+
+void CopyPlacement::AddCopy(ObjectId obj, ProcessorId p, Weight w) {
+  VP_CHECK(w > 0);
+  if (obj >= copies_.size()) {
+    copies_.resize(obj + 1);
+    object_count_ = obj + 1;
+  }
+  PerObject& po = copies_[obj];
+  auto [it, inserted] = po.holders.emplace(p, w);
+  if (!inserted) {
+    po.total_weight -= it->second;
+    it->second = w;
+  } else {
+    po.holder_list.insert(
+        std::lower_bound(po.holder_list.begin(), po.holder_list.end(), p), p);
+  }
+  po.total_weight += w;
+}
+
+CopyPlacement CopyPlacement::FullReplication(uint32_t n, ObjectId count) {
+  CopyPlacement pl;
+  for (ObjectId obj = 0; obj < count; ++obj)
+    for (ProcessorId p = 0; p < n; ++p) pl.AddCopy(obj, p, 1);
+  return pl;
+}
+
+bool CopyPlacement::HasCopy(ObjectId obj, ProcessorId p) const {
+  if (!HasObject(obj)) return false;
+  return copies_[obj].holders.count(p) > 0;
+}
+
+Weight CopyPlacement::WeightOf(ObjectId obj, ProcessorId p) const {
+  if (!HasObject(obj)) return 0;
+  auto it = copies_[obj].holders.find(p);
+  return it == copies_[obj].holders.end() ? 0 : it->second;
+}
+
+const std::vector<ProcessorId>& CopyPlacement::CopyHolders(
+    ObjectId obj) const {
+  if (!HasObject(obj)) return empty_;
+  return copies_[obj].holder_list;
+}
+
+Weight CopyPlacement::TotalWeight(ObjectId obj) const {
+  if (!HasObject(obj)) return 0;
+  return copies_[obj].total_weight;
+}
+
+std::vector<ObjectId> CopyPlacement::LocalObjects(ProcessorId p) const {
+  std::vector<ObjectId> out;
+  for (ObjectId obj = 0; obj < copies_.size(); ++obj)
+    if (copies_[obj].holders.count(p) > 0) out.push_back(obj);
+  return out;
+}
+
+}  // namespace vp::storage

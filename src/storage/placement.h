@@ -1,0 +1,74 @@
+// The `copies: L → P(P)` function of the paper, extended with per-copy
+// weights (§4, R1: "possibly weighted majority"). Shared, immutable-after-
+// setup description of where every logical object's physical copies live.
+#ifndef VPART_STORAGE_PLACEMENT_H_
+#define VPART_STORAGE_PLACEMENT_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace vp::storage {
+
+/// Placement and weights of all logical objects' copies.
+class CopyPlacement {
+ public:
+  CopyPlacement() = default;
+
+  /// Declares object `obj` to have a copy at `p` with vote weight `w`.
+  /// Re-declaring a copy overwrites its weight.
+  void AddCopy(ObjectId obj, ProcessorId p, Weight w = 1);
+
+  /// Declares `count` objects (ids 0..count-1), each fully replicated at
+  /// every processor in [0, n) with weight 1.
+  static CopyPlacement FullReplication(uint32_t n, ObjectId count);
+
+  /// Number of declared logical objects (max id + 1).
+  ObjectId object_count() const { return object_count_; }
+
+  bool HasObject(ObjectId obj) const { return obj < copies_.size(); }
+
+  /// True if `p` stores a copy of `obj`.
+  bool HasCopy(ObjectId obj, ProcessorId p) const;
+
+  /// Weight of p's copy (0 if p holds no copy).
+  Weight WeightOf(ObjectId obj, ProcessorId p) const;
+
+  /// All processors holding a copy of `obj`, ascending.
+  const std::vector<ProcessorId>& CopyHolders(ObjectId obj) const;
+
+  /// Sum of all copy weights of `obj`.
+  Weight TotalWeight(ObjectId obj) const;
+
+  /// The paper's `accessible(l, A)` predicate (Fig. 5 line 18): true iff a
+  /// strict weighted majority of l's copies resides on processors in `view`.
+  template <typename ViewSet>
+  bool Accessible(ObjectId obj, const ViewSet& view) const {
+    if (!HasObject(obj)) return false;
+    Weight in_view = 0;
+    for (ProcessorId p : CopyHolders(obj)) {
+      if (view.count(p) > 0) in_view += WeightOf(obj, p);
+    }
+    return 2 * in_view > TotalWeight(obj);
+  }
+
+  /// Objects with a copy at `p` (the paper's `local` set).
+  std::vector<ObjectId> LocalObjects(ProcessorId p) const;
+
+ private:
+  struct PerObject {
+    std::map<ProcessorId, Weight> holders;  // Ordered for determinism.
+    std::vector<ProcessorId> holder_list;
+    Weight total_weight = 0;
+  };
+
+  ObjectId object_count_ = 0;
+  std::vector<PerObject> copies_;
+  std::vector<ProcessorId> empty_;
+};
+
+}  // namespace vp::storage
+
+#endif  // VPART_STORAGE_PLACEMENT_H_

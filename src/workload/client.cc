@@ -1,0 +1,180 @@
+#include "workload/client.h"
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vp::workload {
+
+Client::Client(core::NodeBase* node, sim::Scheduler* scheduler,
+               const net::CommGraph* graph, ObjectId n_objects,
+               ClientConfig config)
+    : node_(node),
+      scheduler_(scheduler),
+      graph_(graph),
+      config_(config),
+      rng_(config.seed),
+      zipf_(n_objects, config.zipf_theta) {
+  VP_CHECK(n_objects > 0);
+  VP_CHECK(config_.ops_per_txn > 0);
+}
+
+void Client::Start(sim::Duration initial_delay) {
+  scheduler_->ScheduleAfter(initial_delay, [this]() { StartTxn(); });
+}
+
+void Client::ScheduleNext() {
+  if (stopped_) return;
+  scheduler_->ScheduleAfter(config_.think_time, [this]() { StartTxn(); });
+}
+
+void Client::StartTxn() {
+  if (stopped_) return;
+  if (!graph_->Alive(node_->processor())) {
+    // Processor is down; retry once it recovers.
+    ScheduleNext();
+    return;
+  }
+  plan_.clear();
+  for (uint32_t i = 0; i < config_.ops_per_txn; ++i) {
+    OpPlan op;
+    op.is_write = !rng_.Bernoulli(config_.read_fraction);
+    op.obj = static_cast<ObjectId>(zipf_.Next(rng_));
+    plan_.push_back(op);
+  }
+  cur_txn_ = node_->NewTxnId();
+  txn_active_ = true;
+  txn_start_ = scheduler_->Now();
+  node_->Begin(cur_txn_);
+  RunOp(0);
+}
+
+void Client::RunOp(uint32_t idx) {
+  if (idx > 0 && idx < plan_.size() && config_.op_gap > 0) {
+    // Interactive-transaction pacing: wait, then issue the op.
+    const TxnId txn = cur_txn_;
+    scheduler_->ScheduleAfter(config_.op_gap, [this, txn, idx]() {
+      if (!(txn == cur_txn_) || !txn_active_) return;
+      RunOpNow(idx);
+    });
+    return;
+  }
+  RunOpNow(idx);
+}
+
+void Client::RunOpNow(uint32_t idx) {
+  if (idx >= plan_.size()) {
+    const TxnId txn = cur_txn_;
+    node_->Commit(txn, [this, txn](Status s) {
+      if (!(txn == cur_txn_) || !txn_active_) return;
+      FinishTxn(!s.ok(), s);
+    });
+    return;
+  }
+  const OpPlan& op = plan_[idx];
+  const TxnId txn = cur_txn_;
+  if (!op.is_write) {
+    node_->LogicalRead(txn, op.obj,
+                       [this, txn, idx](Result<core::ReadResult> r) {
+                         if (!(txn == cur_txn_) || !txn_active_) return;
+                         if (!r.ok()) {
+                           FinishTxn(true, r.status());
+                           return;
+                         }
+                         ++stats_.reads_done;
+                         RunOp(idx + 1);
+                       });
+    return;
+  }
+  if (config_.rmw) {
+    // Counter semantics: read, then write value+1.
+    node_->LogicalRead(
+        txn, op.obj, [this, txn, idx](Result<core::ReadResult> r) {
+          if (!(txn == cur_txn_) || !txn_active_) return;
+          if (!r.ok()) {
+            FinishTxn(true, r.status());
+            return;
+          }
+          ++stats_.reads_done;
+          int64_t v = 0;
+          const std::string& s = r.value().value;
+          if (!s.empty()) v = std::strtoll(s.c_str(), nullptr, 10);
+          node_->LogicalWrite(txn, plan_[idx].obj, std::to_string(v + 1),
+                              [this, txn, idx](Status ws) {
+                                if (!(txn == cur_txn_) || !txn_active_) return;
+                                if (!ws.ok()) {
+                                  FinishTxn(true, ws);
+                                  return;
+                                }
+                                ++stats_.writes_done;
+                                RunOp(idx + 1);
+                              });
+        });
+    return;
+  }
+  // Unique token write: the certifier can attribute every value.
+  const Value token =
+      "w:" + txn.ToString() + ":" + std::to_string(idx);
+  node_->LogicalWrite(txn, op.obj, token, [this, txn, idx](Status ws) {
+    if (!(txn == cur_txn_) || !txn_active_) return;
+    if (!ws.ok()) {
+      FinishTxn(true, ws);
+      return;
+    }
+    ++stats_.writes_done;
+    RunOp(idx + 1);
+  });
+}
+
+void Client::FinishTxn(bool failed, const Status& why) {
+  txn_active_ = false;
+  if (!failed) {
+    ++stats_.txns_committed;
+    stats_.total_commit_latency += scheduler_->Now() - txn_start_;
+  } else {
+    ++stats_.txns_aborted;
+    if (why.IsUnavailable()) {
+      ++stats_.aborts_unavailable;
+    } else if (why.IsTimeout()) {
+      ++stats_.aborts_timeout;
+    } else {
+      ++stats_.aborts_other;
+    }
+    // The protocol has already broadcast the abort; nothing to clean up.
+  }
+  ScheduleNext();
+}
+
+std::vector<std::unique_ptr<Client>> MakeClients(
+    std::vector<core::NodeBase*> nodes, sim::Scheduler* scheduler,
+    const net::CommGraph* graph, ObjectId n_objects,
+    const ClientConfig& config) {
+  std::vector<std::unique_ptr<Client>> out;
+  uint64_t i = 0;
+  for (core::NodeBase* node : nodes) {
+    ClientConfig c = config;
+    c.seed = config.seed * 7919 + 104729 * (++i);
+    out.push_back(
+        std::make_unique<Client>(node, scheduler, graph, n_objects, c));
+  }
+  return out;
+}
+
+ClientStats Aggregate(const std::vector<std::unique_ptr<Client>>& clients) {
+  ClientStats sum;
+  for (const auto& c : clients) {
+    const ClientStats& s = c->stats();
+    sum.txns_committed += s.txns_committed;
+    sum.txns_aborted += s.txns_aborted;
+    sum.aborts_unavailable += s.aborts_unavailable;
+    sum.aborts_timeout += s.aborts_timeout;
+    sum.aborts_other += s.aborts_other;
+    sum.reads_done += s.reads_done;
+    sum.writes_done += s.writes_done;
+    sum.total_commit_latency += s.total_commit_latency;
+  }
+  return sum;
+}
+
+}  // namespace vp::workload

@@ -1,0 +1,172 @@
+// Unit tests for common utilities: Status/Result, RNG, VpId ordering.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/vp_id.h"
+
+namespace vp {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesSetCodeAndMessage) {
+  Status s = Status::Aborted("R4");
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(), "Aborted: R4");
+  EXPECT_TRUE(Status::Unavailable().IsUnavailable());
+  EXPECT_TRUE(Status::Timeout().IsTimeout());
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::Busy().IsBusy());
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::Timeout("slow");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTimeout());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(TxnIdTest, OrderingAndFormatting) {
+  TxnId a{1, 5};
+  TxnId b{1, 6};
+  TxnId c{2, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a.ToString(), "t1.5");
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(TxnId{}.valid());
+}
+
+TEST(VpIdTest, PaperOrdering) {
+  // v ≺ w ⇔ v.n < w.n ∨ (v.n = w.n ∧ v.p < w.p).
+  EXPECT_LT((VpId{1, 9}), (VpId{2, 0}));
+  EXPECT_LT((VpId{3, 1}), (VpId{3, 2}));
+  EXPECT_FALSE((VpId{3, 2}) < (VpId{3, 2}));
+  EXPECT_EQ((VpId{3, 2}), (VpId{3, 2}));
+  EXPECT_GE((VpId{4, 0}), (VpId{3, 9}));
+  EXPECT_LE(kEpochDate, (VpId{0, 0}));
+}
+
+TEST(VpIdTest, EpochIsMinimal) {
+  for (uint64_t n : {0ull, 1ull, 100ull}) {
+    for (ProcessorId p : {0u, 1u, 7u}) {
+      if (n == 0 && p == 0) continue;
+      EXPECT_LT(kEpochDate, (VpId{n, p}));
+    }
+  }
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += r.Exponential(50.0);
+  EXPECT_NEAR(sum / 20000, 50.0, 2.0);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(17);
+  Rng b = a.Fork();
+  // Parent and child streams diverge.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  Rng r(19);
+  ZipfGenerator z(10, 0.0);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[z.Next(r)]++;
+  for (const auto& [k, c] : counts) {
+    EXPECT_NEAR(c / 20000.0, 0.1, 0.02) << "bucket " << k;
+  }
+}
+
+TEST(Zipf, SkewedWhenThetaLarge) {
+  Rng r(23);
+  ZipfGenerator z(100, 0.99);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[z.Next(r)]++;
+  // The hottest key dominates.
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(Zipf, ValuesInRange) {
+  Rng r(29);
+  ZipfGenerator z(7, 0.5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.Next(r), 7u);
+}
+
+}  // namespace
+}  // namespace vp

@@ -1,0 +1,259 @@
+// Unit tests for the recorder and the serializability certifiers.
+#include <gtest/gtest.h>
+
+#include "history/checker.h"
+#include "history/recorder.h"
+
+namespace vp::history {
+namespace {
+
+TxnHistory MakeTxn(TxnId id, VpId vp, sim::SimTime decided,
+                   std::vector<LogicalOp> ops, bool committed = true) {
+  TxnHistory h;
+  h.id = id;
+  h.vp = vp;
+  h.has_vp = true;
+  h.ops = std::move(ops);
+  h.decided = true;
+  h.committed = committed;
+  h.decided_at = decided;
+  return h;
+}
+
+LogicalOp ReadOp(ObjectId obj, Value v) {
+  return LogicalOp{LogicalOp::Kind::kRead, obj, std::move(v), kEpochDate, 0};
+}
+LogicalOp WriteOp(ObjectId obj, Value v) {
+  return LogicalOp{LogicalOp::Kind::kWrite, obj, std::move(v), kEpochDate, 0};
+}
+
+TEST(Certifier, EmptyHistoryIsSerializable) {
+  auto r = CertifyOneCopySR({}, {});
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(Certifier, SimpleChainPasses) {
+  std::vector<TxnHistory> txns;
+  txns.push_back(MakeTxn({0, 1}, {1, 0}, 10, {ReadOp(0, "0"), WriteOp(0, "a")}));
+  txns.push_back(MakeTxn({0, 2}, {1, 0}, 20, {ReadOp(0, "a"), WriteOp(0, "b")}));
+  auto r = CertifyOneCopySR(txns, {{0, "0"}});
+  EXPECT_TRUE(r.ok) << r.detail;
+  ASSERT_EQ(r.serial_order.size(), 2u);
+  EXPECT_EQ(r.serial_order[0], (TxnId{0, 1}));
+}
+
+TEST(Certifier, LostUpdateDetected) {
+  // Two increments both reading "0": only one can be first in any order.
+  std::vector<TxnHistory> txns;
+  txns.push_back(MakeTxn({0, 1}, {1, 0}, 10, {ReadOp(0, "0"), WriteOp(0, "1")}));
+  txns.push_back(MakeTxn({1, 1}, {1, 1}, 20, {ReadOp(0, "0"), WriteOp(0, "1")}));
+  auto vp_order = CertifyOneCopySR(txns, {{0, "0"}});
+  EXPECT_FALSE(vp_order.ok);
+  auto any = CertifyOneCopySRAnyOrder(txns, {{0, "0"}});
+  EXPECT_FALSE(any.ok);
+  EXPECT_FALSE(any.skipped);
+}
+
+TEST(Certifier, StaleReadLegalViaVpOrder) {
+  // Writer in vp (2,0) commits at t=10; reader in older vp (1,0) reads the
+  // ORIGINAL value at t=20. In commit-time order this fails; in vp order it
+  // is serializable (the paper's "reading stale data" discussion).
+  std::vector<TxnHistory> txns;
+  txns.push_back(MakeTxn({0, 1}, {2, 0}, 10, {WriteOp(0, "new")}));
+  txns.push_back(MakeTxn({1, 1}, {1, 0}, 20, {ReadOp(0, "0")}));
+  auto r = CertifyOneCopySR(txns, {{0, "0"}});
+  EXPECT_TRUE(r.ok) << r.detail;
+  // The reader serialized BEFORE the writer.
+  ASSERT_EQ(r.serial_order.size(), 2u);
+  EXPECT_EQ(r.serial_order[0], (TxnId{1, 1}));
+}
+
+TEST(Certifier, ReadYourOwnWrites) {
+  std::vector<TxnHistory> txns;
+  txns.push_back(MakeTxn({0, 1}, {1, 0}, 10,
+                         {WriteOp(0, "mine"), ReadOp(0, "mine")}));
+  auto r = CertifyOneCopySR(txns, {{0, "0"}});
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(Certifier, ExampleTwoCycleHasNoSerialOrder) {
+  // The reads-from cycle of the paper's Example 2.
+  std::vector<TxnHistory> txns;
+  txns.push_back(MakeTxn({0, 1}, {1, 0}, 10, {ReadOp(1, "0"), WriteOp(0, "TA")}));
+  txns.push_back(MakeTxn({1, 1}, {1, 0}, 11, {ReadOp(2, "0"), WriteOp(1, "TB")}));
+  txns.push_back(MakeTxn({2, 1}, {1, 0}, 12, {ReadOp(3, "0"), WriteOp(2, "TC")}));
+  txns.push_back(MakeTxn({3, 1}, {1, 0}, 13, {ReadOp(0, "0"), WriteOp(3, "TD")}));
+  auto any = CertifyOneCopySRAnyOrder(
+      txns, {{0, "0"}, {1, "0"}, {2, "0"}, {3, "0"}});
+  EXPECT_FALSE(any.ok);
+}
+
+TEST(Certifier, ExhaustiveSearchFindsNonObviousOrder) {
+  // Commit times suggest T2 before T1, but only T1-first replays.
+  std::vector<TxnHistory> txns;
+  txns.push_back(MakeTxn({0, 2}, {1, 0}, 20, {ReadOp(0, "0"), WriteOp(0, "x")}));
+  txns.push_back(MakeTxn({0, 1}, {1, 0}, 10, {ReadOp(0, "x")}));
+  auto any = CertifyOneCopySRAnyOrder(txns, {{0, "0"}});
+  EXPECT_TRUE(any.ok) << any.detail;
+}
+
+TEST(Certifier, ExhaustiveSkipsLargeHistories) {
+  std::vector<TxnHistory> txns;
+  for (uint64_t i = 0; i < 12; ++i) {
+    txns.push_back(MakeTxn({0, i + 1}, {1, 0}, 10 + i, {ReadOp(0, "0")}));
+  }
+  auto any = CertifyOneCopySRAnyOrder(txns, {{0, "0"}}, /*max_txns=*/9);
+  EXPECT_FALSE(any.ok);
+  EXPECT_TRUE(any.skipped);
+}
+
+TEST(ConflictChecker, AcyclicPasses) {
+  Recorder rec;
+  rec.TxnBegin({0, 1}, 0, 0);
+  rec.TxnBegin({0, 2}, 0, 0);
+  rec.PhysicalOp(0, {0, 1}, 0, true, 10);
+  rec.PhysicalOp(0, {0, 2}, 0, true, 20);
+  rec.TxnCommit({0, 1}, 15);
+  rec.TxnCommit({0, 2}, 25);
+  auto r = CheckConflictSerializable(rec.physical_ops(), rec.Committed());
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(ConflictChecker, CycleDetected) {
+  Recorder rec;
+  rec.TxnBegin({0, 1}, 0, 0);
+  rec.TxnBegin({0, 2}, 0, 0);
+  // T1 before T2 on copy (node0, obj0); T2 before T1 on copy (node1, obj1).
+  rec.PhysicalOp(0, {0, 1}, 0, true, 10);
+  rec.PhysicalOp(0, {0, 2}, 0, true, 20);
+  rec.PhysicalOp(1, {0, 2}, 1, true, 5);
+  rec.PhysicalOp(1, {0, 1}, 1, true, 25);
+  rec.TxnCommit({0, 1}, 30);
+  rec.TxnCommit({0, 2}, 30);
+  auto r = CheckConflictSerializable(rec.physical_ops(), rec.Committed());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ConflictChecker, ReadsDoNotConflict) {
+  Recorder rec;
+  rec.TxnBegin({0, 1}, 0, 0);
+  rec.TxnBegin({0, 2}, 0, 0);
+  rec.PhysicalOp(0, {0, 1}, 0, false, 10);
+  rec.PhysicalOp(0, {0, 2}, 0, false, 20);
+  rec.PhysicalOp(1, {0, 2}, 0, false, 5);
+  rec.PhysicalOp(1, {0, 1}, 0, false, 25);
+  rec.TxnCommit({0, 1}, 30);
+  rec.TxnCommit({0, 2}, 30);
+  auto r = CheckConflictSerializable(rec.physical_ops(), rec.Committed());
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(ConflictChecker, AbortedTxnsIgnored) {
+  Recorder rec;
+  rec.TxnBegin({0, 1}, 0, 0);
+  rec.TxnBegin({0, 2}, 0, 0);
+  rec.PhysicalOp(0, {0, 1}, 0, true, 10);
+  rec.PhysicalOp(0, {0, 2}, 0, true, 20);
+  rec.PhysicalOp(1, {0, 2}, 1, true, 5);
+  rec.PhysicalOp(1, {0, 1}, 1, true, 25);
+  rec.TxnCommit({0, 1}, 30);
+  rec.TxnAbort({0, 2}, 30);  // Cycle participant aborted: no cycle remains.
+  auto r = CheckConflictSerializable(rec.physical_ops(), rec.Committed());
+  EXPECT_TRUE(r.ok);
+}
+
+// --- Recorder invariants ---
+
+TEST(Recorder, S1ViolationDetected) {
+  Recorder rec;
+  rec.JoinVp(0, {1, 0}, {0, 1}, 10);
+  rec.JoinVp(1, {1, 0}, {0, 1, 2}, 20);  // Different view, same vp.
+  ASSERT_FALSE(rec.safety_violations().empty());
+  EXPECT_EQ(rec.safety_violations()[0].rule, "S1");
+}
+
+TEST(Recorder, S2ViolationDetected) {
+  Recorder rec;
+  rec.JoinVp(0, {1, 0}, {1, 2}, 10);  // View omits the joiner.
+  ASSERT_FALSE(rec.safety_violations().empty());
+  EXPECT_EQ(rec.safety_violations()[0].rule, "S2");
+}
+
+TEST(Recorder, S3ViolationDetected) {
+  Recorder rec;
+  rec.JoinVp(0, {1, 0}, {0, 1}, 10);
+  // Processor 1 is still in (1,0) when 2 joins (2,0) with 1 in its view.
+  rec.JoinVp(1, {1, 0}, {0, 1}, 11);
+  rec.JoinVp(2, {2, 2}, {1, 2}, 20);
+  bool found_s3 = false;
+  for (const auto& v : rec.safety_violations()) {
+    if (v.rule == "S3") found_s3 = true;
+  }
+  EXPECT_TRUE(found_s3);
+}
+
+TEST(Recorder, ProperJoinSequenceIsClean) {
+  Recorder rec;
+  rec.JoinVp(0, {1, 0}, {0, 1}, 10);
+  rec.JoinVp(1, {1, 0}, {0, 1}, 11);
+  rec.DepartVp(1, 15);
+  rec.DepartVp(0, 16);
+  rec.JoinVp(0, {2, 0}, {0, 1}, 20);
+  rec.JoinVp(1, {2, 0}, {0, 1}, 21);
+  EXPECT_TRUE(rec.safety_violations().empty());
+}
+
+TEST(Recorder, MonotonicityViolationDetected) {
+  Recorder rec;
+  rec.JoinVp(0, {5, 0}, {0}, 10);
+  rec.DepartVp(0, 15);
+  rec.JoinVp(0, {3, 0}, {0}, 20);  // Joined a lower-numbered vp.
+  ASSERT_FALSE(rec.safety_violations().empty());
+  EXPECT_EQ(rec.safety_violations()[0].rule, "monotonic");
+}
+
+TEST(Recorder, StaleReadCounting) {
+  Recorder rec;
+  // Writer in vp (2,0) commits at t=10.
+  rec.TxnBegin({0, 1}, 0, 0);
+  rec.TxnSetVp({0, 1}, {2, 0});
+  rec.TxnWrite({0, 1}, 0, "new", 5);
+  rec.TxnCommit({0, 1}, 10);
+  // Reader reads a date-(1,0) copy at t=30: stale by 20.
+  rec.TxnBegin({1, 1}, 1, 20);
+  rec.TxnSetVp({1, 1}, {1, 0});
+  rec.TxnRead({1, 1}, 0, "old", {1, 0}, 30);
+  rec.TxnCommit({1, 1}, 35);
+  sim::Duration worst = 0;
+  EXPECT_EQ(rec.CountStaleReads(&worst), 1u);
+  EXPECT_EQ(worst, 20);
+}
+
+TEST(Recorder, FreshReadNotStale) {
+  Recorder rec;
+  rec.TxnBegin({0, 1}, 0, 0);
+  rec.TxnSetVp({0, 1}, {2, 0});
+  rec.TxnWrite({0, 1}, 0, "new", 5);
+  rec.TxnCommit({0, 1}, 10);
+  rec.TxnBegin({1, 1}, 1, 20);
+  rec.TxnSetVp({1, 1}, {3, 0});
+  rec.TxnRead({1, 1}, 0, "new", {2, 0}, 30);  // Date matches latest write.
+  rec.TxnCommit({1, 1}, 35);
+  EXPECT_EQ(rec.CountStaleReads(), 0u);
+}
+
+TEST(Recorder, CountsDecisions) {
+  Recorder rec;
+  rec.TxnBegin({0, 1}, 0, 0);
+  rec.TxnBegin({0, 2}, 0, 0);
+  rec.TxnBegin({0, 3}, 0, 0);
+  rec.TxnCommit({0, 1}, 1);
+  rec.TxnAbort({0, 2}, 2);
+  EXPECT_EQ(rec.committed_count(), 1u);
+  EXPECT_EQ(rec.aborted_count(), 1u);
+  EXPECT_EQ(rec.Committed().size(), 1u);
+  EXPECT_EQ(rec.Decided().size(), 2u);
+}
+
+}  // namespace
+}  // namespace vp::history

@@ -1,0 +1,158 @@
+// Exhaustive configuration matrix: every R5 recovery mode × strict/weakened
+// R4 × fault regime × workload shape runs a partition-heavy schedule under
+// concurrent clients, and every cell must:
+//   * make progress (some transactions commit),
+//   * certify one-copy serializable,
+//   * certify conflict-serializable at the physical level,
+//   * report zero S1/S2/S3 violations,
+//   * leave no object locked and no stage dangling after the drain.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "workload/client.h"
+
+namespace vp {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterConfig;
+using harness::Protocol;
+
+struct MatrixParams {
+  core::RecoveryMode recovery;
+  bool weakened_r4;
+  double drop_prob;
+  bool rmw;
+  uint64_t seed;
+};
+
+std::string RecoveryName(core::RecoveryMode m) {
+  switch (m) {
+    case core::RecoveryMode::kFullRead:
+      return "full";
+    case core::RecoveryMode::kPreviousSkip:
+      return "skip";
+    case core::RecoveryMode::kLogCatchup:
+      return "log";
+    case core::RecoveryMode::kDatePoll:
+      return "date";
+  }
+  return "?";
+}
+
+class VpMatrixTest : public ::testing::TestWithParam<MatrixParams> {};
+
+TEST_P(VpMatrixTest, PartitionScheduleStaysCorrect) {
+  const MatrixParams& params = GetParam();
+  ClusterConfig config;
+  config.n_processors = 5;
+  config.n_objects = 6;
+  config.seed = params.seed;
+  config.protocol = Protocol::kVirtualPartition;
+  config.vp.recovery = params.recovery;
+  config.vp.weakened_r4 = params.weakened_r4;
+  config.net.drop_prob = params.drop_prob;
+  Cluster cluster(config);
+  cluster.RunFor(sim::Seconds(1));
+
+  std::vector<core::NodeBase*> nodes;
+  for (ProcessorId p = 0; p < cluster.size(); ++p)
+    nodes.push_back(&cluster.node(p));
+  workload::ClientConfig cc;
+  cc.read_fraction = 0.7;
+  cc.ops_per_txn = 3;
+  cc.rmw = params.rmw;
+  cc.think_time = sim::Millis(8);
+  cc.seed = params.seed;
+  auto clients = workload::MakeClients(nodes, &cluster.scheduler(),
+                                       &cluster.graph(), config.n_objects, cc);
+  for (auto& c : clients) c->Start(sim::Millis(3));
+
+  // A partition-heavy schedule exercising splits, an isolated node, a
+  // crash, and heals.
+  const auto t0 = cluster.scheduler().Now();
+  cluster.injector().PartitionAt(t0 + sim::Millis(400), {{0, 1}, {2, 3, 4}});
+  cluster.injector().HealAt(t0 + sim::Millis(1200));
+  cluster.injector().PartitionAt(t0 + sim::Millis(2000),
+                                 {{0, 2, 4}, {1}, {3}});
+  cluster.injector().HealAt(t0 + sim::Millis(2800));
+  cluster.injector().CrashAt(t0 + sim::Millis(3400), 2);
+  cluster.injector().RecoverAt(t0 + sim::Millis(4200), 2);
+
+  cluster.RunFor(sim::Seconds(5));
+  for (auto& c : clients) c->Stop();
+  cluster.graph().Heal();
+  for (ProcessorId p = 0; p < cluster.size(); ++p)
+    cluster.graph().SetAlive(p, true);
+  cluster.RunFor(sim::Seconds(3));
+
+  const auto agg = workload::Aggregate(clients);
+  EXPECT_GT(agg.txns_committed, 0u);
+
+  auto cert = cluster.Certify();
+  EXPECT_TRUE(cert.ok) << cert.detail;
+  auto conflicts = cluster.CertifyConflicts();
+  EXPECT_TRUE(conflicts.ok) << conflicts.detail;
+  const auto& violations = cluster.recorder().safety_violations();
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations; first: " << violations[0].rule
+      << " — " << violations[0].detail;
+
+  // Quiescence: initialization completed and no stage is dangling.
+  for (ProcessorId p = 0; p < cluster.size(); ++p) {
+    EXPECT_TRUE(cluster.vp_node(p).locked_objects().empty()) << "p" << p;
+    for (ObjectId obj = 0; obj < config.n_objects; ++obj) {
+      EXPECT_FALSE(cluster.store(p).HasStage(obj))
+          << "dangling stage at p" << p << " obj " << obj;
+    }
+  }
+
+  // All copies of every object agree after the final heal + R5 pass.
+  // (Run one more probe/heal settling window to let late joins finish.)
+  cluster.RunFor(sim::Seconds(1));
+  for (ObjectId obj = 0; obj < config.n_objects; ++obj) {
+    const Value v0 = cluster.store(0).Read(obj).value().value;
+    for (ProcessorId p = 1; p < cluster.size(); ++p) {
+      EXPECT_EQ(cluster.store(p).Read(obj).value().value, v0)
+          << "divergent copies of obj " << obj << " at p" << p;
+    }
+  }
+}
+
+std::vector<MatrixParams> BuildMatrix() {
+  std::vector<MatrixParams> out;
+  uint64_t seed = 40;
+  for (core::RecoveryMode mode :
+       {core::RecoveryMode::kFullRead, core::RecoveryMode::kPreviousSkip,
+        core::RecoveryMode::kLogCatchup, core::RecoveryMode::kDatePoll}) {
+    for (bool weakened : {false, true}) {
+      for (double drop : {0.0, 0.02}) {
+        MatrixParams p;
+        p.recovery = mode;
+        p.weakened_r4 = weakened;
+        p.drop_prob = drop;
+        p.rmw = (seed % 2) == 0;
+        p.seed = ++seed;
+        out.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, VpMatrixTest, ::testing::ValuesIn(BuildMatrix()),
+    [](const ::testing::TestParamInfo<MatrixParams>& info) {
+      const MatrixParams& p = info.param;
+      std::ostringstream name;
+      name << RecoveryName(p.recovery) << (p.weakened_r4 ? "_weak" : "_strict")
+           << (p.drop_prob > 0 ? "_drop" : "_clean") << "_s" << p.seed;
+      return name.str();
+    });
+
+}  // namespace
+}  // namespace vp

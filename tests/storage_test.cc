@@ -1,0 +1,226 @@
+// Unit tests for copy placement (weighted accessibility) and the replica
+// store (staging, recovery, write logs).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "storage/placement.h"
+#include "storage/replica_store.h"
+
+namespace vp::storage {
+namespace {
+
+TEST(Placement, FullReplicationBasics) {
+  auto pl = CopyPlacement::FullReplication(3, 2);
+  EXPECT_EQ(pl.object_count(), 2u);
+  for (ObjectId obj = 0; obj < 2; ++obj) {
+    EXPECT_EQ(pl.CopyHolders(obj).size(), 3u);
+    EXPECT_EQ(pl.TotalWeight(obj), 3u);
+    for (ProcessorId p = 0; p < 3; ++p) {
+      EXPECT_TRUE(pl.HasCopy(obj, p));
+      EXPECT_EQ(pl.WeightOf(obj, p), 1u);
+    }
+  }
+}
+
+TEST(Placement, MajorityAccessibility) {
+  auto pl = CopyPlacement::FullReplication(5, 1);
+  EXPECT_TRUE(pl.Accessible(0, std::set<ProcessorId>{0, 1, 2}));
+  EXPECT_FALSE(pl.Accessible(0, std::set<ProcessorId>{0, 1}));
+  EXPECT_TRUE(pl.Accessible(0, std::set<ProcessorId>{0, 1, 2, 3, 4}));
+  EXPECT_FALSE(pl.Accessible(0, std::set<ProcessorId>{}));
+}
+
+TEST(Placement, EvenCopyCountNeedsStrictMajority) {
+  auto pl = CopyPlacement::FullReplication(4, 1);
+  // 2 of 4 votes is NOT a majority.
+  EXPECT_FALSE(pl.Accessible(0, std::set<ProcessorId>{0, 1}));
+  EXPECT_TRUE(pl.Accessible(0, std::set<ProcessorId>{0, 1, 2}));
+}
+
+TEST(Placement, WeightedMajority) {
+  // Example 2's object a: weight 2 at A(0), weight 1 at D(3).
+  CopyPlacement pl;
+  pl.AddCopy(0, 0, 2);
+  pl.AddCopy(0, 3, 1);
+  EXPECT_EQ(pl.TotalWeight(0), 3u);
+  // A alone has 2/3 — a strict majority.
+  EXPECT_TRUE(pl.Accessible(0, std::set<ProcessorId>{0}));
+  // D alone has 1/3 — not a majority.
+  EXPECT_FALSE(pl.Accessible(0, std::set<ProcessorId>{3}));
+}
+
+TEST(Placement, ReWeightingReplaces) {
+  CopyPlacement pl;
+  pl.AddCopy(0, 1, 1);
+  pl.AddCopy(0, 1, 5);
+  EXPECT_EQ(pl.WeightOf(0, 1), 5u);
+  EXPECT_EQ(pl.TotalWeight(0), 5u);
+  EXPECT_EQ(pl.CopyHolders(0).size(), 1u);
+}
+
+TEST(Placement, LocalObjects) {
+  CopyPlacement pl;
+  pl.AddCopy(0, 0, 1);
+  pl.AddCopy(1, 1, 1);
+  pl.AddCopy(2, 0, 1);
+  EXPECT_EQ(pl.LocalObjects(0), (std::vector<ObjectId>{0, 2}));
+  EXPECT_EQ(pl.LocalObjects(1), (std::vector<ObjectId>{1}));
+  EXPECT_TRUE(pl.LocalObjects(2).empty());
+}
+
+TEST(Placement, UnknownObjectQueries) {
+  CopyPlacement pl;
+  EXPECT_FALSE(pl.HasObject(5));
+  EXPECT_FALSE(pl.HasCopy(5, 0));
+  EXPECT_EQ(pl.WeightOf(5, 0), 0u);
+  EXPECT_TRUE(pl.CopyHolders(5).empty());
+  EXPECT_FALSE(pl.Accessible(5, std::set<ProcessorId>{0, 1, 2}));
+}
+
+// --- ReplicaStore ---
+
+TEST(ReplicaStore, CreateAndRead) {
+  ReplicaStore s;
+  s.CreateCopy(0, "init");
+  ASSERT_TRUE(s.HasCopy(0));
+  auto v = s.Read(0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().value, "init");
+  EXPECT_EQ(v.value().date, kEpochDate);
+  EXPECT_TRUE(s.Read(1).status().IsNotFound());
+}
+
+TEST(ReplicaStore, StageCommitCycle) {
+  ReplicaStore s;
+  s.CreateCopy(0, "old");
+  TxnId t{1, 1};
+  ASSERT_TRUE(s.StageWrite(t, 0, "new", VpId{3, 1}).ok());
+  // Committed value unchanged until the stage commits.
+  EXPECT_EQ(s.Read(0).value().value, "old");
+  EXPECT_TRUE(s.HasStage(0));
+  EXPECT_EQ(*s.StageOwner(0), t);
+  ASSERT_TRUE(s.CommitStage(t, 0).ok());
+  EXPECT_EQ(s.Read(0).value().value, "new");
+  EXPECT_EQ(s.Read(0).value().date, (VpId{3, 1}));
+  EXPECT_FALSE(s.HasStage(0));
+}
+
+TEST(ReplicaStore, DiscardStageKeepsCommitted) {
+  ReplicaStore s;
+  s.CreateCopy(0, "keep");
+  TxnId t{1, 1};
+  ASSERT_TRUE(s.StageWrite(t, 0, "drop", VpId{1, 0}).ok());
+  s.DiscardStage(t, 0);
+  EXPECT_EQ(s.Read(0).value().value, "keep");
+  EXPECT_FALSE(s.HasStage(0));
+}
+
+TEST(ReplicaStore, SecondStageByOtherTxnRejected) {
+  ReplicaStore s;
+  s.CreateCopy(0);
+  ASSERT_TRUE(s.StageWrite(TxnId{1, 1}, 0, "a", VpId{1, 0}).ok());
+  EXPECT_TRUE(s.StageWrite(TxnId{2, 1}, 0, "b", VpId{1, 0}).IsBusy());
+  // Same txn may restage.
+  EXPECT_TRUE(s.StageWrite(TxnId{1, 1}, 0, "a2", VpId{1, 0}).ok());
+}
+
+TEST(ReplicaStore, StagedValueVisibleToOwnerOnly) {
+  ReplicaStore s;
+  s.CreateCopy(0, "base");
+  TxnId owner{1, 1};
+  ASSERT_TRUE(s.StageWrite(owner, 0, "mine", VpId{2, 0}).ok());
+  ASSERT_TRUE(s.StagedValue(owner, 0).has_value());
+  EXPECT_EQ(s.StagedValue(owner, 0)->value, "mine");
+  EXPECT_FALSE(s.StagedValue(TxnId{2, 2}, 0).has_value());
+}
+
+TEST(ReplicaStore, CommitStageRespectsDateGuard) {
+  ReplicaStore s;
+  s.CreateCopy(0, "newer");
+  // Copy already advanced to date (5,0) by recovery.
+  ASSERT_TRUE(s.InstallRecovery(0, "recovered", VpId{5, 0}).ok());
+  // A very late commit from an older partition must not regress the copy.
+  TxnId t{1, 1};
+  ASSERT_TRUE(s.StageWrite(t, 0, "stale", VpId{2, 0}).ok());
+  ASSERT_TRUE(s.CommitStage(t, 0).ok());
+  EXPECT_EQ(s.Read(0).value().value, "recovered");
+  EXPECT_EQ(s.Read(0).value().date, (VpId{5, 0}));
+}
+
+TEST(ReplicaStore, InstallRecoveryNeverRegresses) {
+  ReplicaStore s;
+  s.CreateCopy(0, "v5");
+  ASSERT_TRUE(s.InstallRecovery(0, "v5", VpId{5, 0}).ok());
+  ASSERT_TRUE(s.InstallRecovery(0, "v3", VpId{3, 0}).ok());
+  EXPECT_EQ(s.Read(0).value().value, "v5");
+  ASSERT_TRUE(s.InstallRecovery(0, "v7", VpId{7, 0}).ok());
+  EXPECT_EQ(s.Read(0).value().value, "v7");
+}
+
+TEST(ReplicaStore, CommitOfUnknownStageIsNoop) {
+  ReplicaStore s;
+  s.CreateCopy(0, "x");
+  EXPECT_TRUE(s.CommitStage(TxnId{9, 9}, 0).ok());
+  EXPECT_EQ(s.Read(0).value().value, "x");
+}
+
+TEST(ReplicaStore, LogRecordsCommittedWritesInOrder) {
+  ReplicaStore s;
+  s.CreateCopy(0, "0");
+  for (uint64_t i = 1; i <= 3; ++i) {
+    TxnId t{0, i};
+    ASSERT_TRUE(s.StageWrite(t, 0, "v" + std::to_string(i), VpId{i, 0}).ok());
+    ASSERT_TRUE(s.CommitStage(t, 0).ok());
+  }
+  auto all = s.LogSince(0, kEpochDate);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].value, "v1");
+  EXPECT_EQ(all[2].value, "v3");
+  auto suffix = s.LogSince(0, VpId{1, 0});
+  ASSERT_EQ(suffix.size(), 2u);
+  EXPECT_EQ(suffix[0].value, "v2");
+}
+
+TEST(ReplicaStore, ApplyLogSuffixCatchesUp) {
+  ReplicaStore a, b;
+  a.CreateCopy(0, "0");
+  b.CreateCopy(0, "0");
+  for (uint64_t i = 1; i <= 4; ++i) {
+    TxnId t{0, i};
+    ASSERT_TRUE(a.StageWrite(t, 0, "v" + std::to_string(i), VpId{i, 0}).ok());
+    ASSERT_TRUE(a.CommitStage(t, 0).ok());
+  }
+  // b missed everything; fetch the suffix after its date and apply.
+  auto suffix = a.LogSince(0, b.Read(0).value().date);
+  ASSERT_TRUE(b.ApplyLogSuffix(0, suffix).ok());
+  EXPECT_EQ(b.Read(0).value().value, "v4");
+  EXPECT_EQ(b.Read(0).value().date, (VpId{4, 0}));
+  EXPECT_EQ(b.stats().log_catchup_records, 4u);
+  // b's own log is now complete: it can serve catch-ups itself.
+  EXPECT_EQ(b.LogSince(0, VpId{2, 0}).size(), 2u);
+}
+
+TEST(ReplicaStore, StatsCount) {
+  ReplicaStore s;
+  s.CreateCopy(0);
+  TxnId t{1, 1};
+  ASSERT_TRUE(s.StageWrite(t, 0, "a", VpId{1, 0}).ok());
+  ASSERT_TRUE(s.CommitStage(t, 0).ok());
+  ASSERT_TRUE(s.StageWrite(t, 0, "b", VpId{1, 0}).ok());
+  s.DiscardStage(t, 0);
+  EXPECT_EQ(s.stats().stages, 2u);
+  EXPECT_EQ(s.stats().commits, 1u);
+  EXPECT_EQ(s.stats().discards, 1u);
+}
+
+TEST(ReplicaStore, LocalObjectsSorted) {
+  ReplicaStore s;
+  s.CreateCopy(5);
+  s.CreateCopy(1);
+  s.CreateCopy(3);
+  EXPECT_EQ(s.LocalObjects(), (std::vector<ObjectId>{1, 3, 5}));
+}
+
+}  // namespace
+}  // namespace vp::storage

@@ -1,0 +1,216 @@
+// Property-based stress tests: randomized fault storms under concurrent
+// workloads. For every seed, every committed execution must be one-copy
+// serializable (Theorem 1), conflict-serializable at the physical level
+// (A1), and free of S1/S2/S3 violations.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "workload/client.h"
+
+namespace vp {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterConfig;
+using harness::Protocol;
+using workload::Client;
+using workload::ClientConfig;
+
+struct StressParams {
+  uint64_t seed;
+  uint32_t n_processors;
+  bool rmw;
+  double drop_prob;
+  bool crashes;
+  bool partitions;
+};
+
+class VpStressTest : public ::testing::TestWithParam<StressParams> {};
+
+std::vector<core::NodeBase*> AllNodes(Cluster& cluster) {
+  std::vector<core::NodeBase*> nodes;
+  for (ProcessorId p = 0; p < cluster.size(); ++p)
+    nodes.push_back(&cluster.node(p));
+  return nodes;
+}
+
+TEST_P(VpStressTest, FaultStormPreservesOneCopySR) {
+  const StressParams& params = GetParam();
+  ClusterConfig config;
+  config.n_processors = params.n_processors;
+  config.n_objects = 6;
+  config.seed = params.seed;
+  config.protocol = Protocol::kVirtualPartition;
+  config.net.drop_prob = params.drop_prob;
+  Cluster cluster(config);
+  cluster.RunFor(sim::Seconds(1));
+
+  ClientConfig cc;
+  cc.read_fraction = 0.7;
+  cc.ops_per_txn = 3;
+  cc.think_time = sim::Millis(10);
+  cc.rmw = params.rmw;
+  cc.seed = params.seed;
+  auto clients = workload::MakeClients(AllNodes(cluster),
+                                       &cluster.scheduler(), &cluster.graph(),
+                                       config.n_objects, cc);
+  for (auto& c : clients) c->Start(sim::Millis(5));
+
+  // Fault storm: scripted partitions and crashes driven by the seed.
+  if (params.partitions) {
+    const auto base = cluster.scheduler().Now();
+    const uint32_t n = params.n_processors;
+    cluster.injector().PartitionAt(base + sim::Millis(500),
+                                   {{0, 1}, {2, 3, n - 1}});
+    cluster.injector().HealAt(base + sim::Millis(1500));
+    cluster.injector().PartitionAt(base + sim::Millis(2500),
+                                   {{0, 2, 4 % n}, {1, 3}});
+    cluster.injector().HealAt(base + sim::Millis(3500));
+  }
+  if (params.crashes) {
+    const auto base = cluster.scheduler().Now();
+    cluster.injector().CrashAt(base + sim::Millis(700), 1);
+    cluster.injector().RecoverAt(base + sim::Millis(1800), 1);
+    cluster.injector().CrashAt(base + sim::Millis(2300), 3);
+    cluster.injector().RecoverAt(base + sim::Millis(3200), 3);
+  }
+
+  cluster.RunFor(sim::Seconds(5));
+  for (auto& c : clients) c->Stop();
+  // Heal and drain so outcome propagation settles.
+  cluster.graph().Heal();
+  for (ProcessorId p = 0; p < cluster.size(); ++p)
+    cluster.graph().SetAlive(p, true);
+  cluster.RunFor(sim::Seconds(3));
+
+  const auto client_stats = workload::Aggregate(clients);
+  EXPECT_GT(client_stats.txns_committed, 0u)
+      << "workload never made progress";
+
+  auto certify = cluster.Certify();
+  EXPECT_TRUE(certify.ok) << certify.detail;
+  auto conflicts = cluster.CertifyConflicts();
+  EXPECT_TRUE(conflicts.ok) << conflicts.detail;
+  const auto& violations = cluster.recorder().safety_violations();
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations; first: " << violations[0].rule
+      << " — " << violations[0].detail;
+}
+
+std::vector<StressParams> MakeStressMatrix() {
+  std::vector<StressParams> out;
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull, 6ull, 7ull, 8ull}) {
+    StressParams p;
+    p.seed = seed;
+    p.n_processors = 5;
+    p.rmw = seed % 2 == 0;
+    p.drop_prob = seed % 3 == 0 ? 0.02 : 0.0;
+    p.crashes = seed % 2 == 1;
+    p.partitions = true;
+    out.push_back(p);
+  }
+  // A couple of larger configurations.
+  out.push_back(StressParams{101, 7, true, 0.01, true, true});
+  out.push_back(StressParams{102, 9, false, 0.03, true, true});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, VpStressTest, ::testing::ValuesIn(MakeStressMatrix()),
+    [](const ::testing::TestParamInfo<StressParams>& info) {
+      const StressParams& p = info.param;
+      return "seed" + std::to_string(p.seed) + "_n" +
+             std::to_string(p.n_processors) + (p.rmw ? "_rmw" : "_tok");
+    });
+
+// The baselines must also be 1SR in their supported regimes.
+TEST(BaselineStress, QuorumFaultFree) {
+  ClusterConfig config;
+  config.n_processors = 5;
+  config.n_objects = 6;
+  config.seed = 21;
+  config.protocol = Protocol::kMajorityVoting;
+  Cluster cluster(config);
+
+  ClientConfig cc;
+  cc.read_fraction = 0.6;
+  cc.ops_per_txn = 3;
+  cc.rmw = true;
+  cc.seed = 21;
+  auto clients = workload::MakeClients(AllNodes(cluster),
+                                       &cluster.scheduler(), &cluster.graph(),
+                                       config.n_objects, cc);
+  for (auto& c : clients) c->Start(sim::Millis(1));
+  cluster.RunFor(sim::Seconds(5));
+  for (auto& c : clients) c->Stop();
+  cluster.RunFor(sim::Seconds(2));
+
+  EXPECT_GT(workload::Aggregate(clients).txns_committed, 50u);
+  // Quorum consensus has no vp tags; certify by commit order.
+  auto certify = cluster.Certify();
+  EXPECT_TRUE(certify.ok) << certify.detail;
+  auto conflicts = cluster.CertifyConflicts();
+  EXPECT_TRUE(conflicts.ok) << conflicts.detail;
+}
+
+TEST(BaselineStress, QuorumUnderPartition) {
+  ClusterConfig config;
+  config.n_processors = 5;
+  config.n_objects = 6;
+  config.seed = 22;
+  config.protocol = Protocol::kMajorityVoting;
+  config.quorum.poll_all = true;
+  Cluster cluster(config);
+
+  ClientConfig cc;
+  cc.read_fraction = 0.6;
+  cc.ops_per_txn = 2;
+  cc.rmw = true;
+  cc.seed = 22;
+  auto clients = workload::MakeClients(AllNodes(cluster),
+                                       &cluster.scheduler(), &cluster.graph(),
+                                       config.n_objects, cc);
+  for (auto& c : clients) c->Start(sim::Millis(1));
+  cluster.injector().PartitionAt(sim::Millis(800), {{0, 1}, {2, 3, 4}});
+  cluster.injector().HealAt(sim::Millis(2500));
+  cluster.RunFor(sim::Seconds(5));
+  for (auto& c : clients) c->Stop();
+  cluster.RunFor(sim::Seconds(2));
+
+  auto certify = cluster.Certify();
+  EXPECT_TRUE(certify.ok) << certify.detail;
+  auto conflicts = cluster.CertifyConflicts();
+  EXPECT_TRUE(conflicts.ok) << conflicts.detail;
+}
+
+TEST(BaselineStress, RowaFaultFree) {
+  ClusterConfig config;
+  config.n_processors = 4;
+  config.n_objects = 5;
+  config.seed = 23;
+  config.protocol = Protocol::kRowa;
+  Cluster cluster(config);
+
+  ClientConfig cc;
+  cc.read_fraction = 0.8;
+  cc.ops_per_txn = 3;
+  cc.rmw = true;
+  cc.seed = 23;
+  auto clients = workload::MakeClients(AllNodes(cluster),
+                                       &cluster.scheduler(), &cluster.graph(),
+                                       config.n_objects, cc);
+  for (auto& c : clients) c->Start(sim::Millis(1));
+  cluster.RunFor(sim::Seconds(5));
+  for (auto& c : clients) c->Stop();
+  cluster.RunFor(sim::Seconds(2));
+
+  EXPECT_GT(workload::Aggregate(clients).txns_committed, 50u);
+  auto certify = cluster.Certify();
+  EXPECT_TRUE(certify.ok) << certify.detail;
+}
+
+}  // namespace
+}  // namespace vp

@@ -1,0 +1,96 @@
+// Tests for the execution trace renderer.
+#include "history/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace vp::history {
+namespace {
+
+Recorder MakeRecorder() {
+  Recorder rec;
+  rec.JoinVp(0, {1, 0}, {0, 1}, 5000);
+  rec.JoinVp(1, {1, 0}, {0, 1}, 6000);
+
+  rec.TxnBegin({0, 1}, 0, 10'000);
+  rec.TxnSetVp({0, 1}, {1, 0});
+  rec.TxnRead({0, 1}, 2, "x", {1, 0}, 11'000);
+  rec.TxnWrite({0, 1}, 0, "y", 12'000);
+  rec.TxnCommit({0, 1}, 13'000);
+
+  rec.TxnBegin({1, 1}, 1, 14'000);
+  rec.TxnSetVp({1, 1}, {1, 0});
+  rec.TxnRead({1, 1}, 0, "y", {1, 0}, 15'000);
+  rec.TxnAbort({1, 1}, 16'000);
+
+  rec.DepartVp(1, 20'000);
+  return rec;
+}
+
+TEST(Trace, FormatTransactionsCommittedOnly) {
+  Recorder rec = MakeRecorder();
+  const std::string out = FormatTransactions(rec);
+  EXPECT_NE(out.find("t0.1 [vp (1,0)] commit@13.0ms: R(o2)='x' W(o0)='y'"),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("t1.1"), std::string::npos);  // Aborted excluded.
+}
+
+TEST(Trace, FormatTransactionsIncludeAborted) {
+  Recorder rec = MakeRecorder();
+  TraceOptions options;
+  options.include_aborted = true;
+  const std::string out = FormatTransactions(rec, options);
+  EXPECT_NE(out.find("t1.1 [vp (1,0)] abort@16.0ms"), std::string::npos)
+      << out;
+}
+
+TEST(Trace, FormatTransactionsObjectFilter) {
+  Recorder rec = MakeRecorder();
+  TraceOptions options;
+  options.only_object = 2;
+  const std::string out = FormatTransactions(rec, options);
+  EXPECT_NE(out.find("R(o2)='x'"), std::string::npos) << out;
+  EXPECT_EQ(out.find("W(o0)"), std::string::npos) << out;
+}
+
+TEST(Trace, FormatViewEvents) {
+  Recorder rec = MakeRecorder();
+  const std::string out = FormatViewEvents(rec);
+  EXPECT_NE(out.find("@5.0ms p0 join (1,0) view={0,1}"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("@20.0ms p1 depart"), std::string::npos) << out;
+}
+
+TEST(Trace, ExplainCertifyFailureShowsObjectHistory) {
+  Recorder rec;
+  rec.TxnBegin({0, 1}, 0, 100);
+  rec.TxnSetVp({0, 1}, {1, 0});
+  rec.TxnRead({0, 1}, 3, "0", kEpochDate, 200);
+  rec.TxnWrite({0, 1}, 3, "1", 300);
+  rec.TxnCommit({0, 1}, 400);
+  rec.TxnBegin({1, 1}, 1, 500);
+  rec.TxnSetVp({1, 1}, {1, 1});
+  rec.TxnRead({1, 1}, 3, "0", kEpochDate, 600);
+  rec.TxnWrite({1, 1}, 3, "1", 700);
+  rec.TxnCommit({1, 1}, 800);
+
+  InitialDb db{{3, "0"}};
+  auto cert = CertifyOneCopySR(rec.Committed(), db);
+  ASSERT_FALSE(cert.ok);
+  const std::string out = ExplainCertifyFailure(rec, cert, db);
+  EXPECT_NE(out.find("certification failed"), std::string::npos);
+  EXPECT_NE(out.find("history of object 3"), std::string::npos) << out;
+  EXPECT_NE(out.find("t0.1"), std::string::npos) << out;
+  EXPECT_NE(out.find("t1.1"), std::string::npos) << out;
+}
+
+TEST(Trace, ExplainPassingCertification) {
+  Recorder rec;
+  auto cert = CertifyOneCopySR(rec.Committed(), {});
+  ASSERT_TRUE(cert.ok);
+  EXPECT_NE(ExplainCertifyFailure(rec, cert, {}).find("passed"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace vp::history
