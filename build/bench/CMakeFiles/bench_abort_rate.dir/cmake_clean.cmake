@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abort_rate.dir/bench_abort_rate.cc.o"
+  "CMakeFiles/bench_abort_rate.dir/bench_abort_rate.cc.o.d"
+  "bench_abort_rate"
+  "bench_abort_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abort_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_correctness.dir/bench_correctness.cc.o"
+  "CMakeFiles/bench_correctness.dir/bench_correctness.cc.o.d"
+  "bench_correctness"
+  "bench_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_message_cost.dir/bench_message_cost.cc.o"
+  "CMakeFiles/bench_message_cost.dir/bench_message_cost.cc.o.d"
+  "bench_message_cost"
+  "bench_message_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_message_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_init.dir/bench_partition_init.cc.o"
+  "CMakeFiles/bench_partition_init.dir/bench_partition_init.cc.o.d"
+  "bench_partition_init"
+  "bench_partition_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

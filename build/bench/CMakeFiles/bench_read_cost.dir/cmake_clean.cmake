@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_read_cost.dir/bench_read_cost.cc.o"
+  "CMakeFiles/bench_read_cost.dir/bench_read_cost.cc.o.d"
+  "bench_read_cost"
+  "bench_read_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_read_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_staleness.dir/bench_staleness.cc.o"
+  "CMakeFiles/bench_staleness.dir/bench_staleness.cc.o.d"
+  "bench_staleness"
+  "bench_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

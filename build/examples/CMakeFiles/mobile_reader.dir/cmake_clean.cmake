@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_reader.dir/mobile_reader.cpp.o"
+  "CMakeFiles/mobile_reader.dir/mobile_reader.cpp.o.d"
+  "mobile_reader"
+  "mobile_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_bank.dir/partitioned_bank.cpp.o"
+  "CMakeFiles/partitioned_bank.dir/partitioned_bank.cpp.o.d"
+  "partitioned_bank"
+  "partitioned_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

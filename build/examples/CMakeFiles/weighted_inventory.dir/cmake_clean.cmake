@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_inventory.dir/weighted_inventory.cpp.o"
+  "CMakeFiles/weighted_inventory.dir/weighted_inventory.cpp.o.d"
+  "weighted_inventory"
+  "weighted_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

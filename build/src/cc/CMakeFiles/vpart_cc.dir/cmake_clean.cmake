@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpart_cc.dir/lock_manager.cc.o"
+  "CMakeFiles/vpart_cc.dir/lock_manager.cc.o.d"
+  "libvpart_cc.a"
+  "libvpart_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpart_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpart_common.dir/logging.cc.o"
+  "CMakeFiles/vpart_common.dir/logging.cc.o.d"
+  "CMakeFiles/vpart_common.dir/rng.cc.o"
+  "CMakeFiles/vpart_common.dir/rng.cc.o.d"
+  "CMakeFiles/vpart_common.dir/status.cc.o"
+  "CMakeFiles/vpart_common.dir/status.cc.o.d"
+  "libvpart_common.a"
+  "libvpart_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpart_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/node_base.cc" "src/core/CMakeFiles/vpart_core.dir/node_base.cc.o" "gcc" "src/core/CMakeFiles/vpart_core.dir/node_base.cc.o.d"
+  "/root/repo/src/core/vp_node.cc" "src/core/CMakeFiles/vpart_core.dir/vp_node.cc.o" "gcc" "src/core/CMakeFiles/vpart_core.dir/vp_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vpart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vpart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vpart_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vpart_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/vpart_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/vpart_history.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpart_core.dir/node_base.cc.o"
+  "CMakeFiles/vpart_core.dir/node_base.cc.o.d"
+  "CMakeFiles/vpart_core.dir/vp_node.cc.o"
+  "CMakeFiles/vpart_core.dir/vp_node.cc.o.d"
+  "libvpart_core.a"
+  "libvpart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/cluster.cc" "src/harness/CMakeFiles/vpart_harness.dir/cluster.cc.o" "gcc" "src/harness/CMakeFiles/vpart_harness.dir/cluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vpart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/vpart_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vpart_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vpart_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vpart_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/vpart_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/vpart_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vpart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpart_harness.dir/cluster.cc.o"
+  "CMakeFiles/vpart_harness.dir/cluster.cc.o.d"
+  "libvpart_harness.a"
+  "libvpart_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpart_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/history/checker.cc" "src/history/CMakeFiles/vpart_history.dir/checker.cc.o" "gcc" "src/history/CMakeFiles/vpart_history.dir/checker.cc.o.d"
+  "/root/repo/src/history/recorder.cc" "src/history/CMakeFiles/vpart_history.dir/recorder.cc.o" "gcc" "src/history/CMakeFiles/vpart_history.dir/recorder.cc.o.d"
+  "/root/repo/src/history/trace.cc" "src/history/CMakeFiles/vpart_history.dir/trace.cc.o" "gcc" "src/history/CMakeFiles/vpart_history.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vpart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vpart_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

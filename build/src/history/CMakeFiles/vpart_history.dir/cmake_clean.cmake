@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpart_history.dir/checker.cc.o"
+  "CMakeFiles/vpart_history.dir/checker.cc.o.d"
+  "CMakeFiles/vpart_history.dir/recorder.cc.o"
+  "CMakeFiles/vpart_history.dir/recorder.cc.o.d"
+  "CMakeFiles/vpart_history.dir/trace.cc.o"
+  "CMakeFiles/vpart_history.dir/trace.cc.o.d"
+  "libvpart_history.a"
+  "libvpart_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpart_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/failure_injector.cc" "src/net/CMakeFiles/vpart_net.dir/failure_injector.cc.o" "gcc" "src/net/CMakeFiles/vpart_net.dir/failure_injector.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/vpart_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/vpart_net.dir/network.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/vpart_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/vpart_net.dir/topology.cc.o.d"
+  "/root/repo/src/net/topology_gen.cc" "src/net/CMakeFiles/vpart_net.dir/topology_gen.cc.o" "gcc" "src/net/CMakeFiles/vpart_net.dir/topology_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vpart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vpart_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

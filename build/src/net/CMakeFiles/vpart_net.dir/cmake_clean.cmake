@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpart_net.dir/failure_injector.cc.o"
+  "CMakeFiles/vpart_net.dir/failure_injector.cc.o.d"
+  "CMakeFiles/vpart_net.dir/network.cc.o"
+  "CMakeFiles/vpart_net.dir/network.cc.o.d"
+  "CMakeFiles/vpart_net.dir/topology.cc.o"
+  "CMakeFiles/vpart_net.dir/topology.cc.o.d"
+  "CMakeFiles/vpart_net.dir/topology_gen.cc.o"
+  "CMakeFiles/vpart_net.dir/topology_gen.cc.o.d"
+  "libvpart_net.a"
+  "libvpart_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpart_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

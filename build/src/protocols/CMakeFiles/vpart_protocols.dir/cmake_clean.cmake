@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpart_protocols.dir/naive_view_node.cc.o"
+  "CMakeFiles/vpart_protocols.dir/naive_view_node.cc.o.d"
+  "CMakeFiles/vpart_protocols.dir/quorum_node.cc.o"
+  "CMakeFiles/vpart_protocols.dir/quorum_node.cc.o.d"
+  "libvpart_protocols.a"
+  "libvpart_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpart_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpart_sim.dir/scheduler.cc.o"
+  "CMakeFiles/vpart_sim.dir/scheduler.cc.o.d"
+  "libvpart_sim.a"
+  "libvpart_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpart_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/placement.cc" "src/storage/CMakeFiles/vpart_storage.dir/placement.cc.o" "gcc" "src/storage/CMakeFiles/vpart_storage.dir/placement.cc.o.d"
+  "/root/repo/src/storage/replica_store.cc" "src/storage/CMakeFiles/vpart_storage.dir/replica_store.cc.o" "gcc" "src/storage/CMakeFiles/vpart_storage.dir/replica_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

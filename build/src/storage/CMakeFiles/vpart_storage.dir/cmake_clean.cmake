@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpart_storage.dir/placement.cc.o"
+  "CMakeFiles/vpart_storage.dir/placement.cc.o.d"
+  "CMakeFiles/vpart_storage.dir/replica_store.cc.o"
+  "CMakeFiles/vpart_storage.dir/replica_store.cc.o.d"
+  "libvpart_storage.a"
+  "libvpart_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpart_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpart_workload.dir/client.cc.o"
+  "CMakeFiles/vpart_workload.dir/client.cc.o.d"
+  "libvpart_workload.a"
+  "libvpart_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpart_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

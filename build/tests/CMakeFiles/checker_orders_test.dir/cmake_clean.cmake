@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_orders_test.dir/checker_orders_test.cc.o"
+  "CMakeFiles/checker_orders_test.dir/checker_orders_test.cc.o.d"
+  "checker_orders_test"
+  "checker_orders_test.pdb"
+  "checker_orders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_orders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutual_exclusion_test.dir/mutual_exclusion_test.cc.o"
+  "CMakeFiles/mutual_exclusion_test.dir/mutual_exclusion_test.cc.o.d"
+  "mutual_exclusion_test"
+  "mutual_exclusion_test.pdb"
+  "mutual_exclusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutual_exclusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

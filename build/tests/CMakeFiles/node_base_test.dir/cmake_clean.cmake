@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_base_test.dir/node_base_test.cc.o"
+  "CMakeFiles/node_base_test.dir/node_base_test.cc.o.d"
+  "node_base_test"
+  "node_base_test.pdb"
+  "node_base_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_base_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_matrix_test.dir/property_matrix_test.cc.o"
+  "CMakeFiles/property_matrix_test.dir/property_matrix_test.cc.o.d"
+  "property_matrix_test"
+  "property_matrix_test.pdb"
+  "property_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

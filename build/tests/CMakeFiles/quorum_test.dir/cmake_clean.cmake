@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_test.dir/quorum_test.cc.o"
+  "CMakeFiles/quorum_test.dir/quorum_test.cc.o.d"
+  "quorum_test"
+  "quorum_test.pdb"
+  "quorum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

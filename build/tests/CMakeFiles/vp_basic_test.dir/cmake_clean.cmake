@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_basic_test.dir/vp_basic_test.cc.o"
+  "CMakeFiles/vp_basic_test.dir/vp_basic_test.cc.o.d"
+  "vp_basic_test"
+  "vp_basic_test.pdb"
+  "vp_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_liveness_test.dir/vp_liveness_test.cc.o"
+  "CMakeFiles/vp_liveness_test.dir/vp_liveness_test.cc.o.d"
+  "vp_liveness_test"
+  "vp_liveness_test.pdb"
+  "vp_liveness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_liveness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_protocol_test.dir/vp_protocol_test.cc.o"
+  "CMakeFiles/vp_protocol_test.dir/vp_protocol_test.cc.o.d"
+  "vp_protocol_test"
+  "vp_protocol_test.pdb"
+  "vp_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

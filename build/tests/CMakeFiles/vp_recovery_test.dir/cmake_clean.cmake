@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_recovery_test.dir/vp_recovery_test.cc.o"
+  "CMakeFiles/vp_recovery_test.dir/vp_recovery_test.cc.o.d"
+  "vp_recovery_test"
+  "vp_recovery_test.pdb"
+  "vp_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

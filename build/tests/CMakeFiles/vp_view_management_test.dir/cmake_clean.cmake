@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_view_management_test.dir/vp_view_management_test.cc.o"
+  "CMakeFiles/vp_view_management_test.dir/vp_view_management_test.cc.o.d"
+  "vp_view_management_test"
+  "vp_view_management_test.pdb"
+  "vp_view_management_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_view_management_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vp_view_management_test.
+# This may be replaced when dependencies are built.
