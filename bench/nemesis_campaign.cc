@@ -1,0 +1,164 @@
+// Nemesis campaign CLI: adversarial fault storms against one protocol.
+//
+//   nemesis_campaign --seeds=1000                      # VP, seeds 1..1000
+//   nemesis_campaign --protocol=naive-view --seeds=200 # find its anomalies
+//   nemesis_campaign --replay=failure.plan             # re-run a saved plan
+//   nemesis_campaign --dump-seed=7                     # print a plan file
+//
+// Campaign mode prints a pass/fail table plus fault-mix coverage; every
+// violation is shrunk to a minimal plan and saved as a replayable
+// nemesis_<protocol>_<seed>.plan file. Exit code is non-zero when any
+// violation was observed (campaign) or reproduced (replay).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "nemesis/campaign.h"
+#include "nemesis/nemesis.h"
+#include "nemesis/shrink.h"
+
+namespace {
+
+using vp::nemesis::CampaignConfig;
+using vp::nemesis::CampaignResult;
+using vp::nemesis::FaultPlan;
+using vp::nemesis::RunOutcome;
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+void PrintOutcome(const RunOutcome& outcome) {
+  std::printf("  committed   %llu\n",
+              static_cast<unsigned long long>(outcome.committed));
+  std::printf("  aborted     %llu\n",
+              static_cast<unsigned long long>(outcome.aborted));
+  std::printf("  dup msgs    %llu\n",
+              static_cast<unsigned long long>(outcome.duplicated));
+  std::printf("  reordered   %llu\n",
+              static_cast<unsigned long long>(outcome.reordered));
+  std::printf("  one-copy-sr   %s\n", outcome.one_copy_sr ? "ok" : "VIOLATED");
+  std::printf("  conflict-sr   %s\n", outcome.conflict_sr ? "ok" : "VIOLATED");
+  std::printf("  durable-reads %s\n",
+              outcome.durable_reads ? "ok" : "VIOLATED");
+  std::printf("  safety S1-S3  %s\n", outcome.safety_ok ? "ok" : "VIOLATED");
+  std::printf("  convergence   %s\n", outcome.converged ? "ok" : "VIOLATED");
+  if (outcome.violation()) {
+    std::printf("  witness: %s\n", outcome.failure.c_str());
+  }
+}
+
+int Replay(const std::string& path) {
+  vp::Result<FaultPlan> plan = FaultPlan::LoadFile(path);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("replaying %s (protocol=%s, %zu actions, seed=%llu)\n",
+              path.c_str(),
+              vp::harness::ProtocolName(plan.value().protocol).c_str(),
+              plan.value().actions.size(),
+              static_cast<unsigned long long>(plan.value().seed));
+  RunOutcome outcome = vp::nemesis::RunPlan(plan.value());
+  PrintOutcome(outcome);
+  return outcome.violation() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CampaignConfig config;
+  std::string replay_path;
+  std::string out_dir = ".";
+  uint64_t dump_seed = 0;
+  bool have_dump_seed = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--seeds", &value)) {
+      config.n_seeds = static_cast<uint32_t>(std::strtoul(value.c_str(),
+                                                          nullptr, 10));
+    } else if (ParseFlag(argv[i], "--first-seed", &value)) {
+      config.first_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--protocol", &value)) {
+      if (!vp::harness::ProtocolFromName(value, &config.protocol)) {
+        std::fprintf(stderr, "error: unknown protocol '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
+      config.shrink_failures = false;
+    } else if (ParseFlag(argv[i], "--max-shrinks", &value)) {
+      config.max_shrinks = static_cast<uint32_t>(std::strtoul(value.c_str(),
+                                                              nullptr, 10));
+    } else if (ParseFlag(argv[i], "--shrink-budget", &value)) {
+      config.shrink.budget = static_cast<uint32_t>(std::strtoul(value.c_str(),
+                                                                nullptr, 10));
+    } else if (ParseFlag(argv[i], "--out-dir", &value)) {
+      out_dir = value;
+    } else if (ParseFlag(argv[i], "--replay", &value)) {
+      replay_path = value;
+    } else if (ParseFlag(argv[i], "--dump-seed", &value)) {
+      dump_seed = std::strtoull(value.c_str(), nullptr, 10);
+      have_dump_seed = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seeds=N] [--first-seed=K] [--protocol=NAME]\n"
+                   "          [--no-shrink] [--max-shrinks=N]\n"
+                   "          [--shrink-budget=N] [--out-dir=DIR]\n"
+                   "          [--replay=FILE] [--dump-seed=K]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  if (!replay_path.empty()) return Replay(replay_path);
+  if (have_dump_seed) {
+    FaultPlan plan = vp::nemesis::GeneratePlan(dump_seed, config.generator);
+    plan.protocol = config.protocol;
+    std::fputs(plan.ToText().c_str(), stdout);
+    return 0;
+  }
+
+  uint32_t done = 0;
+  CampaignResult result = vp::nemesis::RunCampaign(
+      config, [&](uint64_t seed, const RunOutcome& outcome) {
+        ++done;
+        if (outcome.violation()) {
+          std::printf("seed %llu: VIOLATION (%s)\n",
+                      static_cast<unsigned long long>(seed),
+                      outcome.failure.c_str());
+          std::fflush(stdout);
+        } else if (done % 50 == 0) {
+          std::printf("... %u/%u seeds done\n", done, config.n_seeds);
+          std::fflush(stdout);
+        }
+      });
+
+  std::fputs(vp::nemesis::FormatCampaign(config, result).c_str(), stdout);
+
+  if (!result.failures.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+  }
+  for (const vp::nemesis::CampaignFailure& failure : result.failures) {
+    const std::string path =
+        out_dir + "/nemesis_" + vp::harness::ProtocolName(config.protocol) +
+        "_" + std::to_string(failure.seed) + ".plan";
+    const vp::Status s = failure.shrunk.SaveFile(path);
+    if (s.ok()) {
+      std::printf("saved %s plan to %s (replay with --replay=%s)\n",
+                  failure.was_shrunk ? "shrunk" : "failing", path.c_str(),
+                  path.c_str());
+    } else {
+      std::fprintf(stderr, "error saving %s: %s\n", path.c_str(),
+                   s.ToString().c_str());
+    }
+  }
+  return result.violations > 0 ? 1 : 0;
+}

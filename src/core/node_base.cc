@@ -132,9 +132,16 @@ Status NodeBase::ValidateCommit(const TxnRec&) { return Status::Ok(); }
 void NodeBase::HandlePhysRead(const net::Message& m) {
   const auto& req = net::BodyAs<msg::PhysRead>(m);
   if (MaybeDefer(m)) return;
+  const ProcessorId reply_to = m.src;
+  if (!req.recovery && remote_outcomes_.count(req.txn) > 0) {
+    // Duplicate/reordered request for an already-decided transaction.
+    Send(reply_to, msg::kPhysReadReply,
+         msg::PhysReadReply{req.op_id, false, "stale-txn", Value(),
+                            kEpochDate});
+    return;
+  }
   Status admit = ValidateAccess(req.txn, req.v, req.obj, req.footprint,
                                 req.recovery, /*is_write=*/false);
-  const ProcessorId reply_to = m.src;
   if (!admit.ok()) {
     Send(reply_to, msg::kPhysReadReply,
          msg::PhysReadReply{req.op_id, false, std::string(admit.message()),
@@ -159,6 +166,14 @@ void NodeBase::HandlePhysRead(const net::Message& m) {
         if (!s.ok()) {
           Send(reply_to, msg::kPhysReadReply,
                msg::PhysReadReply{op_id, false, "lock-timeout", Value(),
+                                  kEpochDate});
+          return;
+        }
+        if (!recovery && remote_outcomes_.count(txn) > 0) {
+          // The outcome landed while this request waited for the lock.
+          env_.locks->ReleaseAll(locker);
+          Send(reply_to, msg::kPhysReadReply,
+               msg::PhysReadReply{op_id, false, "stale-txn", Value(),
                                   kEpochDate});
           return;
         }
@@ -192,9 +207,15 @@ void NodeBase::HandlePhysRead(const net::Message& m) {
 void NodeBase::HandlePhysWrite(const net::Message& m) {
   const auto& req = net::BodyAs<msg::PhysWrite>(m);
   if (MaybeDefer(m)) return;
+  const ProcessorId reply_to = m.src;
+  if (remote_outcomes_.count(req.txn) > 0) {
+    // Duplicate/reordered request for an already-decided transaction.
+    Send(reply_to, msg::kPhysWriteReply,
+         msg::PhysWriteReply{req.op_id, false, "stale-txn"});
+    return;
+  }
   Status admit = ValidateAccess(req.txn, req.v, req.obj, req.footprint,
                                 /*is_recovery=*/false, /*is_write=*/true);
-  const ProcessorId reply_to = m.src;
   if (!admit.ok()) {
     Send(reply_to, msg::kPhysWriteReply,
          msg::PhysWriteReply{req.op_id, false, std::string(admit.message())});
@@ -216,6 +237,13 @@ void NodeBase::HandlePhysWrite(const net::Message& m) {
         if (!s.ok()) {
           Send(reply_to, msg::kPhysWriteReply,
                msg::PhysWriteReply{op_id, false, "lock-timeout"});
+          return;
+        }
+        if (remote_outcomes_.count(txn) > 0) {
+          // The outcome landed while this request waited for the lock.
+          env_.locks->ReleaseAll(txn);
+          Send(reply_to, msg::kPhysWriteReply,
+               msg::PhysWriteReply{op_id, false, "stale-txn"});
           return;
         }
         Status st = env_.store->StageWrite(txn, obj, value, date);
@@ -266,6 +294,7 @@ void NodeBase::HandleLogQuery(const net::Message& m) {
 }
 
 void NodeBase::ApplyOutcomeLocally(TxnId txn, bool committed) {
+  remote_outcomes_[txn] = committed;
   auto it = remote_txns_.find(txn);
   if (it != remote_txns_.end()) {
     for (ObjectId obj : it->second.staged) {

@@ -155,6 +155,12 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
   std::unordered_map<TxnId, TxnRec, TxnIdHash> txns_;
   cc::DecisionLog decisions_;
   std::unordered_map<TxnId, RemoteTxn, TxnIdHash> remote_txns_;
+  /// Outcomes this node learned as a PARTICIPANT (decisions_ only covers
+  /// transactions coordinated here). A duplicated or reordered physical
+  /// request that arrives after the outcome must be nacked, never
+  /// re-staged: re-staging would later re-commit a stale value over newer
+  /// committed writes and double-record the op in the conflict graph.
+  std::unordered_map<TxnId, bool, TxnIdHash> remote_outcomes_;
 
  private:
   void ScheduleInDoubtSweep();

@@ -67,7 +67,16 @@ void VpNode::StartCreateVp(VpId new_id) {
 void VpNode::FinishCreateVp(uint64_t generation) {
   if (generation != create_generation_) return;  // Superseded attempt.
   create_open_ = false;
-  if (Crashed()) return;
+  if (Crashed()) {
+    // Crashed mid-attempt while unassigned. Probes are ignored while
+    // unassigned, so without a pending monitor timer the processor would
+    // stall unassigned forever after recovery; the timer re-arms itself
+    // until recovery and then initiates a fresh partition.
+    if (!monitor_timer_.armed()) {
+      monitor_timer_.Set(3 * config_.delta, [this]() { OnMonitorTimeout(); });
+    }
+    return;
+  }
   // Fig. 5 line 14: commit only if no higher-numbered invitation was seen
   // while collecting acceptances.
   if (create_id_ == max_id_) {

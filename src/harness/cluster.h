@@ -39,6 +39,10 @@ enum class Protocol {
 
 std::string ProtocolName(Protocol p);
 
+/// Inverse of ProtocolName. Returns false (leaving *out untouched) for an
+/// unknown name.
+bool ProtocolFromName(const std::string& name, Protocol* out);
+
 struct ClusterConfig {
   uint32_t n_processors = 3;
   /// Used when `placement` is empty: n_objects fully replicated objects.
@@ -96,6 +100,9 @@ class Cluster {
   history::CertifyResult CertifyAnyOrder(size_t max_txns = 9) const;
   /// CP-serializability of recorded physical operations (assumption A1).
   history::CertifyResult CertifyConflicts() const;
+  /// No-lost-committed-write check: committed reads trace to committed
+  /// writes (or the initial database).
+  history::CertifyResult CertifyDurableReads() const;
   /// Sum of a ProtocolStats field over all nodes.
   core::ProtocolStats AggregateStats() const;
 

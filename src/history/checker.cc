@@ -124,15 +124,13 @@ CertifyResult CertifyOneCopySRAnyOrder(
   return result;
 }
 
-CertifyResult CheckConflictSerializable(
-    const std::vector<Recorder::PhysOp>& physical_ops,
-    const std::vector<TxnHistory>& committed) {
-  CertifyResult result;
-  std::set<TxnId> committed_ids;
-  for (const TxnHistory& t : committed) committed_ids.insert(t.id);
+namespace {
 
-  // Conflict edges: same node+object, at least one write, different txns,
-  // ordered by (time, record sequence).
+/// Conflict edges among committed transactions: same node+object, at least
+/// one write, different txns, ordered by (time, record sequence).
+std::map<TxnId, std::set<TxnId>> BuildConflictEdges(
+    const std::vector<Recorder::PhysOp>& physical_ops,
+    const std::set<TxnId>& committed_ids) {
   std::vector<Recorder::PhysOp> ops;
   for (const auto& op : physical_ops) {
     if (committed_ids.count(op.txn) > 0) ops.push_back(op);
@@ -158,6 +156,20 @@ CertifyResult CheckConflictSerializable(
       }
     }
   }
+  return edges;
+}
+
+}  // namespace
+
+CertifyResult CheckConflictSerializable(
+    const std::vector<Recorder::PhysOp>& physical_ops,
+    const std::vector<TxnHistory>& committed) {
+  CertifyResult result;
+  std::set<TxnId> committed_ids;
+  for (const TxnHistory& t : committed) committed_ids.insert(t.id);
+
+  std::map<TxnId, std::set<TxnId>> edges =
+      BuildConflictEdges(physical_ops, committed_ids);
 
   // DFS cycle detection.
   std::map<TxnId, int> color;  // 0 white, 1 grey, 2 black.
@@ -185,6 +197,84 @@ CertifyResult CheckConflictSerializable(
       result.ok = false;
       result.detail = cycle;
       return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+CertifyResult CertifyOneCopySRConflictOrder(
+    const std::vector<Recorder::PhysOp>& physical_ops,
+    const std::vector<TxnHistory>& committed, const InitialDb& initial) {
+  CertifyResult result;
+  std::set<TxnId> committed_ids;
+  std::map<TxnId, size_t> index_of;
+  for (size_t i = 0; i < committed.size(); ++i) {
+    committed_ids.insert(committed[i].id);
+    index_of[committed[i].id] = i;
+  }
+  std::map<TxnId, std::set<TxnId>> edges =
+      BuildConflictEdges(physical_ops, committed_ids);
+
+  // Kahn's algorithm with a deterministic ready set: among transactions
+  // whose predecessors are all placed, the earliest (decided_at, id) goes
+  // first, so unconflicting transactions keep their commit order.
+  std::map<TxnId, size_t> indegree;
+  for (const TxnHistory& t : committed) indegree[t.id] = 0;
+  for (const auto& [from, tos] : edges) {
+    (void)from;
+    for (const TxnId& to : tos) ++indegree[to];
+  }
+  auto rank = [&](const TxnId& id) {
+    const TxnHistory& t = committed[index_of[id]];
+    return std::pair<sim::SimTime, TxnId>(t.decided_at, id);
+  };
+  std::set<std::pair<sim::SimTime, TxnId>> ready;
+  for (const auto& [id, deg] : indegree) {
+    if (deg == 0) ready.insert(rank(id));
+  }
+  std::vector<size_t> order;
+  order.reserve(committed.size());
+  while (!ready.empty()) {
+    const TxnId id = ready.begin()->second;
+    ready.erase(ready.begin());
+    order.push_back(index_of[id]);
+    for (const TxnId& to : edges[id]) {
+      if (--indegree[to] == 0) ready.insert(rank(to));
+    }
+  }
+  if (order.size() != committed.size()) {
+    result.skipped = true;
+    result.detail = "conflict graph is cyclic";
+    return result;
+  }
+  return ReplaySerialOrder(committed, initial, order);
+}
+
+CertifyResult CheckNoLostCommittedWrites(
+    const std::vector<TxnHistory>& committed, const InitialDb& initial) {
+  CertifyResult result;
+  // Legitimate sources per object: the initial value plus every value
+  // written by a committed transaction.
+  std::map<ObjectId, std::set<Value>> sources;
+  for (const auto& [obj, value] : initial) sources[obj].insert(value);
+  for (const TxnHistory& txn : committed) {
+    for (const LogicalOp& op : txn.ops) {
+      if (op.kind == LogicalOp::Kind::kWrite) sources[op.obj].insert(op.value);
+    }
+  }
+  for (const TxnHistory& txn : committed) {
+    for (const LogicalOp& op : txn.ops) {
+      if (op.kind != LogicalOp::Kind::kRead) continue;
+      const auto it = sources.find(op.obj);
+      if (it == sources.end() || it->second.count(op.value) == 0) {
+        result.ok = false;
+        result.detail = txn.id.ToString() + " read '" + op.value +
+                        "' from o" + std::to_string(op.obj) +
+                        ", which no committed transaction wrote and which "
+                        "is not the initial value";
+        return result;
+      }
     }
   }
   result.ok = true;

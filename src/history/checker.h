@@ -63,6 +63,27 @@ CertifyResult CheckConflictSerializable(
     const std::vector<Recorder::PhysOp>& physical_ops,
     const std::vector<TxnHistory>& committed);
 
+/// Theorem 1′ replay along the topological order of the committed
+/// transactions' physical conflict graph — the exact serialization order
+/// strict 2PL enforces. Commit timestamps can misorder anti-dependencies
+/// (a reader and a later writer may commit in the same microsecond, or a
+/// copy applies a committed write only when the outcome message lands), so
+/// this candidate succeeds on executions the commit-time replays misjudge.
+/// Returns skipped when the conflict graph is cyclic (no topological order
+/// exists; CheckConflictSerializable reports the cycle).
+CertifyResult CertifyOneCopySRConflictOrder(
+    const std::vector<Recorder::PhysOp>& physical_ops,
+    const std::vector<TxnHistory>& committed, const InitialDb& initial);
+
+/// No-lost-committed-write / durability check: every value returned by a
+/// committed transaction's read must originate from the initial database or
+/// from a write of some COMMITTED transaction. A read tracing to an aborted
+/// (or phantom) write witnesses a durability bug — e.g. R5 recovery
+/// installing a rolled-back stage, or a replica resurrecting discarded
+/// state after crash/recovery churn.
+CertifyResult CheckNoLostCommittedWrites(
+    const std::vector<TxnHistory>& committed, const InitialDb& initial);
+
 }  // namespace vp::history
 
 #endif  // VPART_HISTORY_CHECKER_H_

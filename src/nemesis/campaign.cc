@@ -1,0 +1,105 @@
+#include "nemesis/campaign.h"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace vp::nemesis {
+
+namespace {
+
+/// Which fault kinds / knobs a plan exercises (for the coverage table).
+std::set<std::string> PlanCoverage(const FaultPlan& plan) {
+  std::set<std::string> kinds;
+  for (const net::FaultAction& a : plan.actions) {
+    kinds.insert(net::FaultKindName(a.kind));
+  }
+  if (plan.drop_prob > 0) kinds.insert("drop_prob");
+  if (plan.slow_prob > 0) kinds.insert("slow_prob");
+  if (plan.dup_prob > 0) kinds.insert("dup_prob");
+  if (plan.reorder_prob > 0) kinds.insert("reorder_prob");
+  return kinds;
+}
+
+}  // namespace
+
+CampaignResult RunCampaign(const CampaignConfig& config,
+                           const CampaignProgressFn& progress) {
+  CampaignResult result;
+  for (uint32_t i = 0; i < config.n_seeds; ++i) {
+    const uint64_t seed = config.first_seed + i;
+    FaultPlan plan = GeneratePlan(seed, config.generator);
+    plan.protocol = config.protocol;
+
+    RunOutcome outcome = RunPlan(plan);
+    ++result.runs;
+    result.committed += outcome.committed;
+    result.aborted += outcome.aborted;
+    result.duplicated += outcome.duplicated;
+    result.reordered += outcome.reordered;
+    for (const std::string& kind : PlanCoverage(plan)) {
+      ++result.fault_mix[kind];
+    }
+    if (!outcome.progress) ++result.no_progress;
+
+    if (outcome.violation()) {
+      ++result.violations;
+      CampaignFailure failure;
+      failure.seed = seed;
+      failure.plan = plan;
+      failure.shrunk = plan;
+      failure.outcome = outcome;
+      if (config.shrink_failures &&
+          result.failures.size() <
+              static_cast<size_t>(config.max_shrinks)) {
+        ShrinkResult shrunk = ShrinkPlan(plan, config.shrink);
+        if (shrunk.input_failed) {
+          failure.shrunk = std::move(shrunk.plan);
+          failure.outcome = std::move(shrunk.outcome);
+          failure.was_shrunk = true;
+        }
+      }
+      result.failures.push_back(std::move(failure));
+    } else {
+      ++result.passed;
+    }
+    if (progress) progress(seed, outcome);
+  }
+  return result;
+}
+
+std::string FormatCampaign(const CampaignConfig& config,
+                           const CampaignResult& result) {
+  std::ostringstream out;
+  out << "nemesis campaign: protocol=" << harness::ProtocolName(config.protocol)
+      << " seeds=[" << config.first_seed << ", "
+      << config.first_seed + config.n_seeds - 1 << "]\n";
+  out << "  runs        " << result.runs << "\n";
+  out << "  passed      " << result.passed << "\n";
+  out << "  violations  " << result.violations << "\n";
+  out << "  no-progress " << result.no_progress << "\n";
+  out << "  committed   " << result.committed << "\n";
+  out << "  aborted     " << result.aborted << "\n";
+  out << "  dup msgs    " << result.duplicated << "\n";
+  out << "  reordered   " << result.reordered << "\n";
+  out << "fault-mix coverage (plans containing each fault kind):\n";
+  for (const auto& [kind, count] : result.fault_mix) {
+    out << "  " << kind;
+    for (size_t pad = kind.size(); pad < 18; ++pad) out << ' ';
+    out << count << "\n";
+  }
+  for (const CampaignFailure& f : result.failures) {
+    out << "violation @ seed " << f.seed << ": " << f.outcome.failure << "\n";
+    out << "  actions " << f.plan.actions.size();
+    if (f.was_shrunk) {
+      out << " -> " << f.shrunk.actions.size() << " (shrunk), processors "
+          << f.plan.n_processors << " -> " << f.shrunk.n_processors;
+    } else {
+      out << " (not shrunk)";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vp::nemesis

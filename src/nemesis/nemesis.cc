@@ -1,0 +1,491 @@
+#include "nemesis/nemesis.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "history/trace.h"
+#include "workload/client.h"
+
+namespace vp::nemesis {
+
+namespace {
+
+/// Doubles must survive text round-trips bit-exactly or the determinism
+/// contract (plan file ⇒ same trace) breaks.
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string FmtGroups(const std::vector<std::vector<ProcessorId>>& groups) {
+  std::string out;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (g > 0) out += '|';
+    for (size_t i = 0; i < groups[g].size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(groups[g][i]);
+    }
+  }
+  return out;
+}
+
+Status ParseGroups(const std::string& text,
+                   std::vector<std::vector<ProcessorId>>* out) {
+  out->clear();
+  std::stringstream groups(text);
+  std::string group;
+  while (std::getline(groups, group, '|')) {
+    std::vector<ProcessorId> ids;
+    std::stringstream members(group);
+    std::string id;
+    while (std::getline(members, id, ',')) {
+      try {
+        ids.push_back(static_cast<ProcessorId>(std::stoul(id)));
+      } catch (...) {
+        return Status::InvalidArgument("bad processor id '" + id +
+                                       "' in partition groups");
+      }
+    }
+    if (ids.empty()) {
+      return Status::InvalidArgument("empty group in partition action");
+    }
+    out->push_back(std::move(ids));
+  }
+  if (out->empty()) {
+    return Status::InvalidArgument("partition action without groups");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string FaultPlan::ToText() const {
+  std::ostringstream out;
+  out << "# vpart nemesis fault plan\n";
+  out << "protocol " << harness::ProtocolName(protocol) << "\n";
+  out << "processors " << n_processors << "\n";
+  out << "objects " << n_objects << "\n";
+  out << "seed " << seed << "\n";
+  out << "storm_us " << storm << "\n";
+  out << "drop_prob " << FmtDouble(drop_prob) << "\n";
+  out << "slow_prob " << FmtDouble(slow_prob) << "\n";
+  out << "dup_prob " << FmtDouble(dup_prob) << "\n";
+  out << "reorder_prob " << FmtDouble(reorder_prob) << "\n";
+  out << "read_fraction " << FmtDouble(read_fraction) << "\n";
+  out << "ops_per_txn " << ops_per_txn << "\n";
+  out << "rmw " << (rmw ? 1 : 0) << "\n";
+  for (const net::FaultAction& a : actions) {
+    using Kind = net::FaultAction::Kind;
+    if (a.kind == Kind::kCustom) continue;  // Not serializable by design.
+    out << "action " << net::FaultKindName(a.kind) << " " << a.at;
+    switch (a.kind) {
+      case Kind::kCrashProcessor:
+      case Kind::kRecoverProcessor:
+        out << " " << a.a;
+        break;
+      case Kind::kLinkDown:
+      case Kind::kLinkUp:
+      case Kind::kLinkDownOneWay:
+      case Kind::kLinkUpOneWay:
+        out << " " << a.a << " " << a.b;
+        break;
+      case Kind::kPartition:
+        out << " " << FmtGroups(a.groups);
+        break;
+      case Kind::kHeal:
+        break;
+      case Kind::kChurnBurst:
+        out << " " << a.a << " " << a.count << " " << a.period;
+        break;
+      case Kind::kCustom:
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<FaultPlan> FaultPlan::FromText(const std::string& text) {
+  FaultPlan plan;
+  plan.actions.clear();
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    auto bad = [&](const std::string& why) -> Status {
+      return Status::InvalidArgument("plan line " + std::to_string(lineno) +
+                                     ": " + why);
+    };
+    if (key == "protocol") {
+      std::string name;
+      fields >> name;
+      if (!harness::ProtocolFromName(name, &plan.protocol)) {
+        return bad("unknown protocol '" + name + "'");
+      }
+    } else if (key == "processors") {
+      fields >> plan.n_processors;
+      if (fields.fail() || plan.n_processors < 1 || plan.n_processors > 64) {
+        return bad("processors must be in [1, 64]");
+      }
+    } else if (key == "objects") {
+      fields >> plan.n_objects;
+      if (fields.fail() || plan.n_objects < 1) return bad("bad objects");
+    } else if (key == "seed") {
+      fields >> plan.seed;
+      if (fields.fail()) return bad("bad seed");
+    } else if (key == "storm_us") {
+      fields >> plan.storm;
+      if (fields.fail() || plan.storm <= 0) return bad("storm must be > 0");
+    } else if (key == "drop_prob") {
+      fields >> plan.drop_prob;
+    } else if (key == "slow_prob") {
+      fields >> plan.slow_prob;
+    } else if (key == "dup_prob") {
+      fields >> plan.dup_prob;
+    } else if (key == "reorder_prob") {
+      fields >> plan.reorder_prob;
+    } else if (key == "read_fraction") {
+      fields >> plan.read_fraction;
+    } else if (key == "ops_per_txn") {
+      fields >> plan.ops_per_txn;
+    } else if (key == "rmw") {
+      int v = 0;
+      fields >> v;
+      plan.rmw = v != 0;
+    } else if (key == "action") {
+      std::string kind_name;
+      net::FaultAction a;
+      fields >> kind_name >> a.at;
+      if (fields.fail()) return bad("action needs a kind and a time");
+      if (a.at < 0) return bad("action time must be >= 0");
+      using Kind = net::FaultAction::Kind;
+      if (kind_name == "crash" || kind_name == "recover") {
+        a.kind = kind_name == "crash" ? Kind::kCrashProcessor
+                                      : Kind::kRecoverProcessor;
+        fields >> a.a;
+      } else if (kind_name == "link_down" || kind_name == "link_up" ||
+                 kind_name == "link_down_oneway" ||
+                 kind_name == "link_up_oneway") {
+        a.kind = kind_name == "link_down"          ? Kind::kLinkDown
+                 : kind_name == "link_up"          ? Kind::kLinkUp
+                 : kind_name == "link_down_oneway" ? Kind::kLinkDownOneWay
+                                                   : Kind::kLinkUpOneWay;
+        fields >> a.a >> a.b;
+      } else if (kind_name == "partition") {
+        a.kind = Kind::kPartition;
+        std::string groups;
+        fields >> groups;
+        Status s = ParseGroups(groups, &a.groups);
+        if (!s.ok()) return bad(s.message());
+      } else if (kind_name == "heal") {
+        a.kind = Kind::kHeal;
+      } else if (kind_name == "churn") {
+        a.kind = Kind::kChurnBurst;
+        fields >> a.a >> a.count >> a.period;
+        if (a.count < 1 || a.period < 1) {
+          return bad("churn needs count >= 1 and period >= 1");
+        }
+      } else {
+        return bad("unknown action kind '" + kind_name + "'");
+      }
+      if (fields.fail()) return bad("malformed " + kind_name + " action");
+      plan.actions.push_back(std::move(a));
+    } else {
+      return bad("unknown key '" + key + "'");
+    }
+    if (fields.fail()) return bad("malformed value for '" + key + "'");
+  }
+  // Referenced processors must exist.
+  for (const net::FaultAction& a : plan.actions) {
+    auto in_range = [&](ProcessorId p) { return p < plan.n_processors; };
+    if (a.a != kInvalidProcessor && !in_range(a.a)) {
+      return Status::InvalidArgument("action references processor " +
+                                     std::to_string(a.a) + " >= processors");
+    }
+    if (a.b != kInvalidProcessor && !in_range(a.b)) {
+      return Status::InvalidArgument("action references processor " +
+                                     std::to_string(a.b) + " >= processors");
+    }
+    for (const auto& group : a.groups) {
+      for (ProcessorId p : group) {
+        if (!in_range(p)) {
+          return Status::InvalidArgument(
+              "partition group references processor " + std::to_string(p) +
+              " >= processors");
+        }
+      }
+    }
+  }
+  std::stable_sort(plan.actions.begin(), plan.actions.end(),
+                   [](const net::FaultAction& x, const net::FaultAction& y) {
+                     return x.at < y.at;
+                   });
+  return plan;
+}
+
+Status FaultPlan::SaveFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  out << ToText();
+  out.close();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Result<FaultPlan> FaultPlan::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open plan file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromText(buf.str());
+}
+
+FaultPlan GeneratePlan(uint64_t seed, const GeneratorConfig& cfg) {
+  Rng rng(seed ^ 0x6e656d6573697321ULL);  // "nemesis!"
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.n_processors = static_cast<uint32_t>(
+      rng.UniformInt(cfg.min_processors, cfg.max_processors));
+  plan.n_objects = static_cast<ObjectId>(rng.UniformInt(4, 8));
+  plan.storm = rng.UniformInt(cfg.min_storm, cfg.max_storm);
+
+  // Background network-fault knobs from small discrete menus, so campaigns
+  // cover "clean", "mild" and "nasty" regimes instead of a smear of nearly
+  // identical intermediate values.
+  static constexpr double kDrop[] = {0.0, 0.01, 0.03};
+  static constexpr double kSlow[] = {0.0, 0.01};
+  static constexpr double kDup[] = {0.0, 0.02, 0.05};
+  static constexpr double kReorder[] = {0.0, 0.05, 0.15};
+  plan.drop_prob = kDrop[rng.Uniform(3)];
+  plan.slow_prob = kSlow[rng.Uniform(2)];
+  plan.dup_prob = kDup[rng.Uniform(3)];
+  plan.reorder_prob = kReorder[rng.Uniform(3)];
+
+  plan.read_fraction = rng.UniformDouble(0.5, 0.9);
+  plan.ops_per_txn = static_cast<uint32_t>(rng.UniformInt(2, 4));
+  plan.rmw = rng.Bernoulli(0.5);
+
+  const uint32_t n = plan.n_processors;
+  const uint32_t n_events =
+      static_cast<uint32_t>(rng.UniformInt(cfg.min_events, cfg.max_events));
+  for (uint32_t e = 0; e < n_events; ++e) {
+    // Fault window [start, end) inside the storm; the undo action fires at
+    // `end` so every scripted fault is eventually lifted even before the
+    // runner's final heal.
+    sim::SimTime start = rng.UniformInt(0, plan.storm * 7 / 10);
+    sim::Duration dur = rng.UniformInt(plan.storm / 10, plan.storm / 3);
+    sim::SimTime end = std::min<sim::SimTime>(start + dur, plan.storm - 1);
+    using Kind = net::FaultAction::Kind;
+    net::FaultAction on, off;
+    on.at = start;
+    off.at = end;
+    switch (rng.Uniform(5)) {
+      case 0: {  // Partition into two non-empty groups.
+        if (n < 2) continue;
+        std::vector<std::vector<ProcessorId>> groups(2);
+        for (ProcessorId p = 0; p < n; ++p) {
+          groups[rng.Uniform(2)].push_back(p);
+        }
+        if (groups[0].empty()) {
+          groups[0].push_back(groups[1].back());
+          groups[1].pop_back();
+        }
+        if (groups[1].empty()) {
+          groups[1].push_back(groups[0].back());
+          groups[0].pop_back();
+        }
+        on.kind = Kind::kPartition;
+        on.groups = std::move(groups);
+        off.kind = Kind::kHeal;
+        break;
+      }
+      case 1: {  // Crash + recover.
+        on.kind = Kind::kCrashProcessor;
+        off.kind = Kind::kRecoverProcessor;
+        on.a = off.a = static_cast<ProcessorId>(rng.Uniform(n));
+        break;
+      }
+      case 2: {  // Symmetric link cut.
+        if (n < 2) continue;
+        on.kind = Kind::kLinkDown;
+        off.kind = Kind::kLinkUp;
+        on.a = static_cast<ProcessorId>(rng.Uniform(n));
+        on.b = static_cast<ProcessorId>(rng.Uniform(n - 1));
+        if (on.b >= on.a) ++on.b;
+        off.a = on.a;
+        off.b = on.b;
+        break;
+      }
+      case 3: {  // Asymmetric link cut (one direction only).
+        if (n < 2) continue;
+        on.kind = Kind::kLinkDownOneWay;
+        off.kind = Kind::kLinkUpOneWay;
+        on.a = static_cast<ProcessorId>(rng.Uniform(n));
+        on.b = static_cast<ProcessorId>(rng.Uniform(n - 1));
+        if (on.b >= on.a) ++on.b;
+        off.a = on.a;
+        off.b = on.b;
+        break;
+      }
+      default: {  // Crash/recovery churn burst; self-terminating, no undo.
+        on.kind = Kind::kChurnBurst;
+        on.a = static_cast<ProcessorId>(rng.Uniform(n));
+        on.count = static_cast<uint32_t>(rng.UniformInt(2, 4));
+        on.period = rng.UniformInt(sim::Millis(40), sim::Millis(120));
+        // Keep the whole burst (count crash/recover cycles) inside the
+        // storm so the post-storm grace period only has to absorb delays.
+        const sim::Duration burst = (2 * on.count + 1) * on.period;
+        if (on.at + burst >= plan.storm) {
+          on.at = std::max<sim::SimTime>(0, plan.storm - burst - 1);
+        }
+        plan.actions.push_back(std::move(on));
+        continue;  // No paired undo.
+      }
+    }
+    plan.actions.push_back(std::move(on));
+    plan.actions.push_back(std::move(off));
+  }
+  std::stable_sort(plan.actions.begin(), plan.actions.end(),
+                   [](const net::FaultAction& x, const net::FaultAction& y) {
+                     return x.at < y.at;
+                   });
+  return plan;
+}
+
+RunOutcome RunPlan(const FaultPlan& plan) {
+  harness::ClusterConfig cfg;
+  cfg.n_processors = plan.n_processors;
+  cfg.n_objects = plan.n_objects;
+  cfg.seed = plan.seed;
+  cfg.protocol = plan.protocol;
+  cfg.net.drop_prob = plan.drop_prob;
+  cfg.net.slow_prob = plan.slow_prob;
+  cfg.net.dup_prob = plan.dup_prob;
+  cfg.net.reorder_prob = plan.reorder_prob;
+  harness::Cluster cluster(cfg);
+
+  // Phase 1: settle. Views form under the (possibly already faulty)
+  // network before any workload or scripted fault.
+  cluster.RunFor(sim::Seconds(1));
+
+  // Phase 2: storm. Clients everywhere, scripted faults offset by the
+  // storm's start time.
+  workload::ClientConfig wc;
+  wc.read_fraction = plan.read_fraction;
+  wc.ops_per_txn = plan.ops_per_txn;
+  wc.rmw = plan.rmw;
+  wc.think_time = sim::Millis(10);
+  wc.seed = plan.seed ^ 0x10adULL;
+  std::vector<core::NodeBase*> nodes;
+  nodes.reserve(plan.n_processors);
+  for (ProcessorId p = 0; p < plan.n_processors; ++p) {
+    nodes.push_back(&cluster.node(p));
+  }
+  auto clients = workload::MakeClients(nodes, &cluster.scheduler(),
+                                       &cluster.graph(), plan.n_objects, wc);
+  for (auto& c : clients) c->Start();
+  const sim::SimTime base = cluster.scheduler().Now();
+  for (net::FaultAction a : plan.actions) {
+    a.at += base;
+    const Status s = cluster.injector().Schedule(std::move(a));
+    VP_CHECK(s.ok());  // Plan times are >= 0, base is "now".
+  }
+  cluster.RunFor(plan.storm);
+  for (auto& c : clients) c->Stop();
+
+  // Phase 3: quiesce and heal. Background faults off first, then a grace
+  // period that absorbs in-flight transactions and any churn-burst tail,
+  // then full connectivity and liveness.
+  net::NetworkConfig* live = cluster.network().mutable_config();
+  live->drop_prob = 0.0;
+  live->slow_prob = 0.0;
+  live->dup_prob = 0.0;
+  live->reorder_prob = 0.0;
+  cluster.RunFor(sim::Seconds(1));
+  cluster.graph().Heal();
+  for (ProcessorId p = 0; p < plan.n_processors; ++p) {
+    cluster.graph().SetAlive(p, true);
+  }
+
+  // Phase 4: the paper's liveness window. Δ = π + 8δ (Fig. 7 analysis),
+  // plus 2δ per configured probe retry and a scheduling epsilon; after it
+  // every processor must sit in one common virtual partition (L1).
+  const core::VpConfig& vp = cluster.config().vp;
+  const sim::Duration delta_window = vp.probe_period + 8 * vp.delta +
+                                     2 * vp.probe_retries * vp.delta +
+                                     sim::Millis(5);
+  cluster.RunFor(delta_window);
+  const bool vp_protocol =
+      plan.protocol == harness::Protocol::kVirtualPartition;
+  const bool converged = !vp_protocol || cluster.VpConverged();
+
+  // Phase 5: drain. Outcome-notification retries and recovery complete so
+  // the recorded history is closed before certification.
+  cluster.RunFor(sim::Seconds(2));
+
+  RunOutcome out;
+  const history::Recorder& rec = cluster.recorder();
+  out.committed = rec.committed_count();
+  out.aborted = rec.aborted_count();
+  out.progress = out.committed > 0;
+  out.duplicated = cluster.network().stats().duplicated;
+  out.reordered = cluster.network().stats().reordered;
+  out.converged = converged;
+
+  out.safety_ok = rec.safety_violations().empty();
+  std::string safety_witness;
+  if (!out.safety_ok) {
+    const history::SafetyViolation& v = rec.safety_violations().front();
+    safety_witness = v.rule + ": " + v.detail;
+  }
+
+  history::CertifyResult one_copy = cluster.Certify();
+  if (!one_copy.ok && out.committed <= 9) {
+    // Small histories get the exhaustive certifier: protocols without
+    // virtual partitions may serialize in an order none of the heuristic
+    // replay keys generate.
+    history::CertifyResult any = cluster.CertifyAnyOrder();
+    if (any.ok) one_copy = any;
+  }
+  out.one_copy_sr = one_copy.ok;
+
+  history::CertifyResult conflicts = cluster.CertifyConflicts();
+  out.conflict_sr = conflicts.ok;
+
+  history::CertifyResult durable = cluster.CertifyDurableReads();
+  out.durable_reads = durable.ok;
+
+  if (!out.safety_ok) {
+    out.failure = "safety: " + safety_witness;
+  } else if (!out.one_copy_sr) {
+    out.failure = "one-copy-sr: " + one_copy.detail;
+  } else if (!out.conflict_sr) {
+    out.failure = "conflict-sr: " + conflicts.detail;
+  } else if (!out.durable_reads) {
+    out.failure = "durable-reads: " + durable.detail;
+  } else if (!out.converged) {
+    out.failure = "convergence: views did not agree within pi + 8*delta of "
+                  "the final heal";
+  }
+
+  history::TraceOptions trace_opts;
+  trace_opts.timestamps = true;
+  trace_opts.include_aborted = true;
+  out.trace = history::FormatTransactions(rec, trace_opts) + "--- views ---\n" +
+              history::FormatViewEvents(rec);
+  return out;
+}
+
+}  // namespace vp::nemesis

@@ -1,0 +1,122 @@
+// Nemesis fault plans: serializable adversarial scenarios and their
+// deterministic execution.
+//
+// A FaultPlan captures everything a run depends on — cluster shape, network
+// fault knobs (drops, slowness, duplication, reordering), workload mix, and
+// a timed schedule of fault actions (crashes, partitions, symmetric and
+// asymmetric link cuts, crash/recovery churn bursts). Because the whole
+// stack is a pure function of the plan, one plan ⇒ one execution trace,
+// byte for byte; that determinism is what makes campaign-scale search and
+// automatic scenario shrinking (shrink.h) possible.
+//
+// RunPlan executes a plan and, after quiescence + heal, checks the paper's
+// whole contract: S1–S3 safety probes, Theorem 1′ one-copy serializability,
+// CP-serializability of the physical history (A1), view convergence within
+// Δ = π + 8δ of the final heal (L1), and a no-lost-committed-write check.
+#ifndef VPART_NEMESIS_NEMESIS_H_
+#define VPART_NEMESIS_NEMESIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "harness/cluster.h"
+#include "net/failure_injector.h"
+#include "sim/time.h"
+
+namespace vp::nemesis {
+
+/// A serializable adversarial scenario. Action times are relative to the
+/// start of the storm (the runner converges views first, then starts the
+/// clock). Only serializable action kinds are allowed (no kCustom).
+struct FaultPlan {
+  /// Which protocol the plan targets (recorded so a .plan file replays
+  /// without extra flags).
+  harness::Protocol protocol = harness::Protocol::kVirtualPartition;
+
+  // Cluster shape.
+  uint32_t n_processors = 5;
+  ObjectId n_objects = 6;
+
+  /// Seed for everything else: network delays, client op mix, protocol
+  /// stagger. The same seed with the same plan reproduces the same trace.
+  uint64_t seed = 1;
+
+  /// Clients issue transactions and scripted faults fire within
+  /// [0, storm); afterwards the runner stops clients, heals, and checks.
+  sim::Duration storm = sim::Seconds(3);
+
+  // Network fault knobs, active during the storm (zeroed at heal time so
+  // the L1 convergence bound applies).
+  double drop_prob = 0.0;
+  double slow_prob = 0.0;
+  double dup_prob = 0.0;
+  double reorder_prob = 0.0;
+
+  // Workload mix.
+  double read_fraction = 0.6;
+  uint32_t ops_per_txn = 3;
+  bool rmw = true;
+
+  /// Timed fault schedule, sorted by `at`.
+  std::vector<net::FaultAction> actions;
+
+  /// Round-trippable text form (the `.plan` file format).
+  std::string ToText() const;
+  static Result<FaultPlan> FromText(const std::string& text);
+
+  Status SaveFile(const std::string& path) const;
+  static Result<FaultPlan> LoadFile(const std::string& path);
+};
+
+/// Tunables for random plan generation.
+struct GeneratorConfig {
+  uint32_t min_processors = 4;
+  uint32_t max_processors = 7;
+  sim::Duration min_storm = sim::Seconds(2);
+  sim::Duration max_storm = sim::Seconds(4);
+  /// Fault events per plan (each event is an action plus its undo).
+  uint32_t min_events = 3;
+  uint32_t max_events = 9;
+};
+
+/// Generates a randomized fault-storm plan. Pure function of (seed, cfg).
+FaultPlan GeneratePlan(uint64_t seed, const GeneratorConfig& cfg = {});
+
+/// Everything a single nemesis run observed and checked.
+struct RunOutcome {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  /// At least one transaction committed (a plan that smothers all progress
+  /// is reported but is not a violation).
+  bool progress = false;
+
+  // Invariant checks (true = passed).
+  bool one_copy_sr = true;    // Theorem 1′ certification.
+  bool conflict_sr = true;    // A1: CP-serializability of physical ops.
+  bool durable_reads = true;  // No lost committed writes.
+  bool safety_ok = true;      // S1–S3 online probes.
+  bool converged = true;      // L1: common view within Δ of final heal
+                              // (VP protocol only; vacuous otherwise).
+
+  /// Fault-mix accounting from the network layer.
+  uint64_t duplicated = 0;
+  uint64_t reordered = 0;
+
+  /// First failed check with its witness; empty when all checks passed.
+  std::string failure;
+
+  /// Canonical rendering of the committed/aborted transactions and view
+  /// events. The determinism contract: equal plans ⇒ equal traces.
+  std::string trace;
+
+  bool violation() const { return !failure.empty(); }
+};
+
+/// Deterministically executes `plan` under `plan.protocol`.
+RunOutcome RunPlan(const FaultPlan& plan);
+
+}  // namespace vp::nemesis
+
+#endif  // VPART_NEMESIS_NEMESIS_H_

@@ -1,0 +1,177 @@
+#include "nemesis/shrink.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace vp::nemesis {
+
+namespace {
+
+/// Evaluation with budget accounting.
+struct Evaluator {
+  uint32_t budget;
+  uint32_t runs = 0;
+
+  bool Exhausted() const { return runs >= budget; }
+
+  /// True iff `candidate` still violates an invariant. `out` receives the
+  /// outcome of the last failing evaluation.
+  bool Fails(const FaultPlan& candidate, RunOutcome* out) {
+    ++runs;
+    RunOutcome o = RunPlan(candidate);
+    const bool fails = o.violation();
+    if (fails) *out = std::move(o);
+    return fails;
+  }
+};
+
+bool ActionReferences(const net::FaultAction& a, ProcessorId p) {
+  if (a.a == p || a.b == p) return true;
+  for (const auto& group : a.groups) {
+    for (ProcessorId member : group) {
+      if (member == p) return true;
+    }
+  }
+  return false;
+}
+
+/// Candidate with processor `n-1` removed: the shape shrinks and every
+/// action referencing the removed processor goes with it (partition groups
+/// lose the member; a partition reduced below two groups is dropped).
+FaultPlan DropLastProcessor(const FaultPlan& plan) {
+  FaultPlan out = plan;
+  const ProcessorId removed = plan.n_processors - 1;
+  out.n_processors = plan.n_processors - 1;
+  out.actions.clear();
+  for (net::FaultAction a : plan.actions) {
+    if (a.kind == net::FaultAction::Kind::kPartition) {
+      for (auto& group : a.groups) {
+        group.erase(std::remove(group.begin(), group.end(), removed),
+                    group.end());
+      }
+      a.groups.erase(std::remove_if(a.groups.begin(), a.groups.end(),
+                                    [](const std::vector<ProcessorId>& g) {
+                                      return g.empty();
+                                    }),
+                     a.groups.end());
+      if (a.groups.size() < 2) continue;  // No split left — drop it.
+    } else if (ActionReferences(a, removed)) {
+      continue;
+    }
+    out.actions.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkPlan(const FaultPlan& failing, const ShrinkConfig& config) {
+  ShrinkResult result;
+  result.plan = failing;
+  result.original_actions = failing.actions.size();
+
+  Evaluator eval{config.budget};
+  if (!eval.Fails(failing, &result.outcome)) {
+    result.input_failed = false;
+    result.runs = eval.runs;
+    result.final_actions = failing.actions.size();
+    return result;
+  }
+
+  FaultPlan cur = failing;
+  RunOutcome cur_out = result.outcome;
+
+  bool improved = true;
+  while (improved && !eval.Exhausted()) {
+    improved = false;
+
+    // 1. ddmin over the action list: try removing chunks, halving the
+    //    chunk size down to single actions.
+    for (size_t chunk = std::max<size_t>(cur.actions.size() / 2, 1);
+         chunk >= 1 && !cur.actions.empty() && !eval.Exhausted();
+         chunk /= 2) {
+      bool removed_any = true;
+      while (removed_any && !eval.Exhausted()) {
+        removed_any = false;
+        for (size_t start = 0;
+             start < cur.actions.size() && !eval.Exhausted();
+             /* advance below */) {
+          FaultPlan candidate = cur;
+          const size_t end = std::min(start + chunk, cur.actions.size());
+          candidate.actions.erase(candidate.actions.begin() + start,
+                                  candidate.actions.begin() + end);
+          if (eval.Fails(candidate, &cur_out)) {
+            cur = std::move(candidate);
+            improved = true;
+            removed_any = true;
+            // Same `start` now addresses the next chunk.
+          } else {
+            start += chunk;
+          }
+        }
+      }
+      if (chunk == 1) break;
+    }
+
+    // 2. Calm each background network knob.
+    for (double FaultPlan::* knob :
+         {&FaultPlan::drop_prob, &FaultPlan::slow_prob, &FaultPlan::dup_prob,
+          &FaultPlan::reorder_prob}) {
+      if (eval.Exhausted() || cur.*knob == 0.0) continue;
+      FaultPlan candidate = cur;
+      candidate.*knob = 0.0;
+      if (eval.Fails(candidate, &cur_out)) {
+        cur = std::move(candidate);
+        improved = true;
+      }
+    }
+
+    // 3. Shorten the storm: to half, and to just past the last action.
+    for (int attempt = 0; attempt < 2 && !eval.Exhausted(); ++attempt) {
+      sim::Duration target;
+      if (attempt == 0) {
+        target = cur.storm / 2;
+      } else {
+        sim::SimTime last = 0;
+        for (const net::FaultAction& a : cur.actions) {
+          last = std::max(last, a.at);
+        }
+        target = last + sim::Millis(200);
+      }
+      if (target < sim::Millis(100) || target >= cur.storm) continue;
+      FaultPlan candidate = cur;
+      candidate.storm = target;
+      candidate.actions.erase(
+          std::remove_if(candidate.actions.begin(), candidate.actions.end(),
+                         [target](const net::FaultAction& a) {
+                           return a.at >= target;
+                         }),
+          candidate.actions.end());
+      if (eval.Fails(candidate, &cur_out)) {
+        cur = std::move(candidate);
+        improved = true;
+      }
+    }
+
+    // 4. Remove processors from the top (keeping at least 3 — below that
+    //    "majority" degenerates and the scenario changes character).
+    while (cur.n_processors > 3 && !eval.Exhausted()) {
+      FaultPlan candidate = DropLastProcessor(cur);
+      if (eval.Fails(candidate, &cur_out)) {
+        cur = std::move(candidate);
+        improved = true;
+      } else {
+        break;
+      }
+    }
+  }
+
+  result.plan = std::move(cur);
+  result.outcome = std::move(cur_out);
+  result.runs = eval.runs;
+  result.final_actions = result.plan.actions.size();
+  return result;
+}
+
+}  // namespace vp::nemesis

@@ -1,0 +1,41 @@
+// Automatic scenario shrinking (delta debugging): given a FaultPlan whose
+// run violates an invariant, greedily search for a smaller plan that still
+// violates one — fewer fault actions, calmer network knobs, a shorter
+// storm, fewer processors. Because runs are deterministic, every candidate
+// is evaluated by simply re-running it.
+#ifndef VPART_NEMESIS_SHRINK_H_
+#define VPART_NEMESIS_SHRINK_H_
+
+#include <cstdint>
+
+#include "nemesis/nemesis.h"
+
+namespace vp::nemesis {
+
+struct ShrinkConfig {
+  /// Maximum RunPlan evaluations to spend (the failing input's own
+  /// verification run included).
+  uint32_t budget = 150;
+};
+
+struct ShrinkResult {
+  /// Smallest failing plan found (== input when nothing could be removed).
+  FaultPlan plan;
+  /// Outcome of `plan`; outcome.violation() is true whenever the input
+  /// itself failed.
+  RunOutcome outcome;
+  /// RunPlan evaluations spent.
+  uint32_t runs = 0;
+  /// Action counts before/after, for reporting.
+  size_t original_actions = 0;
+  size_t final_actions = 0;
+  /// False iff the input plan did not fail in the first place (nothing to
+  /// shrink; `plan` is then the input).
+  bool input_failed = true;
+};
+
+ShrinkResult ShrinkPlan(const FaultPlan& failing, const ShrinkConfig& config = {});
+
+}  // namespace vp::nemesis
+
+#endif  // VPART_NEMESIS_SHRINK_H_

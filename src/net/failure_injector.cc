@@ -1,19 +1,50 @@
 #include "net/failure_injector.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace vp::net {
 
+std::string FaultKindName(FaultAction::Kind kind) {
+  using Kind = FaultAction::Kind;
+  switch (kind) {
+    case Kind::kCrashProcessor:
+      return "crash";
+    case Kind::kRecoverProcessor:
+      return "recover";
+    case Kind::kLinkDown:
+      return "link_down";
+    case Kind::kLinkUp:
+      return "link_up";
+    case Kind::kLinkDownOneWay:
+      return "link_down_oneway";
+    case Kind::kLinkUpOneWay:
+      return "link_up_oneway";
+    case Kind::kPartition:
+      return "partition";
+    case Kind::kHeal:
+      return "heal";
+    case Kind::kChurnBurst:
+      return "churn";
+    case Kind::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
 FailureInjector::FailureInjector(sim::Scheduler* scheduler, CommGraph* graph,
                                  uint64_t seed)
     : scheduler_(scheduler), graph_(graph), rng_(seed) {}
 
-void FailureInjector::Schedule(FaultAction action) {
-  VP_CHECK(action.at >= scheduler_->Now());
+Status FailureInjector::Schedule(FaultAction action) {
+  if (action.at < scheduler_->Now()) {
+    return Status::InvalidArgument("fault action scheduled in the past");
+  }
   scheduler_->ScheduleAt(action.at,
                          [this, a = std::move(action)]() { Apply(a); });
+  return Status::Ok();
 }
 
 void FailureInjector::CrashAt(sim::SimTime t, ProcessorId p) {
@@ -60,10 +91,41 @@ void FailureInjector::PartitionAt(
   Schedule(std::move(a));
 }
 
+void FailureInjector::LinkDownOneWayAt(sim::SimTime t, ProcessorId x,
+                                       ProcessorId y) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kLinkDownOneWay;
+  a.a = x;
+  a.b = y;
+  Schedule(std::move(a));
+}
+
+void FailureInjector::LinkUpOneWayAt(sim::SimTime t, ProcessorId x,
+                                     ProcessorId y) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kLinkUpOneWay;
+  a.a = x;
+  a.b = y;
+  Schedule(std::move(a));
+}
+
 void FailureInjector::HealAt(sim::SimTime t) {
   FaultAction a;
   a.at = t;
   a.kind = FaultAction::Kind::kHeal;
+  Schedule(std::move(a));
+}
+
+void FailureInjector::ChurnBurstAt(sim::SimTime t, ProcessorId p,
+                                   uint32_t count, sim::Duration period) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kChurnBurst;
+  a.a = p;
+  a.count = count;
+  a.period = period;
   Schedule(std::move(a));
 }
 
@@ -90,19 +152,50 @@ void FailureInjector::Apply(const FaultAction& action) {
     case Kind::kLinkUp:
       graph_->SetEdge(action.a, action.b, true);
       break;
+    case Kind::kLinkDownOneWay:
+      graph_->SetEdgeOneWay(action.a, action.b, false);
+      break;
+    case Kind::kLinkUpOneWay:
+      graph_->SetEdgeOneWay(action.a, action.b, true);
+      break;
     case Kind::kPartition:
       graph_->Partition(action.groups);
       break;
     case Kind::kHeal:
       graph_->Heal();
       break;
+    case Kind::kChurnBurst: {
+      // Expand into `count` crash/recover cycles `period` apart. Each flip
+      // goes through Apply, so actions_applied() counts 2*count for the
+      // whole burst and the burst always ends with the processor alive.
+      FaultAction crash;
+      crash.kind = Kind::kCrashProcessor;
+      crash.a = action.a;
+      Apply(crash);
+      scheduler_->ScheduleAfter(std::max<sim::Duration>(action.period, 1),
+                                [this, a = action]() {
+                                  FaultAction up;
+                                  up.kind = Kind::kRecoverProcessor;
+                                  up.a = a.a;
+                                  Apply(up);
+                                  if (a.count > 1) {
+                                    FaultAction next = a;
+                                    --next.count;
+                                    next.at = scheduler_->Now() +
+                                              std::max<sim::Duration>(
+                                                  next.period, 1);
+                                    Schedule(std::move(next));
+                                  }
+                                });
+      return;  // Sub-actions count themselves; the burst shell does not.
+    }
     case Kind::kCustom:
       if (action.custom) action.custom();
       break;
   }
   ++actions_applied_;
   VP_LOG(kDebug, scheduler_->Now())
-      << "fault action applied (kind=" << static_cast<int>(action.kind) << ")";
+      << "fault action applied (kind=" << FaultKindName(action.kind) << ")";
   if (on_change_) on_change_();
 }
 

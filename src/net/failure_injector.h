@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "net/topology.h"
 #include "sim/scheduler.h"
@@ -24,9 +25,13 @@ struct FaultAction {
     kRecoverProcessor,
     kLinkDown,
     kLinkUp,
-    kPartition,  // `groups` defines the new components.
+    kLinkDownOneWay,  // Cuts only the a→b direction (asymmetric failure).
+    kLinkUpOneWay,    // Restores only the a→b direction.
+    kPartition,       // `groups` defines the new components.
     kHeal,
-    kCustom,     // Runs `custom`.
+    kChurnBurst,  // Rapidly flaps processor `a`: `count` crash/recover
+                  // cycles, `period` apart (stresses S2 and R5 re-init).
+    kCustom,      // Runs `custom`.
   };
 
   sim::SimTime at = 0;
@@ -34,8 +39,14 @@ struct FaultAction {
   ProcessorId a = kInvalidProcessor;
   ProcessorId b = kInvalidProcessor;
   std::vector<std::vector<ProcessorId>> groups;
+  /// kChurnBurst: number of crash/recover cycles and the gap between flips.
+  uint32_t count = 0;
+  sim::Duration period = 0;
   std::function<void()> custom;
 };
+
+/// Human-readable kind name (plan files, logs, coverage tables).
+std::string FaultKindName(FaultAction::Kind kind);
 
 /// Parameters for the stochastic fault process (0 disables a process).
 struct RandomFaultConfig {
@@ -56,18 +67,22 @@ class FailureInjector {
  public:
   FailureInjector(sim::Scheduler* scheduler, CommGraph* graph, uint64_t seed);
 
-  /// Registers one scripted action. Call before Start (actions in the past
-  /// are rejected).
-  void Schedule(FaultAction action);
+  /// Registers one scripted action. Actions in the past are rejected with
+  /// InvalidArgument (nothing is scheduled).
+  Status Schedule(FaultAction action);
 
   /// Convenience wrappers for common scripts.
   void CrashAt(sim::SimTime t, ProcessorId p);
   void RecoverAt(sim::SimTime t, ProcessorId p);
   void LinkDownAt(sim::SimTime t, ProcessorId a, ProcessorId b);
   void LinkUpAt(sim::SimTime t, ProcessorId a, ProcessorId b);
+  void LinkDownOneWayAt(sim::SimTime t, ProcessorId a, ProcessorId b);
+  void LinkUpOneWayAt(sim::SimTime t, ProcessorId a, ProcessorId b);
   void PartitionAt(sim::SimTime t,
                    std::vector<std::vector<ProcessorId>> groups);
   void HealAt(sim::SimTime t);
+  void ChurnBurstAt(sim::SimTime t, ProcessorId p, uint32_t count,
+                    sim::Duration period);
   void At(sim::SimTime t, std::function<void()> fn);
 
   /// Enables the stochastic fault processes.

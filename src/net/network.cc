@@ -73,12 +73,30 @@ void Network::Send(Message msg) {
     return;
   }
   bool slow = false;
-  const sim::Duration delay = SampleDelay(msg.src, msg.dst, &slow);
+  sim::Duration delay = SampleDelay(msg.src, msg.dst, &slow);
   if (slow) ++stats_.slow;
+  if (msg.src != msg.dst && config_.reorder_prob > 0 &&
+      rng_.Bernoulli(config_.reorder_prob)) {
+    // Adversarial hold-back: later sends on this edge overtake this one.
+    delay += rng_.UniformInt(config_.reorder_min_extra,
+                             config_.reorder_max_extra);
+    ++stats_.reordered;
+  }
+  if (msg.src != msg.dst && config_.dup_prob > 0 &&
+      rng_.Bernoulli(config_.dup_prob)) {
+    bool dup_slow = false;
+    const sim::Duration dup_delay = SampleDelay(msg.src, msg.dst, &dup_slow);
+    ++stats_.duplicated;
+    ScheduleDelivery(msg, dup_delay);
+  }
+  ScheduleDelivery(std::move(msg), delay);
+}
 
+void Network::ScheduleDelivery(Message msg, sim::Duration delay) {
   scheduler_->ScheduleAfter(delay, [this, m = std::move(msg)]() {
-    // Deliveries to processors that crashed in flight are lost; a link that
-    // went down in flight also loses the message (omission semantics).
+    // Deliveries to processors that crashed in flight are lost; a link
+    // direction that went down in flight also loses the message (omission
+    // semantics).
     if (!graph_->Alive(m.dst) ||
         (m.src != m.dst && !graph_->EdgeUp(m.src, m.dst))) {
       ++stats_.dropped_dead_receiver;

@@ -2,12 +2,17 @@
 // schedules deliveries on the simulation kernel, dispatches to nodes, and
 // keeps per-type traffic statistics.
 //
-// Failure model (paper §2):
+// Failure model (paper §2, extended by the nemesis fault model):
 //  * omission failures  — a message is dropped with `drop_prob`, or because
 //    an endpoint is crashed or the edge is down at delivery-decision time;
 //  * performance failures — with `slow_prob` a message's delay is drawn
 //    from [slow_min_delay, slow_max_delay], typically beyond the protocol's
-//    assumed bound δ.
+//    assumed bound δ;
+//  * duplication — with `dup_prob` a second copy of the message is
+//    delivered at an independently sampled delay;
+//  * adversarial reordering — with `reorder_prob` a message is held back by
+//    an extra burst delay so that later sends on the same edge overtake it
+//    (per-edge FIFO is never guaranteed; this makes inversions frequent).
 #ifndef VPART_NET_NETWORK_H_
 #define VPART_NET_NETWORK_H_
 
@@ -50,6 +55,17 @@ struct NetworkConfig {
   double slow_prob = 0.0;
   sim::Duration slow_min_delay = sim::Millis(50);
   sim::Duration slow_max_delay = sim::Millis(200);
+
+  /// Probability a delivered message is duplicated: a second copy arrives
+  /// at an independently sampled delay (possibly before the first).
+  double dup_prob = 0.0;
+
+  /// Probability a message gets an extra adversarial hold-back delay drawn
+  /// from [reorder_min_extra, reorder_max_extra], letting later sends on
+  /// the same edge overtake it.
+  double reorder_prob = 0.0;
+  sim::Duration reorder_min_extra = sim::Millis(10);
+  sim::Duration reorder_max_extra = sim::Millis(40);
 };
 
 /// Per-message-type traffic counters.
@@ -62,6 +78,8 @@ struct NetworkStats {
   uint64_t dropped_no_route = 0;    // Edge down / endpoint crashed at send.
   uint64_t dropped_dead_receiver = 0;  // Receiver crashed before delivery.
   uint64_t slow = 0;                // Performance-failure deliveries.
+  uint64_t duplicated = 0;          // Extra copies scheduled by dup_prob.
+  uint64_t reordered = 0;           // Messages given an adversarial hold-back.
   std::map<std::string, uint64_t> sent_by_type;
   std::map<std::string, uint64_t> delivered_by_type;
 
@@ -102,6 +120,7 @@ class Network {
 
  private:
   sim::Duration SampleDelay(ProcessorId src, ProcessorId dst, bool* slow);
+  void ScheduleDelivery(Message msg, sim::Duration delay);
 
   sim::Scheduler* scheduler_;
   CommGraph* graph_;

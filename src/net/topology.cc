@@ -35,6 +35,12 @@ void CommGraph::SetEdge(ProcessorId a, ProcessorId b, bool up) {
   edge_up_[Index(b, a)] = up ? 1 : 0;
 }
 
+void CommGraph::SetEdgeOneWay(ProcessorId a, ProcessorId b, bool up) {
+  VP_CHECK(a < n_ && b < n_);
+  if (a == b) return;
+  edge_up_[Index(a, b)] = up ? 1 : 0;
+}
+
 double CommGraph::Cost(ProcessorId a, ProcessorId b) const {
   VP_CHECK(a < n_ && b < n_);
   return cost_[Index(a, b)];

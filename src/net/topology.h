@@ -18,20 +18,30 @@ namespace vp::net {
 /// Besides per-edge state the graph tracks per-processor liveness: a
 /// crashed processor neither sends nor receives, independent of edge state
 /// (so recovery restores its previous edges).
+///
+/// Edge state is kept per direction. SetEdge flips both directions (the
+/// common symmetric failure); SetEdgeOneWay cuts or restores a single
+/// direction, modelling asymmetric link failures (messages a→b lost while
+/// b→a still arrive) — a harsher variant of the paper's non-transitive
+/// can-communicate scenarios (Fig. 1).
 class CommGraph {
  public:
   explicit CommGraph(uint32_t n);
 
   uint32_t size() const { return n_; }
 
-  /// True iff both endpoints are alive and the edge is up. Reflexive:
-  /// an alive processor can always communicate with itself.
+  /// True iff both endpoints are alive and the a→b direction is up.
+  /// Reflexive: an alive processor can always communicate with itself.
   bool CanCommunicate(ProcessorId a, ProcessorId b) const;
 
-  /// Raw edge state, ignoring liveness.
+  /// Raw a→b edge state, ignoring liveness.
   bool EdgeUp(ProcessorId a, ProcessorId b) const;
 
+  /// Sets both directions.
   void SetEdge(ProcessorId a, ProcessorId b, bool up);
+
+  /// Sets only the a→b direction (asymmetric link failure/repair).
+  void SetEdgeOneWay(ProcessorId a, ProcessorId b, bool up);
 
   /// Routing cost of the edge; Logical-Read's `nearest()` minimizes this.
   /// Self-cost is always 0.

@@ -1,0 +1,200 @@
+// Nemesis campaign engine: plan serialization, deterministic execution,
+// invariant checking, and scenario shrinking.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nemesis/campaign.h"
+#include "nemesis/nemesis.h"
+#include "nemesis/shrink.h"
+
+namespace vp::nemesis {
+namespace {
+
+using net::FaultAction;
+
+/// A handcrafted storm exercising every serializable fault kind plus the
+/// duplication and reordering knobs.
+FaultPlan AllKindsPlan() {
+  FaultPlan plan;
+  plan.protocol = harness::Protocol::kVirtualPartition;
+  plan.n_processors = 5;
+  plan.n_objects = 6;
+  plan.seed = 42;
+  plan.storm = sim::Millis(2500);
+  plan.drop_prob = 0.01;
+  plan.slow_prob = 0.01;
+  plan.dup_prob = 0.05;
+  plan.reorder_prob = 0.1;
+  plan.read_fraction = 0.5;
+  plan.ops_per_txn = 3;
+  plan.rmw = true;
+
+  FaultAction a;
+  a.at = sim::Millis(100);
+  a.kind = FaultAction::Kind::kPartition;
+  a.groups = {{0, 1, 2}, {3, 4}};
+  plan.actions.push_back(a);
+
+  a = {};
+  a.at = sim::Millis(400);
+  a.kind = FaultAction::Kind::kLinkDownOneWay;
+  a.a = 0;
+  a.b = 1;
+  plan.actions.push_back(a);
+
+  a = {};
+  a.at = sim::Millis(700);
+  a.kind = FaultAction::Kind::kCrashProcessor;
+  a.a = 2;
+  plan.actions.push_back(a);
+
+  a = {};
+  a.at = sim::Millis(900);
+  a.kind = FaultAction::Kind::kHeal;
+  plan.actions.push_back(a);
+
+  a = {};
+  a.at = sim::Millis(1000);
+  a.kind = FaultAction::Kind::kLinkUpOneWay;
+  a.a = 0;
+  a.b = 1;
+  plan.actions.push_back(a);
+
+  a = {};
+  a.at = sim::Millis(1100);
+  a.kind = FaultAction::Kind::kRecoverProcessor;
+  a.a = 2;
+  plan.actions.push_back(a);
+
+  a = {};
+  a.at = sim::Millis(1200);
+  a.kind = FaultAction::Kind::kChurnBurst;
+  a.a = 3;
+  a.count = 2;
+  a.period = sim::Millis(50);
+  plan.actions.push_back(a);
+
+  a = {};
+  a.at = sim::Millis(1600);
+  a.kind = FaultAction::Kind::kLinkDown;
+  a.a = 1;
+  a.b = 4;
+  plan.actions.push_back(a);
+
+  a = {};
+  a.at = sim::Millis(1900);
+  a.kind = FaultAction::Kind::kLinkUp;
+  a.a = 1;
+  a.b = 4;
+  plan.actions.push_back(a);
+  return plan;
+}
+
+TEST(NemesisPlan, TextRoundTripIsExact) {
+  const FaultPlan plan = AllKindsPlan();
+  const std::string text = plan.ToText();
+  Result<FaultPlan> parsed = FaultPlan::FromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().ToText(), text);
+  EXPECT_EQ(parsed.value().actions.size(), plan.actions.size());
+  EXPECT_EQ(parsed.value().n_processors, plan.n_processors);
+  EXPECT_DOUBLE_EQ(parsed.value().reorder_prob, plan.reorder_prob);
+}
+
+TEST(NemesisPlan, FractionalKnobsSurviveRoundTrip) {
+  FaultPlan plan;
+  plan.read_fraction = 0.88064270068605421;  // Needs %.17g to survive.
+  plan.dup_prob = 1.0 / 3.0;
+  Result<FaultPlan> parsed = FaultPlan::FromText(plan.ToText());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().read_fraction, plan.read_fraction);
+  EXPECT_EQ(parsed.value().dup_prob, plan.dup_prob);
+}
+
+TEST(NemesisPlan, ParserRejectsGarbage) {
+  EXPECT_FALSE(FaultPlan::FromText("protocol time-travel\n").ok());
+  EXPECT_FALSE(FaultPlan::FromText("action warp 10 0\n").ok());
+  // Action referencing a processor outside the cluster.
+  EXPECT_FALSE(
+      FaultPlan::FromText("processors 3\naction crash 10 7\n").ok());
+}
+
+TEST(NemesisPlan, GeneratorIsAPureFunctionOfSeed) {
+  const FaultPlan a = GeneratePlan(7);
+  const FaultPlan b = GeneratePlan(7);
+  EXPECT_EQ(a.ToText(), b.ToText());
+  EXPECT_NE(GeneratePlan(8).ToText(), a.ToText());
+}
+
+TEST(NemesisRun, TraceIsByteIdenticalAcrossRuns) {
+  // The determinism contract behind campaign search, shrinking, and
+  // --replay: the same plan (including duplication, reordering, one-way
+  // cuts, and churn) produces the same trace, byte for byte.
+  const FaultPlan plan = AllKindsPlan();
+  const RunOutcome first = RunPlan(plan);
+  const RunOutcome second = RunPlan(plan);
+  EXPECT_GT(first.duplicated, 0u);
+  EXPECT_GT(first.reordered, 0u);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.committed, second.committed);
+  EXPECT_EQ(first.aborted, second.aborted);
+  EXPECT_EQ(first.failure, second.failure);
+}
+
+TEST(NemesisRun, VirtualPartitionSurvivesTheAllKindsStorm) {
+  const RunOutcome out = RunPlan(AllKindsPlan());
+  EXPECT_FALSE(out.violation()) << out.failure;
+  EXPECT_TRUE(out.progress);
+  EXPECT_TRUE(out.converged);
+}
+
+TEST(NemesisCampaign, VirtualPartitionPassesASeedSweep) {
+  CampaignConfig config;
+  config.protocol = harness::Protocol::kVirtualPartition;
+  config.first_seed = 1;
+  config.n_seeds = 10;
+  config.shrink_failures = false;
+  const CampaignResult result = RunCampaign(config);
+  EXPECT_EQ(result.runs, 10u);
+  EXPECT_EQ(result.violations, 0u) << FormatCampaign(config, result);
+  EXPECT_GT(result.committed, 0u);
+}
+
+TEST(NemesisCampaign, NaiveViewViolatesAndShrinkReproduces) {
+  // The strawman loses committed writes under partitions; the campaign
+  // must catch it and the shrinker must hand back a smaller plan that
+  // still reproduces a violation deterministically.
+  FaultPlan plan = GeneratePlan(1);
+  plan.protocol = harness::Protocol::kNaiveView;
+  const RunOutcome out = RunPlan(plan);
+  ASSERT_TRUE(out.violation()) << "naive-view unexpectedly passed seed 1";
+
+  ShrinkConfig shrink;
+  shrink.budget = 60;
+  const ShrinkResult small = ShrinkPlan(plan, shrink);
+  EXPECT_TRUE(small.input_failed);
+  EXPECT_TRUE(small.outcome.violation());
+  EXPECT_LE(small.final_actions, small.original_actions);
+  EXPECT_LE(small.runs, shrink.budget);
+
+  // The shrunk plan replays to the same verdict through the text form.
+  Result<FaultPlan> reloaded = FaultPlan::FromText(small.plan.ToText());
+  ASSERT_TRUE(reloaded.ok());
+  const RunOutcome replay = RunPlan(reloaded.value());
+  EXPECT_EQ(replay.failure, small.outcome.failure);
+}
+
+TEST(NemesisShrink, PassingInputIsReportedNotShrunk) {
+  FaultPlan plan = GeneratePlan(1);  // Virtual partition: passes.
+  ShrinkConfig shrink;
+  shrink.budget = 5;
+  const ShrinkResult r = ShrinkPlan(plan, shrink);
+  EXPECT_FALSE(r.input_failed);
+  EXPECT_FALSE(r.outcome.violation());
+  EXPECT_EQ(r.plan.ToText(), plan.ToText());
+}
+
+}  // namespace
+}  // namespace vp::nemesis

@@ -189,6 +189,75 @@ TEST(Network, PerformanceFailuresExceedDelta) {
   EXPECT_EQ(f.net.stats().slow, 1u);
 }
 
+TEST(Network, DuplicationDeliversExtraCopies) {
+  NetworkConfig cfg;
+  cfg.dup_prob = 1.0;  // Every remote message is duplicated.
+  NetFixture f(cfg);
+  for (int i = 0; i < 100; ++i) f.net.Send(0, 1, "x", i);
+  f.scheduler.RunUntilIdle();
+  EXPECT_EQ(f.net.stats().duplicated, 100u);
+  EXPECT_EQ(f.sinks[1].received.size(), 200u);
+  EXPECT_EQ(f.net.stats().delivered, 200u);
+}
+
+TEST(Network, DuplicationNeverAppliesLocally) {
+  NetworkConfig cfg;
+  cfg.dup_prob = 1.0;
+  NetFixture f(cfg);
+  f.net.Send(1, 1, "self", 0);
+  f.scheduler.RunUntilIdle();
+  EXPECT_EQ(f.net.stats().duplicated, 0u);
+  EXPECT_EQ(f.sinks[1].received.size(), 1u);
+}
+
+TEST(Network, ReorderingHoldsMessagesBack) {
+  NetworkConfig cfg;
+  cfg.reorder_prob = 1.0;
+  cfg.reorder_min_extra = sim::Millis(20);
+  cfg.reorder_max_extra = sim::Millis(30);
+  NetFixture f(cfg);
+  f.net.Send(0, 1, "x", 0);
+  f.scheduler.RunUntilIdle();
+  ASSERT_EQ(f.sinks[1].received.size(), 1u);
+  // Normal delay plus the adversarial hold-back.
+  EXPECT_GE(f.scheduler.Now(), cfg.min_delay + sim::Millis(20));
+  EXPECT_EQ(f.net.stats().reordered, 1u);
+}
+
+TEST(Network, ReorderingInvertsSendOrder) {
+  // First message held back beyond the worst normal delay of the second:
+  // the later send overtakes the earlier one.
+  NetworkConfig cfg;
+  cfg.min_delay = sim::Millis(1);
+  cfg.max_delay = sim::Millis(2);
+  cfg.reorder_min_extra = sim::Millis(50);
+  cfg.reorder_max_extra = sim::Millis(60);
+  cfg.reorder_prob = 1.0;
+  NetFixture f(cfg);
+  f.net.Send(0, 1, "first", 1);
+  f.net.mutable_config()->reorder_prob = 0.0;
+  f.net.Send(0, 1, "second", 2);
+  f.scheduler.RunUntilIdle();
+  ASSERT_EQ(f.sinks[1].received.size(), 2u);
+  EXPECT_EQ(f.sinks[1].received[0].type, "second");
+  EXPECT_EQ(f.sinks[1].received[1].type, "first");
+}
+
+TEST(Network, OneWayCutDropsOnlyOneDirection) {
+  NetFixture f;
+  f.graph.SetEdgeOneWay(0, 1, false);
+  f.net.Send(0, 1, "a-to-b", 0);
+  f.net.Send(1, 0, "b-to-a", 0);
+  f.scheduler.RunUntilIdle();
+  EXPECT_TRUE(f.sinks[1].received.empty());
+  ASSERT_EQ(f.sinks[0].received.size(), 1u);
+  EXPECT_EQ(f.sinks[0].received[0].type, "b-to-a");
+  f.graph.SetEdgeOneWay(0, 1, true);
+  f.net.Send(0, 1, "a-to-b", 1);
+  f.scheduler.RunUntilIdle();
+  EXPECT_EQ(f.sinks[1].received.size(), 1u);
+}
+
 TEST(Network, StatsByType) {
   NetFixture f;
   f.net.Send(0, 1, "probe", 0);
@@ -255,6 +324,90 @@ TEST(FailureInjector, OnChangeCallbackFires) {
   inj.LinkDownAt(20, 0, 1);
   s.RunUntilIdle();
   EXPECT_EQ(changes, 2);
+}
+
+TEST(FailureInjector, OneWayCutScriptsAreDirectional) {
+  sim::Scheduler s;
+  CommGraph g(3);
+  FailureInjector inj(&s, &g, 1);
+  inj.LinkDownOneWayAt(100, 0, 1);
+  s.RunUntil(200);
+  EXPECT_FALSE(g.CanCommunicate(0, 1));
+  EXPECT_TRUE(g.CanCommunicate(1, 0));
+  inj.LinkUpOneWayAt(300, 0, 1);
+  s.RunUntil(400);
+  EXPECT_TRUE(g.CanCommunicate(0, 1));
+  EXPECT_EQ(inj.actions_applied(), 2u);
+}
+
+TEST(FailureInjector, ChurnBurstFlapsAndEndsAlive) {
+  sim::Scheduler s;
+  CommGraph g(3);
+  FailureInjector inj(&s, &g, 1);
+  inj.ChurnBurstAt(100, 2, /*count=*/3, /*period=*/sim::Millis(10));
+  s.RunUntil(101);
+  EXPECT_FALSE(g.Alive(2));  // First crash applies at the burst start.
+  s.RunUntilIdle();
+  EXPECT_TRUE(g.Alive(2));   // Every cycle ends with a recovery.
+  // Each of the 3 cycles applies one crash and one recover.
+  EXPECT_EQ(inj.actions_applied(), 6u);
+}
+
+TEST(FailureInjector, PastActionsAreRejected) {
+  sim::Scheduler s;
+  CommGraph g(2);
+  FailureInjector inj(&s, &g, 1);
+  s.RunUntil(1000);
+  FaultAction a;
+  a.at = 500;  // Before "now".
+  a.kind = FaultAction::Kind::kCrashProcessor;
+  a.a = 0;
+  const Status st = inj.Schedule(a);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  s.RunUntilIdle();
+  EXPECT_TRUE(g.Alive(0));  // Nothing was scheduled.
+  EXPECT_EQ(inj.actions_applied(), 0u);
+}
+
+TEST(FailureInjector, ActionsAppliedMatchesScript) {
+  sim::Scheduler s;
+  CommGraph g(4);
+  FailureInjector inj(&s, &g, 1);
+  inj.CrashAt(10, 0);
+  inj.RecoverAt(20, 0);
+  inj.LinkDownAt(30, 1, 2);
+  inj.LinkUpAt(40, 1, 2);
+  inj.PartitionAt(50, {{0, 1}, {2, 3}});
+  inj.HealAt(60);
+  inj.ChurnBurstAt(70, 3, /*count=*/2, /*period=*/sim::Millis(1));
+  s.RunUntilIdle();
+  // 6 scripted actions plus 2*2 churn flips (the burst shell is not
+  // counted; its expanded crash/recover pairs are).
+  EXPECT_EQ(inj.actions_applied(), 10u);
+}
+
+TEST(FailureInjector, RandomFaultsStopAfterDeadline) {
+  sim::Scheduler s;
+  CommGraph g(5);
+  FailureInjector inj(&s, &g, 9);
+  RandomFaultConfig cfg;
+  cfg.processor_mtbf = sim::Millis(20);
+  cfg.processor_mttr = sim::Millis(5);
+  cfg.link_mtbf = sim::Millis(20);
+  cfg.link_mttr = sim::Millis(5);
+  cfg.stop_after = sim::Millis(500);
+  inj.EnableRandomFaults(cfg);
+  s.RunUntil(sim::Millis(500));
+  const uint64_t at_deadline = inj.actions_applied();
+  EXPECT_GT(at_deadline, 0u);
+  // Only repairs of already-injected faults may run after the deadline;
+  // no new fault ever fires.
+  s.RunUntil(sim::Seconds(10));
+  EXPECT_LE(inj.actions_applied(), at_deadline + at_deadline);
+  const uint64_t settled = inj.actions_applied();
+  s.RunUntil(sim::Seconds(20));
+  EXPECT_EQ(inj.actions_applied(), settled);
 }
 
 TEST(FailureInjector, RandomFaultsEventuallyCrashAndRepair) {

@@ -4,6 +4,7 @@
 #define VPART_TESTS_TEST_UTIL_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,7 +43,9 @@ inline void StartScriptedTxn(core::NodeBase& node,
                              std::vector<ScriptOp> ops, TxnOutcome* out) {
   out->txn = node.NewTxnId();
   node.Begin(out->txn);
-  // Drive ops recursively through a shared step closure.
+  // Drive ops recursively through a shared step closure. The closure holds
+  // only a weak reference to itself (capturing the shared_ptr would form an
+  // ownership cycle and leak); pending operation callbacks keep it alive.
   auto step = std::make_shared<std::function<void(size_t)>>();
   auto fail = [out](Status s) {
     out->done = true;
@@ -50,7 +53,10 @@ inline void StartScriptedTxn(core::NodeBase& node,
     out->failure = s;
   };
   auto ops_ptr = std::make_shared<std::vector<ScriptOp>>(std::move(ops));
-  *step = [&node, out, step, fail, ops_ptr](size_t idx) {
+  std::weak_ptr<std::function<void(size_t)>> weak = step;
+  *step = [&node, out, weak, fail, ops_ptr](size_t idx) {
+    auto self = weak.lock();
+    if (!self) return;
     if (idx >= ops_ptr->size()) {
       node.Commit(out->txn, [out](Status s) {
         out->done = true;
@@ -63,29 +69,29 @@ inline void StartScriptedTxn(core::NodeBase& node,
     switch (op.kind) {
       case ScriptOp::Kind::kRead:
         node.LogicalRead(out->txn, op.obj,
-                         [out, step, idx, fail](Result<core::ReadResult> r) {
+                         [out, self, idx, fail](Result<core::ReadResult> r) {
                            if (!r.ok()) {
                              fail(r.status());
                              return;
                            }
                            out->reads.push_back(r.value().value);
-                           (*step)(idx + 1);
+                           (*self)(idx + 1);
                          });
         break;
       case ScriptOp::Kind::kWrite:
         node.LogicalWrite(out->txn, op.obj, op.value,
-                          [out, step, idx, fail](Status s) {
+                          [out, self, idx, fail](Status s) {
                             if (!s.ok()) {
                               fail(s);
                               return;
                             }
-                            (*step)(idx + 1);
+                            (*self)(idx + 1);
                           });
         break;
       case ScriptOp::Kind::kIncrement:
         node.LogicalRead(
             out->txn, op.obj,
-            [&node, out, step, idx, fail, ops_ptr](Result<core::ReadResult> r) {
+            [&node, out, self, idx, fail, ops_ptr](Result<core::ReadResult> r) {
               if (!r.ok()) {
                 fail(r.status());
                 return;
@@ -95,12 +101,12 @@ inline void StartScriptedTxn(core::NodeBase& node,
                   std::strtoll(r.value().value.c_str(), nullptr, 10);
               node.LogicalWrite(out->txn, (*ops_ptr)[idx].obj,
                                 std::to_string(v + 1),
-                                [out, step, idx, fail](Status s) {
+                                [out, self, idx, fail](Status s) {
                                   if (!s.ok()) {
                                     fail(s);
                                     return;
                                   }
-                                  (*step)(idx + 1);
+                                  (*self)(idx + 1);
                                 });
             });
         break;
