@@ -19,6 +19,8 @@ struct InitCost {
   uint64_t recovery_bytes = 0;
   uint64_t log_records = 0;
   uint64_t skipped_objects = 0;
+  uint64_t fsyncs = 0;
+  uint64_t wal_bytes = 0;
   bool healed_ok = false;
 };
 
@@ -30,12 +32,16 @@ InitCost Measure(core::RecoveryMode mode, int missed_writes,
   config.seed = seed;
   config.protocol = harness::Protocol::kVirtualPartition;
   config.vp.recovery = mode;
+  // WAL durability, so the fsync/WAL-byte columns show what partition
+  // initialization costs on the stable device.
+  config.durability = storage::DurabilityMode::kWal;
   harness::Cluster cluster(config);
   cluster.RunFor(sim::Seconds(1));
 
   // Measure from before the split so the §6 previous-skip savings on the
   // split itself are visible alongside the heal's initialization cost.
   const auto stats_at_start = cluster.AggregateStats();
+  const auto stable_at_start = cluster.AggregateStableStats();
   uint64_t bytes_at_start = 0;
   for (ProcessorId p = 0; p < 5; ++p)
     bytes_at_start += cluster.store(p).stats().recovery_bytes;
@@ -64,6 +70,7 @@ InitCost Measure(core::RecoveryMode mode, int missed_writes,
   cluster.RunFor(sim::Seconds(3));
 
   const auto stats_after = cluster.AggregateStats();
+  const auto stable_after = cluster.AggregateStableStats();
   uint64_t bytes_after = 0;
   for (ProcessorId p = 0; p < 5; ++p)
     bytes_after += cluster.store(p).stats().recovery_bytes;
@@ -78,6 +85,8 @@ InitCost Measure(core::RecoveryMode mode, int missed_writes,
       stats_after.recovery_log_records - stats_before.recovery_log_records;
   cost.skipped_objects = stats_after.recovery_skipped_objects -
                          stats_before.recovery_skipped_objects;
+  cost.fsyncs = stable_after.fsyncs - stable_at_start.fsyncs;
+  cost.wal_bytes = stable_after.wal_bytes - stable_at_start.wal_bytes;
   cost.healed_ok = true;
   for (ProcessorId p = 0; p < 5; ++p) {
     if (missed_writes > 0 &&
@@ -108,7 +117,7 @@ void Main() {
       "hot object)\n\n");
   Table table({"mode", "missed writes", "value bytes", "value fetches",
                "date polls", "bytes moved", "log records", "skipped objs",
-               "correct"});
+               "fsyncs", "wal bytes", "correct"});
   for (core::RecoveryMode mode :
        {core::RecoveryMode::kFullRead, core::RecoveryMode::kPreviousSkip,
         core::RecoveryMode::kLogCatchup, core::RecoveryMode::kDatePoll}) {
@@ -122,6 +131,8 @@ void Main() {
                       std::to_string(c.recovery_bytes),
                       std::to_string(c.log_records),
                       std::to_string(c.skipped_objects),
+                      std::to_string(c.fsyncs),
+                      std::to_string(c.wal_bytes),
                       c.healed_ok ? "yes" : "NO"});
       }
     }

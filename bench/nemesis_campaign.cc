@@ -4,6 +4,10 @@
 //   nemesis_campaign --protocol=naive-view --seeds=200 # find its anomalies
 //   nemesis_campaign --replay=failure.plan             # re-run a saved plan
 //   nemesis_campaign --dump-seed=7                     # print a plan file
+//   nemesis_campaign --amnesia --seeds=500             # crash-amnesia storms
+//   nemesis_campaign --amnesia --durability=nowal ...  # no-WAL negative ctl
+//   nemesis_campaign --weighted-placements ...         # a²b copy geometries
+//   nemesis_campaign --protocol=quorum --harsh ...     # harsher knob menus
 //
 // Campaign mode prints a pass/fail table plus fault-mix coverage; every
 // violation is shrunk to a minimal plan and saved as a replayable
@@ -48,7 +52,20 @@ void PrintOutcome(const RunOutcome& outcome) {
   std::printf("  durable-reads %s\n",
               outcome.durable_reads ? "ok" : "VIOLATED");
   std::printf("  safety S1-S3  %s\n", outcome.safety_ok ? "ok" : "VIOLATED");
+  std::printf("  state-durable %s\n",
+              outcome.state_durable ? "ok" : "VIOLATED");
   std::printf("  convergence   %s\n", outcome.converged ? "ok" : "VIOLATED");
+  if (outcome.stable.fsyncs > 0 || outcome.stable.reboots > 0) {
+    std::printf("  fsyncs        %llu\n",
+                static_cast<unsigned long long>(outcome.stable.fsyncs));
+    std::printf("  wal bytes     %llu\n",
+                static_cast<unsigned long long>(outcome.stable.wal_bytes));
+    std::printf("  wal replayed  %llu\n",
+                static_cast<unsigned long long>(
+                    outcome.stable.wal_replay_records));
+    std::printf("  reboots       %llu\n",
+                static_cast<unsigned long long>(outcome.stable.reboots));
+  }
   if (outcome.violation()) {
     std::printf("  witness: %s\n", outcome.failure.c_str());
   }
@@ -91,6 +108,33 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: unknown protocol '%s'\n", value.c_str());
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--amnesia") == 0) {
+      config.generator.enable_amnesia = true;
+    } else if (std::strcmp(argv[i], "--weighted-placements") == 0) {
+      config.generator.weighted_placements = true;
+    } else if (std::strcmp(argv[i], "--harsh") == 0) {
+      config.generator.harsh = true;
+    } else if (ParseFlag(argv[i], "--durability", &value)) {
+      bool found = false;
+      for (vp::storage::DurabilityMode m :
+           {vp::storage::DurabilityMode::kRetainMemory,
+            vp::storage::DurabilityMode::kWal,
+            vp::storage::DurabilityMode::kNoWal}) {
+        if (vp::storage::DurabilityModeName(m) == value) {
+          config.generator.amnesia_durability = m;
+          // Any explicit durability request implies amnesia storms (retain
+          // turns them back off).
+          config.generator.enable_amnesia =
+              m != vp::storage::DurabilityMode::kRetainMemory;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "error: unknown durability '%s'\n",
+                     value.c_str());
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
       config.shrink_failures = false;
     } else if (ParseFlag(argv[i], "--max-shrinks", &value)) {
@@ -109,6 +153,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seeds=N] [--first-seed=K] [--protocol=NAME]\n"
+                   "          [--amnesia] [--durability=retain|wal|nowal]\n"
+                   "          [--weighted-placements] [--harsh]\n"
                    "          [--no-shrink] [--max-shrinks=N]\n"
                    "          [--shrink-budget=N] [--out-dir=DIR]\n"
                    "          [--replay=FILE] [--dump-seed=K]\n",

@@ -134,6 +134,14 @@ void LockManager::ReleaseAll(TxnId txn) {
   }
 }
 
+void LockManager::Shutdown() {
+  for (auto& [obj, lock] : locks_) {
+    for (Request& req : lock.queue) CancelTimeout(req);
+  }
+  locks_.clear();
+  txn_objects_.clear();
+}
+
 bool LockManager::Holds(TxnId txn, ObjectId obj, LockMode mode) const {
   auto it = locks_.find(obj);
   if (it == locks_.end()) return false;

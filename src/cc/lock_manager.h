@@ -55,6 +55,12 @@ class LockManager {
   /// (their callbacks do NOT fire). Wakes up compatible waiters.
   void ReleaseAll(TxnId txn);
 
+  /// Drops the whole lock table: cancels every queued request's timeout
+  /// (callbacks do NOT fire) and forgets all holders. Used when a
+  /// crash-amnesia reboot retires this manager — volatile lock state does
+  /// not survive a crash.
+  void Shutdown();
+
   /// True if `txn` currently holds a lock on `obj` of at least `mode`.
   bool Holds(TxnId txn, ObjectId obj, LockMode mode) const;
 

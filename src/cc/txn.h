@@ -19,8 +19,10 @@ enum class TxnOutcome {
   kAborted,    // Decision: abort (also the presumed answer for unknowns).
 };
 
-/// Coordinator-side decision log (kept in stable storage in a real system;
-/// our crash model preserves node state, see DESIGN.md).
+/// Coordinator-side decision log. Under the crash-amnesia fault model the
+/// commit entries are backed by kDecision records in the stable WAL and
+/// restored by NodeBase::ReplayWal; under the legacy retain-memory model
+/// the in-memory set itself survives crashes (see DESIGN.md §storage).
 ///
 /// Presumed abort: a status query for a transaction this coordinator never
 /// recorded is answered kAborted, so an in-doubt participant whose

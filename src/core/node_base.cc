@@ -14,11 +14,88 @@ NodeBase::NodeBase(ProcessorId id, NodeEnv env, sim::Duration lock_timeout,
       outcome_retry_period_(outcome_retry_period) {
   VP_CHECK(env_.scheduler && env_.network && env_.placement && env_.store &&
            env_.locks && env_.recorder);
+  if (env_.stable != nullptr) {
+    // Salt all local sequence counters with the incarnation so a rebooted
+    // processor never reissues a transaction or op id from a previous life
+    // (the recorder rejects duplicate txn ids, and stale op-id matches
+    // would corrupt pending-op bookkeeping).
+    const uint64_t inc = env_.stable->incarnation();
+    next_txn_seq_ = 1 + (inc << 40);
+    synth_seq_ = 1 + (inc << 40);
+    next_op_id_ = 1 + (inc << 40);
+  }
 }
 
 void NodeBase::Start() {
   env_.network->Register(id_, this);
+  if (env_.stable != nullptr && env_.stable->amnesia() &&
+      env_.stable->incarnation() > 0) {
+    ReplayWal();
+  }
   ScheduleInDoubtSweep();
+}
+
+void NodeBase::Retire() {
+  retired_ = true;
+  for (auto& [txn, rec] : txns_) {
+    if (rec.retry_event != sim::kInvalidEvent) {
+      env_.scheduler->Cancel(rec.retry_event);
+      rec.retry_event = sim::kInvalidEvent;
+    }
+  }
+  // Volatile lock state dies with the crash; cancel queued waiters'
+  // timeouts so their closures never fire against the retired object.
+  env_.locks->Shutdown();
+}
+
+void NodeBase::ReplayWal() {
+  storage::StableStore* stable = env_.stable;
+  // Forward pass: collect prepares still unresolved at crash time, restore
+  // learned outcomes, and restore coordinator commit decisions (aborts are
+  // presumed and were never logged).
+  struct PendingWrite {
+    Value value;
+    VpId date;
+  };
+  std::map<TxnId, std::map<ObjectId, PendingWrite>> pending;
+  stable->BeginReplay();
+  for (const storage::WalRecord& rec : stable->wal().records()) {
+    stable->CountReplayedRecord();
+    switch (rec.type) {
+      case storage::WalRecord::Type::kPrepare:
+        pending[rec.txn][rec.obj] = PendingWrite{rec.value, rec.date};
+        break;
+      case storage::WalRecord::Type::kOutcome:
+        remote_outcomes_[rec.txn] = rec.committed;
+        pending.erase(rec.txn);
+        break;
+      case storage::WalRecord::Type::kDecision:
+        decisions_.Decide(rec.txn, /*committed=*/true);
+        break;
+    }
+  }
+  // Re-stage the in-doubt writes under fresh exclusive locks (the table is
+  // empty, so every grant is synchronous). Holding the X lock again is what
+  // makes late resolution safe: recovery reads of these copies block until
+  // the transaction resolves (§6 condition (3)). last_activity = 0 ages the
+  // record out instantly, so the first in-doubt sweep re-contacts the
+  // coordinator (or the restored local decision log).
+  for (auto& [txn, writes] : pending) {
+    RemoteTxn& rt = remote_txns_[txn];
+    rt.coordinator = txn.coordinator;
+    rt.last_activity = 0;
+    for (auto& [obj, w] : writes) {
+      if (!env_.store->HasCopy(obj)) continue;
+      bool granted = false;
+      env_.locks->Acquire(txn, obj, cc::LockMode::kExclusive, lock_timeout_,
+                          [&granted](Status s) { granted = s.ok(); });
+      VP_CHECK_MSG(granted, "replay lock must grant on an empty table");
+      Status st = env_.store->StageWrite(txn, obj, w.value, w.date);
+      VP_CHECK(st.ok());
+      rt.staged.insert(obj);
+    }
+  }
+  stable->EndReplay();
 }
 
 // ---------------------------------------------------------------------------
@@ -74,6 +151,13 @@ void NodeBase::Commit(TxnId txn, CommitCallback cb) {
 void NodeBase::Decide(TxnId txn, TxnRec* rec, bool committed) {
   rec->st = committed ? cc::TxnOutcome::kCommitted : cc::TxnOutcome::kAborted;
   decisions_.Decide(txn, committed);
+  if (committed && env_.stable != nullptr) {
+    // Commit decisions must survive a coordinator crash: participants in
+    // doubt will query us, and presumed-abort turns a forgotten commit
+    // into a lost write. Aborts need no record.
+    env_.stable->AppendWal(
+        storage::WalRecord{storage::WalRecord::Type::kDecision, txn});
+  }
   if (committed) {
     env_.recorder->TxnCommit(txn, env_.scheduler->Now());
     ++stats_.txns_committed;
@@ -103,6 +187,7 @@ void NodeBase::ScheduleOutcomeRetry(TxnId txn) {
   }
   rec->retry_event =
       env_.scheduler->ScheduleAfter(outcome_retry_period_, [this, txn]() {
+        if (retired_) return;
         TxnRec* r = FindTxn(txn);
         if (r == nullptr) return;
         r->retry_event = sim::kInvalidEvent;
@@ -294,6 +379,13 @@ void NodeBase::HandleLogQuery(const net::Message& m) {
 }
 
 void NodeBase::ApplyOutcomeLocally(TxnId txn, bool committed) {
+  if (env_.stable != nullptr && remote_outcomes_.count(txn) == 0) {
+    // Participant outcome memory (the stale-txn guard) must survive a
+    // crash, and resolved prepares must not be re-staged on replay.
+    env_.stable->AppendWal(storage::WalRecord{storage::WalRecord::Type::kOutcome,
+                                              txn, kInvalidObject, Value(),
+                                              kEpochDate, committed});
+  }
   remote_outcomes_[txn] = committed;
   auto it = remote_txns_.find(txn);
   if (it != remote_txns_.end()) {
@@ -378,6 +470,7 @@ void NodeBase::InDoubtSweep() {
 
 void NodeBase::ScheduleInDoubtSweep() {
   env_.scheduler->ScheduleAfter(2 * outcome_retry_period_, [this]() {
+    if (retired_) return;
     if (!Crashed()) InDoubtSweep();
     ScheduleInDoubtSweep();
   });

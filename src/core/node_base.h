@@ -32,6 +32,7 @@
 #include "sim/timer.h"
 #include "storage/placement.h"
 #include "storage/replica_store.h"
+#include "storage/stable_store.h"
 
 namespace vp::core {
 
@@ -43,6 +44,10 @@ struct NodeEnv {
   storage::ReplicaStore* store = nullptr;
   cc::LockManager* locks = nullptr;
   history::Recorder* recorder = nullptr;
+  /// Stable device for crash-amnesia durability. May be null (tests that
+  /// build a NodeEnv by hand); then no persist points fire and crashes
+  /// retain memory.
+  storage::StableStore* stable = nullptr;
 };
 
 /// Base class of all protocol nodes. See file comment.
@@ -63,8 +68,17 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
   TxnId NewTxnId() { return TxnId{id_, next_txn_seq_++}; }
 
   /// Registers with the network and starts periodic tasks. Derived classes
-  /// extend this.
+  /// extend this. On a crash-amnesia reboot (stable device incarnation > 0)
+  /// this first replays the WAL to restore participant stages, learned
+  /// outcomes, and coordinator commit decisions.
   virtual void Start();
+
+  /// Permanently stops this node object: cancels its timers, fails its
+  /// pending work, and marks it retired so already-scheduled closures
+  /// become no-ops. Called by the harness just before a crash-amnesia
+  /// reboot replaces the object. The retired object is kept alive (never
+  /// destroyed mid-run) so captured `this` pointers stay valid.
+  virtual void Retire();
 
   // --- NodeInterface ---
   void HandleMessage(const net::Message& m) override;
@@ -133,6 +147,12 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
   /// do nothing; the network already drops inbound messages).
   bool Crashed() const { return !env_.network->graph()->Alive(id_); }
 
+  /// Replays the stable WAL after an amnesia reboot: re-stages in-doubt
+  /// prepares (re-acquiring their exclusive locks), restores learned
+  /// outcomes and commit decisions, and queues unresolved transactions for
+  /// the in-doubt sweep to resolve against their coordinators.
+  void ReplayWal();
+
   void Send(ProcessorId dst, const char* type, std::any body) {
     env_.network->Send(id_, dst, type, std::move(body));
   }
@@ -161,6 +181,9 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
   /// re-staged: re-staging would later re-commit a stale value over newer
   /// committed writes and double-record the op in the conflict graph.
   std::unordered_map<TxnId, bool, TxnIdHash> remote_outcomes_;
+  /// Set by Retire(); gates every self-rescheduling timer loop and retry
+  /// closure so a replaced node object goes quiet.
+  bool retired_ = false;
 
  private:
   void ScheduleInDoubtSweep();

@@ -15,7 +15,29 @@ VpNode::VpNode(ProcessorId id, NodeEnv env, VpConfig config)
       lview_{id},
       monitor_timer_(env.scheduler) {}
 
+void VpNode::PersistViewMeta() {
+  if (env_.stable != nullptr) env_.stable->PersistViewMeta(max_id_, cur_id_);
+}
+
 void VpNode::Start() {
+  if (env_.stable != nullptr && env_.stable->amnesia() &&
+      env_.stable->incarnation() > 0 && env_.stable->has_view_meta()) {
+    // Crash-amnesia reboot: resume as a singleton partition whose id is
+    // strictly above anything this processor saw or accepted in a previous
+    // life (monotonic joins, and any stale acceptance it gave is dead).
+    // Probing merges it back and R5 refreshes its copies.
+    VpId pmax = env_.stable->max_view();
+    if (pmax < env_.stable->cur_view()) pmax = env_.stable->cur_view();
+    cur_id_ = VpId{pmax.n + 1, id_};
+    max_id_ = cur_id_;
+    lview_ = {id_};
+    assigned_ = true;
+    previous_.clear();
+    // Conservatively treat every local copy as possibly stale: recoveries
+    // in flight at crash time never completed.
+    for (ObjectId obj : env_.store->LocalObjects()) dirty_.insert(obj);
+    PersistViewMeta();
+  }
   NodeBase::Start();
   // The initial assignment is the singleton partition (0, myid), per
   // Fig. 3's initializers; probing merges the system into larger
@@ -37,7 +59,38 @@ void VpNode::CreateNewVp() {
   if (!assigned_) return;
   Depart();
   max_id_ = VpId{max_id_.n + 1, id_};
+  PersistViewMeta();
   StartCreateVp(max_id_);
+}
+
+void VpNode::Retire() {
+  Depart();
+  monitor_timer_.Reset();
+  create_open_ = false;
+  probe_round_open_ = false;
+  // Fail callers waiting on logical operations; their transactions die
+  // with the coordinator's volatile state.
+  auto reads = std::move(pending_reads_);
+  pending_reads_.clear();
+  for (auto& [op_id, pr] : reads) {
+    env_.scheduler->Cancel(pr.timeout_event);
+    pr.cb(Status::Aborted("processor crashed"));
+  }
+  auto writes = std::move(pending_writes_);
+  pending_writes_.clear();
+  for (auto& [op_id, pw] : writes) {
+    env_.scheduler->Cancel(pw.timeout_event);
+    pw.cb(Status::Aborted("processor crashed"));
+  }
+  for (auto& [op_id, rec] : pending_recoveries_) {
+    env_.scheduler->Cancel(rec.timeout_event);
+  }
+  pending_recoveries_.clear();
+  recovery_by_object_.clear();
+  recovery_retries_.clear();
+  deferred_.clear();
+  locked_.clear();
+  NodeBase::Retire();
 }
 
 void VpNode::Depart() {
@@ -65,6 +118,7 @@ void VpNode::StartCreateVp(VpId new_id) {
 }
 
 void VpNode::FinishCreateVp(uint64_t generation) {
+  if (retired_) return;
   if (generation != create_generation_) return;  // Superseded attempt.
   create_open_ = false;
   if (Crashed()) {
@@ -108,6 +162,7 @@ void VpNode::HandleNewVp(const net::Message& m) {
   // Fig. 6 lines 5-10: accept iff strictly higher than anything seen.
   if (!(max_id_ < v)) return;
   max_id_ = v;
+  PersistViewMeta();
   Depart();
   Send(v.p, msg::kVpOk, msg::VpOk{v, id_, cur_id_});
   monitor_timer_.Set(3 * config_.delta, [this]() { OnMonitorTimeout(); });
@@ -139,6 +194,7 @@ void VpNode::HandleVpCommit(const net::Message& m) {
 }
 
 void VpNode::OnMonitorTimeout() {
+  if (retired_) return;
   // Fig. 6 lines 22-24: the promised commit never arrived; initiate a
   // fresh, higher-numbered partition.
   if (Crashed()) {
@@ -148,6 +204,7 @@ void VpNode::OnMonitorTimeout() {
     return;
   }
   max_id_ = VpId{max_id_.n + 1, id_};
+  PersistViewMeta();
   StartCreateVp(max_id_);
 }
 
@@ -159,6 +216,7 @@ void VpNode::CommitToVp(VpId v, std::set<ProcessorId> view,
   lview_ = std::move(view);
   previous_ = std::move(previous);
   assigned_ = true;
+  PersistViewMeta();
   ++stats_.vp_joins;
   env_.recorder->JoinVp(id_, v, lview_, env_.scheduler->Now());
   VP_LOG(kInfo, env_.scheduler->Now())
@@ -208,6 +266,7 @@ void VpNode::CommitToVp(VpId v, std::set<ProcessorId> view,
 // ---------------------------------------------------------------------------
 
 void VpNode::ProbeTick() {
+  if (retired_) return;
   // The loop persists across crashes; a crashed processor skips the round.
   env_.scheduler->ScheduleAfter(config_.probe_period,
                                 [this]() { ProbeTick(); });
@@ -228,7 +287,7 @@ void VpNode::ProbeTick() {
 }
 
 void VpNode::FinishProbeRound() {
-  if (!probe_round_open_) return;
+  if (retired_ || !probe_round_open_) return;
   if (Crashed()) {
     probe_round_open_ = false;
     return;
@@ -606,6 +665,7 @@ void VpNode::FinishRecovery(ObjectId obj, uint64_t join_gen) {
 }
 
 void VpNode::RecoveryFailed(ObjectId obj, uint64_t join_gen) {
+  if (retired_) return;
   auto oit = recovery_by_object_.find(obj);
   if (oit != recovery_by_object_.end()) {
     auto it = pending_recoveries_.find(oit->second);

@@ -39,6 +39,7 @@ class VpNode : public NodeBase {
   VpNode(ProcessorId id, NodeEnv env, VpConfig config);
 
   void Start() override;
+  void Retire() override;
 
   // --- ReplicaControl ---
   void LogicalRead(TxnId txn, ObjectId obj, ReadCallback cb) override;
@@ -83,6 +84,10 @@ class VpNode : public NodeBase {
   void OnMonitorTimeout();
   void CommitToVp(VpId v, std::set<ProcessorId> view,
                   std::map<ProcessorId, VpId> previous);
+  /// Persists (max_id_, cur_id_) to the stable device, if any. Called at
+  /// every max-id movement and every join so a reboot can generate a vp id
+  /// above anything this processor ever saw or accepted.
+  void PersistViewMeta();
 
   // --- Probing ---
   void ProbeTick();

@@ -46,10 +46,14 @@ Cluster::Cluster(ClusterConfig config)
   const uint32_t n = config_.n_processors;
   stores_.reserve(n);
   locks_.reserve(n);
+  stables_.reserve(n);
   nodes_.reserve(n);
+  reboot_pending_.assign(n, false);
   for (ProcessorId p = 0; p < n; ++p) {
     stores_.push_back(std::make_unique<storage::ReplicaStore>());
     locks_.push_back(std::make_unique<cc::LockManager>(&scheduler_));
+    stables_.push_back(
+        std::make_unique<storage::StableStore>(config_.durability));
     for (ObjectId obj : placement_.LocalObjects(p)) {
       auto it = config_.initial_values.find(obj);
       const Value& init =
@@ -57,38 +61,89 @@ Cluster::Cluster(ClusterConfig config)
                                              : config_.initial_value;
       stores_[p]->CreateCopy(obj, init, kEpochDate);
     }
+    // First boot: persists the initial images onto the empty device.
+    stores_[p]->AttachStable(stables_[p].get());
   }
-  for (ProcessorId p = 0; p < n; ++p) {
-    core::NodeEnv env;
-    env.scheduler = &scheduler_;
-    env.network = &network_;
-    env.placement = &placement_;
-    env.store = stores_[p].get();
-    env.locks = locks_[p].get();
-    env.recorder = &recorder_;
-    switch (config_.protocol) {
-      case Protocol::kVirtualPartition:
-        nodes_.push_back(std::make_unique<core::VpNode>(p, env, config_.vp));
-        break;
-      case Protocol::kQuorum:
-        nodes_.push_back(
-            std::make_unique<protocols::QuorumNode>(p, env, config_.quorum));
-        break;
-      case Protocol::kMajorityVoting:
-        nodes_.push_back(std::make_unique<protocols::QuorumNode>(
-            p, env, protocols::MajorityVotingConfig()));
-        break;
-      case Protocol::kRowa:
-        nodes_.push_back(std::make_unique<protocols::QuorumNode>(
-            p, env, protocols::RowaConfig()));
-        break;
-      case Protocol::kNaiveView:
-        nodes_.push_back(std::make_unique<protocols::NaiveViewNode>(
-            p, env, config_.naive));
-        break;
-    }
-  }
+  for (ProcessorId p = 0; p < n; ++p) nodes_.push_back(MakeNode(p));
   for (auto& node : nodes_) node->Start();
+  injector_.SetProcessorHooks(
+      [this](ProcessorId p, bool amnesia) {
+        if (!amnesia || !stables_[p]->amnesia()) return;
+        // The volatile state dies now; the matching recover reboots the
+        // node from stable storage.
+        reboot_pending_[p] = true;
+        nodes_[p]->Retire();
+      },
+      [this](ProcessorId p) {
+        if (!reboot_pending_[p]) return;
+        reboot_pending_[p] = false;
+        Reboot(p);
+      });
+}
+
+std::unique_ptr<core::NodeBase> Cluster::MakeNode(ProcessorId p) {
+  core::NodeEnv env;
+  env.scheduler = &scheduler_;
+  env.network = &network_;
+  env.placement = &placement_;
+  env.store = stores_[p].get();
+  env.locks = locks_[p].get();
+  env.recorder = &recorder_;
+  env.stable = stables_[p].get();
+  switch (config_.protocol) {
+    case Protocol::kVirtualPartition:
+      return std::make_unique<core::VpNode>(p, env, config_.vp);
+    case Protocol::kQuorum:
+      return std::make_unique<protocols::QuorumNode>(p, env, config_.quorum);
+    case Protocol::kMajorityVoting:
+      return std::make_unique<protocols::QuorumNode>(
+          p, env, protocols::MajorityVotingConfig());
+    case Protocol::kRowa:
+      return std::make_unique<protocols::QuorumNode>(p, env,
+                                                     protocols::RowaConfig());
+    case Protocol::kNaiveView:
+      return std::make_unique<protocols::NaiveViewNode>(p, env, config_.naive);
+  }
+  VP_CHECK(false);
+  return nullptr;
+}
+
+void Cluster::Reboot(ProcessorId p) {
+  storage::StableStore* stable = stables_[p].get();
+  VP_CHECK_MSG(stable->amnesia(), "reboot requires an amnesia fault model");
+  stable->BeginIncarnation();
+  // Ensure the old object is quiet even if the crash hook never ran (tests
+  // calling Reboot directly); Retire is idempotent.
+  nodes_[p]->Retire();
+  // Graveyard the replaced objects: closures already scheduled against them
+  // hold raw pointers, so they must stay alive until the cluster dies.
+  retired_nodes_.push_back(std::move(nodes_[p]));
+  retired_locks_.push_back(std::move(locks_[p]));
+  retired_stores_.push_back(std::move(stores_[p]));
+  stores_[p] = std::make_unique<storage::ReplicaStore>();
+  locks_[p] = std::make_unique<cc::LockManager>(&scheduler_);
+  for (ObjectId obj : placement_.LocalObjects(p)) {
+    auto it = config_.initial_values.find(obj);
+    const Value& init = it != config_.initial_values.end()
+                            ? it->second
+                            : config_.initial_value;
+    stores_[p]->CreateCopy(obj, init, kEpochDate);
+  }
+  // Loads the persisted images over the fresh initial values.
+  stores_[p]->AttachStable(stable);
+  nodes_[p] = MakeNode(p);
+  nodes_[p]->Start();
+  VP_LOG(kInfo, scheduler_.Now())
+      << "p" << p << " rebooted from stable storage (incarnation "
+      << stable->incarnation() << ")";
+}
+
+void Cluster::Revive(ProcessorId p) {
+  graph_.SetAlive(p, true);
+  if (reboot_pending_[p]) {
+    reboot_pending_[p] = false;
+    Reboot(p);
+  }
 }
 
 core::VpNode& Cluster::vp_node(ProcessorId p) {
@@ -165,6 +220,36 @@ core::ProtocolStats Cluster::AggregateStats() const {
     sum.recovery_date_polls += s.recovery_date_polls;
     sum.recovery_value_fetches += s.recovery_value_fetches;
   }
+  return sum;
+}
+
+storage::StableStats Cluster::AggregateStableStats() const {
+  storage::StableStats sum;
+  for (const auto& s : stables_) {
+    const storage::StableStats& st = s->stats();
+    sum.fsyncs += st.fsyncs;
+    sum.wal_appends += st.wal_appends;
+    sum.wal_bytes += st.wal_bytes;
+    sum.copy_persist_bytes += st.copy_persist_bytes;
+    sum.wal_replay_records += st.wal_replay_records;
+    sum.reboots += st.reboots;
+  }
+  return sum;
+}
+
+storage::StoreStats Cluster::AggregateStoreStats() const {
+  storage::StoreStats sum;
+  auto add = [&sum](const storage::ReplicaStore& store) {
+    const storage::StoreStats& s = store.stats();
+    sum.commits += s.commits;
+    sum.stages += s.stages;
+    sum.discards += s.discards;
+    sum.recoveries += s.recoveries;
+    sum.recovery_bytes += s.recovery_bytes;
+    sum.log_catchup_records += s.log_catchup_records;
+  };
+  for (const auto& s : stores_) add(*s);
+  for (const auto& s : retired_stores_) add(*s);
   return sum;
 }
 

@@ -25,6 +25,7 @@
 #include "sim/scheduler.h"
 #include "storage/placement.h"
 #include "storage/replica_store.h"
+#include "storage/stable_store.h"
 
 namespace vp::harness {
 
@@ -58,6 +59,11 @@ struct ClusterConfig {
   net::NetworkConfig net;
   uint64_t seed = 42;
 
+  /// Fault model for processor crashes. kRetainMemory (default) preserves
+  /// volatile state across crashes; kWal/kNoWal destroy it on kCrashAmnesia
+  /// faults and reboot the node from its StableStore on recovery.
+  storage::DurabilityMode durability = storage::DurabilityMode::kRetainMemory;
+
   Protocol protocol = Protocol::kVirtualPartition;
   core::VpConfig vp;
   protocols::QuorumConfig quorum;
@@ -79,6 +85,7 @@ class Cluster {
   const storage::CopyPlacement& placement() const { return placement_; }
   storage::ReplicaStore& store(ProcessorId p) { return *stores_[p]; }
   cc::LockManager& locks(ProcessorId p) { return *locks_[p]; }
+  storage::StableStore& stable(ProcessorId p) { return *stables_[p]; }
   const ClusterConfig& config() const { return config_; }
   uint32_t size() const { return config_.n_processors; }
 
@@ -105,12 +112,32 @@ class Cluster {
   history::CertifyResult CertifyDurableReads() const;
   /// Sum of a ProtocolStats field over all nodes.
   core::ProtocolStats AggregateStats() const;
+  /// Sum of stable-device counters over all processors (fsyncs, WAL bytes,
+  /// replayed records, reboots).
+  storage::StableStats AggregateStableStats() const;
+  /// Sum of replica-store counters over all processors, including the
+  /// graveyard of stores retired by amnesia reboots (their commits and
+  /// recoveries happened and must stay visible in bench output).
+  storage::StoreStats AggregateStoreStats() const;
 
   /// True once every alive, mutually-connected processor pair reports the
   /// same virtual partition (VP protocol only).
   bool VpConverged() const;
 
+  /// Crash-amnesia reboot: retires the node object (the crash hook already
+  /// did so for injector-driven crashes), then reconstructs store, locks,
+  /// and node from the processor's StableStore and starts the new node.
+  void Reboot(ProcessorId p);
+
+  /// Marks `p` alive and, if an amnesia crash left a reboot pending (e.g.
+  /// the fault plan crashed it without a matching recover action), reboots
+  /// it. Harness code reviving processors directly — bypassing the
+  /// injector's recover hook — must use this instead of graph().SetAlive.
+  void Revive(ProcessorId p);
+
  private:
+  std::unique_ptr<core::NodeBase> MakeNode(ProcessorId p);
+
   ClusterConfig config_;
   sim::Scheduler scheduler_;
   net::CommGraph graph_;
@@ -120,7 +147,15 @@ class Cluster {
   history::Recorder recorder_;
   std::vector<std::unique_ptr<storage::ReplicaStore>> stores_;
   std::vector<std::unique_ptr<cc::LockManager>> locks_;
+  std::vector<std::unique_ptr<storage::StableStore>> stables_;
   std::vector<std::unique_ptr<core::NodeBase>> nodes_;
+  /// Processors whose amnesia crash is awaiting the matching recover.
+  std::vector<bool> reboot_pending_;
+  /// Graveyards: objects replaced by Reboot stay alive until the cluster
+  /// dies, because scheduled closures capture raw pointers into them.
+  std::vector<std::unique_ptr<core::NodeBase>> retired_nodes_;
+  std::vector<std::unique_ptr<cc::LockManager>> retired_locks_;
+  std::vector<std::unique_ptr<storage::ReplicaStore>> retired_stores_;
 };
 
 }  // namespace vp::harness

@@ -61,6 +61,7 @@ CertifyResult ReplaySerialOrder(const std::vector<TxnHistory>& committed,
     result.serial_order.push_back(t.id);
   }
   result.ok = true;
+  result.final_db = std::move(db);
   return result;
 }
 

@@ -38,6 +38,11 @@ struct CertifyResult {
   /// True when the exhaustive search was skipped because the history
   /// exceeded `max_txns` (result is then inconclusive, ok=false).
   bool skipped = false;
+  /// For successes of the replay-based certifiers: the one-copy database
+  /// after replaying the serial order. Callers can compare it against the
+  /// physical copies to detect state-level durability loss (committed
+  /// writes that vanished without any committed read witnessing it).
+  std::map<ObjectId, Value> final_db;
 };
 
 /// Initial one-copy database contents; objects absent from the map start

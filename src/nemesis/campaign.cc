@@ -18,6 +18,13 @@ std::set<std::string> PlanCoverage(const FaultPlan& plan) {
   if (plan.slow_prob > 0) kinds.insert("slow_prob");
   if (plan.dup_prob > 0) kinds.insert("dup_prob");
   if (plan.reorder_prob > 0) kinds.insert("reorder_prob");
+  // Pseudo-kinds for the fault model and copy geometry.
+  if (plan.durability == storage::DurabilityMode::kWal) {
+    kinds.insert("wal_durability");
+  } else if (plan.durability == storage::DurabilityMode::kNoWal) {
+    kinds.insert("nowal_strawman");
+  }
+  if (!plan.placement.empty()) kinds.insert("weighted_placement");
   return kinds;
 }
 
@@ -37,6 +44,12 @@ CampaignResult RunCampaign(const CampaignConfig& config,
     result.aborted += outcome.aborted;
     result.duplicated += outcome.duplicated;
     result.reordered += outcome.reordered;
+    result.stable.fsyncs += outcome.stable.fsyncs;
+    result.stable.wal_appends += outcome.stable.wal_appends;
+    result.stable.wal_bytes += outcome.stable.wal_bytes;
+    result.stable.copy_persist_bytes += outcome.stable.copy_persist_bytes;
+    result.stable.wal_replay_records += outcome.stable.wal_replay_records;
+    result.stable.reboots += outcome.stable.reboots;
     for (const std::string& kind : PlanCoverage(plan)) {
       ++result.fault_mix[kind];
     }
@@ -82,6 +95,15 @@ std::string FormatCampaign(const CampaignConfig& config,
   out << "  aborted     " << result.aborted << "\n";
   out << "  dup msgs    " << result.duplicated << "\n";
   out << "  reordered   " << result.reordered << "\n";
+  if (result.stable.fsyncs > 0 || result.stable.reboots > 0) {
+    out << "stable storage (summed over runs):\n";
+    out << "  fsyncs      " << result.stable.fsyncs << "\n";
+    out << "  wal appends " << result.stable.wal_appends << "\n";
+    out << "  wal bytes   " << result.stable.wal_bytes << "\n";
+    out << "  copy bytes  " << result.stable.copy_persist_bytes << "\n";
+    out << "  replayed    " << result.stable.wal_replay_records << "\n";
+    out << "  reboots     " << result.stable.reboots << "\n";
+  }
   out << "fault-mix coverage (plans containing each fault kind):\n";
   for (const auto& [kind, count] : result.fault_mix) {
     out << "  " << kind;

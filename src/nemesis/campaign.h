@@ -49,6 +49,10 @@ struct CampaignResult {
   uint64_t duplicated = 0;
   uint64_t reordered = 0;
 
+  /// Stable-storage accounting summed over all runs (zeros unless the
+  /// generator enables amnesia or plans set a WAL durability mode).
+  storage::StableStats stable;
+
   /// Fault-mix coverage: kind name → number of plans containing it, plus
   /// pseudo-kinds "dup_prob"/"reorder_prob"/"drop_prob"/"slow_prob" for
   /// plans with the knob enabled.

@@ -81,12 +81,17 @@ std::string FaultPlan::ToText() const {
   out << "read_fraction " << FmtDouble(read_fraction) << "\n";
   out << "ops_per_txn " << ops_per_txn << "\n";
   out << "rmw " << (rmw ? 1 : 0) << "\n";
+  out << "durability " << storage::DurabilityModeName(durability) << "\n";
+  for (const CopySpec& c : placement) {
+    out << "copy " << c.obj << " " << c.proc << " " << c.weight << "\n";
+  }
   for (const net::FaultAction& a : actions) {
     using Kind = net::FaultAction::Kind;
     if (a.kind == Kind::kCustom) continue;  // Not serializable by design.
     out << "action " << net::FaultKindName(a.kind) << " " << a.at;
     switch (a.kind) {
       case Kind::kCrashProcessor:
+      case Kind::kCrashAmnesia:
       case Kind::kRecoverProcessor:
         out << " " << a.a;
         break;
@@ -164,6 +169,28 @@ Result<FaultPlan> FaultPlan::FromText(const std::string& text) {
       int v = 0;
       fields >> v;
       plan.rmw = v != 0;
+    } else if (key == "durability") {
+      std::string name;
+      fields >> name;
+      bool found = false;
+      for (storage::DurabilityMode m :
+           {storage::DurabilityMode::kRetainMemory,
+            storage::DurabilityMode::kWal, storage::DurabilityMode::kNoWal}) {
+        if (storage::DurabilityModeName(m) == name) {
+          plan.durability = m;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return bad("unknown durability mode '" + name + "'");
+    } else if (key == "copy") {
+      FaultPlan::CopySpec c;
+      uint32_t weight = 0;
+      fields >> c.obj >> c.proc >> weight;
+      if (fields.fail()) return bad("copy needs obj, proc and weight");
+      if (weight < 1 || weight > 64) return bad("copy weight must be in [1, 64]");
+      c.weight = static_cast<Weight>(weight);
+      plan.placement.push_back(c);
     } else if (key == "action") {
       std::string kind_name;
       net::FaultAction a;
@@ -171,9 +198,11 @@ Result<FaultPlan> FaultPlan::FromText(const std::string& text) {
       if (fields.fail()) return bad("action needs a kind and a time");
       if (a.at < 0) return bad("action time must be >= 0");
       using Kind = net::FaultAction::Kind;
-      if (kind_name == "crash" || kind_name == "recover") {
-        a.kind = kind_name == "crash" ? Kind::kCrashProcessor
-                                      : Kind::kRecoverProcessor;
+      if (kind_name == "crash" || kind_name == "crash_amnesia" ||
+          kind_name == "recover") {
+        a.kind = kind_name == "crash"           ? Kind::kCrashProcessor
+                 : kind_name == "crash_amnesia" ? Kind::kCrashAmnesia
+                                                : Kind::kRecoverProcessor;
         fields >> a.a;
       } else if (kind_name == "link_down" || kind_name == "link_up" ||
                  kind_name == "link_down_oneway" ||
@@ -206,6 +235,30 @@ Result<FaultPlan> FaultPlan::FromText(const std::string& text) {
       return bad("unknown key '" + key + "'");
     }
     if (fields.fail()) return bad("malformed value for '" + key + "'");
+  }
+  // Placement references must be consistent: in-range ids, and (when a
+  // custom placement is given) every object owns at least one copy, or the
+  // cluster's one-copy database would not cover the workload's key space.
+  if (!plan.placement.empty()) {
+    std::vector<bool> covered(plan.n_objects, false);
+    for (const FaultPlan::CopySpec& c : plan.placement) {
+      if (c.obj >= plan.n_objects) {
+        return Status::InvalidArgument("copy references object " +
+                                       std::to_string(c.obj) + " >= objects");
+      }
+      if (c.proc >= plan.n_processors) {
+        return Status::InvalidArgument("copy references processor " +
+                                       std::to_string(c.proc) +
+                                       " >= processors");
+      }
+      covered[c.obj] = true;
+    }
+    for (ObjectId obj = 0; obj < plan.n_objects; ++obj) {
+      if (!covered[obj]) {
+        return Status::InvalidArgument("custom placement leaves object " +
+                                       std::to_string(obj) + " with no copy");
+      }
+    }
   }
   // Referenced processors must exist.
   for (const net::FaultAction& a : plan.actions) {
@@ -268,16 +321,47 @@ FaultPlan GeneratePlan(uint64_t seed, const GeneratorConfig& cfg) {
   static constexpr double kSlow[] = {0.0, 0.01};
   static constexpr double kDup[] = {0.0, 0.02, 0.05};
   static constexpr double kReorder[] = {0.0, 0.05, 0.15};
-  plan.drop_prob = kDrop[rng.Uniform(3)];
-  plan.slow_prob = kSlow[rng.Uniform(2)];
-  plan.dup_prob = kDup[rng.Uniform(3)];
-  plan.reorder_prob = kReorder[rng.Uniform(3)];
+  // Harsher menus for baseline hardening sweeps: no clean regime, and the
+  // nasty end roughly triples. Same draw count either way, so a seed's plan
+  // keeps its shape under both menus.
+  static constexpr double kDropHarsh[] = {0.02, 0.05, 0.10};
+  static constexpr double kSlowHarsh[] = {0.02, 0.05};
+  static constexpr double kDupHarsh[] = {0.05, 0.10, 0.20};
+  static constexpr double kReorderHarsh[] = {0.10, 0.25, 0.40};
+  plan.drop_prob = (cfg.harsh ? kDropHarsh : kDrop)[rng.Uniform(3)];
+  plan.slow_prob = (cfg.harsh ? kSlowHarsh : kSlow)[rng.Uniform(2)];
+  plan.dup_prob = (cfg.harsh ? kDupHarsh : kDup)[rng.Uniform(3)];
+  plan.reorder_prob = (cfg.harsh ? kReorderHarsh : kReorder)[rng.Uniform(3)];
 
   plan.read_fraction = rng.UniformDouble(0.5, 0.9);
   plan.ops_per_txn = static_cast<uint32_t>(rng.UniformInt(2, 4));
   plan.rmw = rng.Bernoulli(0.5);
 
   const uint32_t n = plan.n_processors;
+
+  // Every extra rng draw below is gated on its flag, so legacy campaigns
+  // (flags off) keep generating byte-identical plans for existing seeds.
+  if (cfg.enable_amnesia) plan.durability = cfg.amnesia_durability;
+  if (cfg.weighted_placements && n >= 3 && rng.Bernoulli(0.5)) {
+    // Quorum-style placements: 3..n holders per object, and half the time
+    // one copy carries a double vote (the paper's a²b configurations).
+    for (ObjectId obj = 0; obj < plan.n_objects; ++obj) {
+      std::vector<ProcessorId> procs(n);
+      for (ProcessorId p = 0; p < n; ++p) procs[p] = p;
+      const uint32_t holders = static_cast<uint32_t>(rng.UniformInt(3, n));
+      const bool heavy = rng.Bernoulli(0.5);
+      for (uint32_t i = 0; i < holders; ++i) {
+        // Partial Fisher–Yates: procs[i] becomes a fresh distinct holder.
+        const uint32_t j = i + static_cast<uint32_t>(rng.Uniform(n - i));
+        std::swap(procs[i], procs[j]);
+        FaultPlan::CopySpec c;
+        c.obj = obj;
+        c.proc = procs[i];
+        c.weight = heavy && i == 0 ? 2 : 1;
+        plan.placement.push_back(c);
+      }
+    }
+  }
   const uint32_t n_events =
       static_cast<uint32_t>(rng.UniformInt(cfg.min_events, cfg.max_events));
   for (uint32_t e = 0; e < n_events; ++e) {
@@ -291,7 +375,7 @@ FaultPlan GeneratePlan(uint64_t seed, const GeneratorConfig& cfg) {
     net::FaultAction on, off;
     on.at = start;
     off.at = end;
-    switch (rng.Uniform(5)) {
+    switch (rng.Uniform(cfg.enable_amnesia ? 6 : 5)) {
       case 0: {  // Partition into two non-empty groups.
         if (n < 2) continue;
         std::vector<std::vector<ProcessorId>> groups(2);
@@ -311,8 +395,16 @@ FaultPlan GeneratePlan(uint64_t seed, const GeneratorConfig& cfg) {
         off.kind = Kind::kHeal;
         break;
       }
-      case 1: {  // Crash + recover.
-        on.kind = Kind::kCrashProcessor;
+      case 1: {  // Crash + recover (amnesia variant when enabled).
+        on.kind = cfg.enable_amnesia && rng.Bernoulli(0.5)
+                      ? Kind::kCrashAmnesia
+                      : Kind::kCrashProcessor;
+        off.kind = Kind::kRecoverProcessor;
+        on.a = off.a = static_cast<ProcessorId>(rng.Uniform(n));
+        break;
+      }
+      case 5: {  // Amnesia crash + reboot (only drawn with enable_amnesia).
+        on.kind = Kind::kCrashAmnesia;
         off.kind = Kind::kRecoverProcessor;
         on.a = off.a = static_cast<ProcessorId>(rng.Uniform(n));
         break;
@@ -370,10 +462,17 @@ RunOutcome RunPlan(const FaultPlan& plan) {
   cfg.n_objects = plan.n_objects;
   cfg.seed = plan.seed;
   cfg.protocol = plan.protocol;
+  cfg.durability = plan.durability;
   cfg.net.drop_prob = plan.drop_prob;
   cfg.net.slow_prob = plan.slow_prob;
   cfg.net.dup_prob = plan.dup_prob;
   cfg.net.reorder_prob = plan.reorder_prob;
+  if (!plan.placement.empty()) {
+    for (const FaultPlan::CopySpec& c : plan.placement) {
+      cfg.placement.AddCopy(c.obj, c.proc, c.weight);
+    }
+    cfg.has_custom_placement = true;
+  }
   harness::Cluster cluster(cfg);
 
   // Phase 1: settle. Views form under the (possibly already faulty)
@@ -388,13 +487,16 @@ RunOutcome RunPlan(const FaultPlan& plan) {
   wc.rmw = plan.rmw;
   wc.think_time = sim::Millis(10);
   wc.seed = plan.seed ^ 0x10adULL;
-  std::vector<core::NodeBase*> nodes;
-  nodes.reserve(plan.n_processors);
+  // Providers, not raw node pointers: an amnesia reboot replaces the node
+  // object mid-run, and clients must re-resolve it per transaction.
+  std::vector<workload::NodeProvider> providers;
+  providers.reserve(plan.n_processors);
   for (ProcessorId p = 0; p < plan.n_processors; ++p) {
-    nodes.push_back(&cluster.node(p));
+    providers.push_back([&cluster, p]() { return &cluster.node(p); });
   }
-  auto clients = workload::MakeClients(nodes, &cluster.scheduler(),
-                                       &cluster.graph(), plan.n_objects, wc);
+  auto clients =
+      workload::MakeClients(std::move(providers), &cluster.scheduler(),
+                            &cluster.graph(), plan.n_objects, wc);
   for (auto& c : clients) c->Start();
   const sim::SimTime base = cluster.scheduler().Now();
   for (net::FaultAction a : plan.actions) {
@@ -416,7 +518,9 @@ RunOutcome RunPlan(const FaultPlan& plan) {
   cluster.RunFor(sim::Seconds(1));
   cluster.graph().Heal();
   for (ProcessorId p = 0; p < plan.n_processors; ++p) {
-    cluster.graph().SetAlive(p, true);
+    // Revive, not SetAlive: a processor amnesia-crashed without a matching
+    // recover action still needs its reboot from stable storage.
+    cluster.Revive(p);
   }
 
   // Phase 4: the paper's liveness window. Δ = π + 8δ (Fig. 7 analysis),
@@ -467,6 +571,55 @@ RunOutcome RunPlan(const FaultPlan& plan) {
   history::CertifyResult durable = cluster.CertifyDurableReads();
   out.durable_reads = durable.ok;
 
+  out.stable = cluster.AggregateStableStats();
+
+  // State-level durability: after the final heal, convergence and the R5
+  // recovery drain, every physical copy must hold the value of the LAST
+  // committed writer of its object. "Last" is well defined because strict
+  // 2PL lock-orders write-write conflicts, and the loser of the lock race
+  // decides strictly later — so (decided_at, id) order among an object's
+  // committed writers is the physical order. This catches losses no
+  // committed read witnesses (e.g. a no-WAL reboot discarding a committed
+  // but unapplied stage). VP protocol only: quorum-family protocols never
+  // refresh stale copies, so their copies may legitimately lag forever.
+  std::string state_witness;
+  if (vp_protocol && converged && out.safety_ok && out.one_copy_sr) {
+    std::map<ObjectId, Value> expected = cluster.initial_db();
+    std::map<ObjectId, std::pair<sim::SimTime, TxnId>> last_writer;
+    for (const history::TxnHistory& t : rec.Committed()) {
+      for (const history::LogicalOp& op : t.ops) {
+        if (op.kind != history::LogicalOp::Kind::kWrite) continue;
+        auto it = last_writer.find(op.obj);
+        const bool newer =
+            it == last_writer.end() || t.decided_at > it->second.first ||
+            (t.decided_at == it->second.first && it->second.second < t.id);
+        // Same-txn later writes overwrite earlier ones (ops are in order).
+        const bool same = it != last_writer.end() && it->second.second == t.id;
+        if (newer || same) {
+          last_writer[op.obj] = {t.decided_at, t.id};
+          expected[op.obj] = op.value;
+        }
+      }
+    }
+    const storage::CopyPlacement& placement = cluster.placement();
+    for (ObjectId obj = 0;
+         obj < placement.object_count() && state_witness.empty(); ++obj) {
+      for (ProcessorId p : placement.CopyHolders(obj)) {
+        Result<storage::CopyVersion> copy = cluster.store(p).Read(obj);
+        if (!copy.ok()) continue;
+        if (copy.value().value != expected[obj]) {
+          out.state_durable = false;
+          state_witness = "copy of o" + std::to_string(obj) + " at p" +
+                          std::to_string(p) + " holds '" +
+                          copy.value().value +
+                          "' but the last committed write was '" +
+                          expected[obj] + "'";
+          break;
+        }
+      }
+    }
+  }
+
   if (!out.safety_ok) {
     out.failure = "safety: " + safety_witness;
   } else if (!out.one_copy_sr) {
@@ -475,6 +628,8 @@ RunOutcome RunPlan(const FaultPlan& plan) {
     out.failure = "conflict-sr: " + conflicts.detail;
   } else if (!out.durable_reads) {
     out.failure = "durable-reads: " + durable.detail;
+  } else if (!out.state_durable) {
+    out.failure = "state-durability: " + state_witness;
   } else if (!out.converged) {
     out.failure = "convergence: views did not agree within pi + 8*delta of "
                   "the final heal";

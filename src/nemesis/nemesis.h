@@ -24,6 +24,7 @@
 #include "harness/cluster.h"
 #include "net/failure_injector.h"
 #include "sim/time.h"
+#include "storage/stable_store.h"
 
 namespace vp::nemesis {
 
@@ -59,6 +60,24 @@ struct FaultPlan {
   uint32_t ops_per_txn = 3;
   bool rmw = true;
 
+  /// Crash fault model. kRetainMemory keeps the legacy semantics (volatile
+  /// state survives a crash); kWal makes kCrashAmnesia faults wipe volatile
+  /// state and reboot the node from its write-ahead stable storage; kNoWal
+  /// is the deliberately broken strawman (amnesia without a WAL) used as a
+  /// negative control — campaigns must catch it losing committed writes.
+  storage::DurabilityMode durability = storage::DurabilityMode::kRetainMemory;
+
+  /// One weighted physical copy. An empty `placement` means full
+  /// replication with unit weights.
+  struct CopySpec {
+    ObjectId obj = kInvalidObject;
+    ProcessorId proc = kInvalidProcessor;
+    Weight weight = 1;
+  };
+  /// Optional quorum-style weighted placement (e.g. the paper's a²b
+  /// configurations where one copy carries a double vote).
+  std::vector<CopySpec> placement;
+
   /// Timed fault schedule, sorted by `at`.
   std::vector<net::FaultAction> actions;
 
@@ -79,6 +98,24 @@ struct GeneratorConfig {
   /// Fault events per plan (each event is an action plus its undo).
   uint32_t min_events = 3;
   uint32_t max_events = 9;
+  /// Mix crash-amnesia faults into plans (plans then run with
+  /// `amnesia_durability` so crashes wipe volatile state and reboots replay
+  /// the WAL). Off by default so legacy campaigns keep their seed
+  /// determinism.
+  bool enable_amnesia = false;
+  /// Durability mode stamped onto plans when enable_amnesia is set. kWal is
+  /// the real protocol; kNoWal runs the identical storms against the broken
+  /// strawman, which campaigns must catch losing committed writes.
+  storage::DurabilityMode amnesia_durability = storage::DurabilityMode::kWal;
+  /// Give half the plans a randomized weighted copy placement (3..n holders
+  /// per object, sometimes with one double-weight copy — quorum-style a²b
+  /// configurations) instead of uniform full replication.
+  bool weighted_placements = false;
+  /// Draw the background network-fault knobs from harsher menus (every plan
+  /// drops, duplicates, and reorders messages). Swapping the lookup tables
+  /// keeps the draw sequence intact, so a seed's plan keeps its shape and
+  /// only the knob values change.
+  bool harsh = false;
 };
 
 /// Generates a randomized fault-storm plan. Pure function of (seed, cfg).
@@ -99,10 +136,17 @@ struct RunOutcome {
   bool safety_ok = true;      // S1–S3 online probes.
   bool converged = true;      // L1: common view within Δ of final heal
                               // (VP protocol only; vacuous otherwise).
+  bool state_durable = true;  // Post-heal physical copies hold the last
+                              // committed write (VP protocol, checked only
+                              // when certification passed and views
+                              // converged; vacuous otherwise).
 
   /// Fault-mix accounting from the network layer.
   uint64_t duplicated = 0;
   uint64_t reordered = 0;
+
+  /// Stable-device accounting (all zeros under kRetainMemory).
+  storage::StableStats stable;
 
   /// First failed check with its witness; empty when all checks passed.
   std::string failure;

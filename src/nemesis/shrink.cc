@@ -154,9 +154,22 @@ ShrinkResult ShrinkPlan(const FaultPlan& failing, const ShrinkConfig& config) {
       }
     }
 
+    // 3.5 Revert a custom weighted placement to plain full replication.
+    if (!eval.Exhausted() && !cur.placement.empty()) {
+      FaultPlan candidate = cur;
+      candidate.placement.clear();
+      if (eval.Fails(candidate, &cur_out)) {
+        cur = std::move(candidate);
+        improved = true;
+      }
+    }
+
     // 4. Remove processors from the top (keeping at least 3 — below that
-    //    "majority" degenerates and the scenario changes character).
-    while (cur.n_processors > 3 && !eval.Exhausted()) {
+    //    "majority" degenerates and the scenario changes character). Plans
+    //    with a custom placement skip this: their copy specs pin processor
+    //    ids, so the shape cannot shrink without changing the scenario.
+    while (cur.n_processors > 3 && cur.placement.empty() &&
+           !eval.Exhausted()) {
       FaultPlan candidate = DropLastProcessor(cur);
       if (eval.Fails(candidate, &cur_out)) {
         cur = std::move(candidate);

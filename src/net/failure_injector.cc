@@ -28,6 +28,8 @@ std::string FaultKindName(FaultAction::Kind kind) {
       return "heal";
     case Kind::kChurnBurst:
       return "churn";
+    case Kind::kCrashAmnesia:
+      return "crash_amnesia";
     case Kind::kCustom:
       return "custom";
   }
@@ -129,6 +131,14 @@ void FailureInjector::ChurnBurstAt(sim::SimTime t, ProcessorId p,
   Schedule(std::move(a));
 }
 
+void FailureInjector::CrashAmnesiaAt(sim::SimTime t, ProcessorId p) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kCrashAmnesia;
+  a.a = p;
+  Schedule(std::move(a));
+}
+
 void FailureInjector::At(sim::SimTime t, std::function<void()> fn) {
   FaultAction a;
   a.at = t;
@@ -142,9 +152,15 @@ void FailureInjector::Apply(const FaultAction& action) {
   switch (action.kind) {
     case Kind::kCrashProcessor:
       graph_->SetAlive(action.a, false);
+      if (on_crash_) on_crash_(action.a, /*amnesia=*/false);
+      break;
+    case Kind::kCrashAmnesia:
+      graph_->SetAlive(action.a, false);
+      if (on_crash_) on_crash_(action.a, /*amnesia=*/true);
       break;
     case Kind::kRecoverProcessor:
       graph_->SetAlive(action.a, true);
+      if (on_recover_) on_recover_(action.a);
       break;
     case Kind::kLinkDown:
       graph_->SetEdge(action.a, action.b, false);

@@ -31,6 +31,9 @@ struct FaultAction {
     kHeal,
     kChurnBurst,  // Rapidly flaps processor `a`: `count` crash/recover
                   // cycles, `period` apart (stresses S2 and R5 re-init).
+    kCrashAmnesia,  // Crashes `a` AND destroys its volatile state: on the
+                    // matching recover, the harness reboots the node from
+                    // stable storage (WAL replay).
     kCustom,      // Runs `custom`.
   };
 
@@ -83,6 +86,7 @@ class FailureInjector {
   void HealAt(sim::SimTime t);
   void ChurnBurstAt(sim::SimTime t, ProcessorId p, uint32_t count,
                     sim::Duration period);
+  void CrashAmnesiaAt(sim::SimTime t, ProcessorId p);
   void At(sim::SimTime t, std::function<void()> fn);
 
   /// Enables the stochastic fault processes.
@@ -92,6 +96,16 @@ class FailureInjector {
   /// immediate local crash detection if desired (the VP protocol does not
   /// need it — probing suffices).
   void SetOnChange(std::function<void()> cb) { on_change_ = std::move(cb); }
+
+  /// Harness hooks for the crash-amnesia fault model. `on_crash(p,
+  /// amnesia)` fires right after p is marked dead (amnesia = true for
+  /// kCrashAmnesia); `on_recover(p)` fires right after p is marked alive,
+  /// so the harness can reboot an amnesiac node from stable storage.
+  void SetProcessorHooks(std::function<void(ProcessorId, bool)> on_crash,
+                         std::function<void(ProcessorId)> on_recover) {
+    on_crash_ = std::move(on_crash);
+    on_recover_ = std::move(on_recover);
+  }
 
   uint64_t actions_applied() const { return actions_applied_; }
 
@@ -107,6 +121,8 @@ class FailureInjector {
   RandomFaultConfig random_;
   bool random_enabled_ = false;
   std::function<void()> on_change_;
+  std::function<void(ProcessorId, bool)> on_crash_;
+  std::function<void(ProcessorId)> on_recover_;
   uint64_t actions_applied_ = 0;
 };
 

@@ -156,6 +156,23 @@ void QuorumNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
   }
 }
 
+void QuorumNode::Retire() {
+  // Fail in-flight logical operations; their transactions die with the
+  // coordinator's volatile state (the abort broadcasts are dropped at send
+  // time because the processor is already marked dead).
+  std::vector<uint64_t> reads;
+  for (const auto& [op_id, pr] : pending_reads_) reads.push_back(op_id);
+  for (uint64_t op_id : reads) {
+    FailRead(op_id, Status::Aborted("processor crashed"));
+  }
+  std::vector<uint64_t> writes;
+  for (const auto& [op_id, pw] : pending_writes_) writes.push_back(op_id);
+  for (uint64_t op_id : writes) {
+    FailWrite(op_id, Status::Aborted("processor crashed"));
+  }
+  NodeBase::Retire();
+}
+
 void QuorumNode::FailRead(uint64_t op_id, Status why) {
   auto it = pending_reads_.find(op_id);
   if (it == pending_reads_.end()) return;

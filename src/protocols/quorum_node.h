@@ -50,6 +50,8 @@ class QuorumNode : public core::NodeBase {
  public:
   QuorumNode(ProcessorId id, core::NodeEnv env, QuorumConfig config);
 
+  void Retire() override;
+
   void LogicalRead(TxnId txn, ObjectId obj, core::ReadCallback cb) override;
   void LogicalWrite(TxnId txn, ObjectId obj, Value value,
                     core::WriteCallback cb) override;

@@ -2,13 +2,39 @@
 
 #include <algorithm>
 
+#include "storage/stable_store.h"
+
 namespace vp::storage {
+
+void ReplicaStore::AttachStable(StableStore* stable) {
+  stable_ = stable;
+  if (stable_ == nullptr) return;
+  // Reboot path: the device's images are the truth; volatile copies created
+  // so far (fresh initial values) are stale. First boot: the device is
+  // empty, so the initial images are persisted instead.
+  for (const auto& [obj, image] : stable_->copies()) {
+    Copy& copy = copies_[obj];
+    copy.committed.value = image.value;
+    copy.committed.date = image.date;
+    copy.log = image.log;
+  }
+  for (const auto& [obj, copy] : copies_) {
+    if (stable_->copies().count(obj) == 0) PersistCopy(obj, copy);
+  }
+}
+
+void ReplicaStore::PersistCopy(ObjectId obj, const Copy& copy) {
+  if (stable_ == nullptr) return;
+  stable_->PersistCopy(obj, copy.committed.value, copy.committed.date,
+                       copy.log);
+}
 
 void ReplicaStore::CreateCopy(ObjectId obj, Value initial, VpId date) {
   Copy c;
   c.committed.value = std::move(initial);
   c.committed.date = date;
   copies_[obj] = std::move(c);
+  PersistCopy(obj, copies_[obj]);
 }
 
 Result<CopyVersion> ReplicaStore::Read(ObjectId obj) const {
@@ -26,6 +52,11 @@ Status ReplicaStore::StageWrite(TxnId txn, ObjectId obj, Value value,
   }
   stages_[obj] = Stage{txn, std::move(value), date};
   ++stats_.stages;
+  if (stable_ != nullptr) {
+    const Stage& s = stages_[obj];
+    stable_->AppendWal(WalRecord{WalRecord::Type::kPrepare, txn, obj, s.value,
+                                 s.date, false});
+  }
   return Status::Ok();
 }
 
@@ -56,6 +87,7 @@ Status ReplicaStore::CommitStage(TxnId txn, ObjectId obj) {
     copy.committed.value = stage.value;
     copy.committed.date = stage.date;
     copy.log.push_back(LogRecord{stage.date, std::move(stage.value), txn});
+    PersistCopy(obj, copy);
   }
   ++stats_.commits;
   return Status::Ok();
@@ -81,6 +113,7 @@ Status ReplicaStore::InstallRecovery(ObjectId obj, Value value, VpId date) {
     // copy can later serve complete log-suffix catch-ups itself.
     copy.log.push_back(LogRecord{date, std::move(value), TxnId{}});
     ++stats_.recoveries;
+    PersistCopy(obj, copy);
   }
   return Status::Ok();
 }
@@ -100,14 +133,17 @@ Status ReplicaStore::ApplyLogSuffix(ObjectId obj,
   auto it = copies_.find(obj);
   if (it == copies_.end()) return Status::NotFound("no local copy");
   Copy& copy = it->second;
+  bool applied = false;
   for (const LogRecord& r : records) {
     if (r.date >= copy.committed.date) {
       copy.committed.value = r.value;
       copy.committed.date = r.date;
       copy.log.push_back(r);
       ++stats_.log_catchup_records;
+      applied = true;
     }
   }
+  if (applied) PersistCopy(obj, copy);
   return Status::Ok();
 }
 

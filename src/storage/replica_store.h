@@ -28,6 +28,8 @@
 
 namespace vp::storage {
 
+class StableStore;
+
 /// A committed write, as recorded in a copy's log.
 struct LogRecord {
   VpId date;
@@ -55,6 +57,12 @@ struct StoreStats {
 class ReplicaStore {
  public:
   ReplicaStore() = default;
+
+  /// Attaches the processor's stable device. Committed-state mutations
+  /// persist their copy image through it, and StageWrite appends a prepare
+  /// record to its WAL. If the device already holds copy images from a
+  /// previous incarnation (crash-amnesia reboot), they are loaded now.
+  void AttachStable(StableStore* stable);
 
   /// Creates the copy of `obj` with the given initial committed value.
   void CreateCopy(ObjectId obj, Value initial = "", VpId date = kEpochDate);
@@ -111,9 +119,14 @@ class ReplicaStore {
     VpId date;
   };
 
+  /// Writes obj's full committed image to the stable device (no-op when
+  /// no device is attached).
+  void PersistCopy(ObjectId obj, const Copy& copy);
+
   std::unordered_map<ObjectId, Copy> copies_;
   std::unordered_map<ObjectId, Stage> stages_;
   StoreStats stats_;
+  StableStore* stable_ = nullptr;
 };
 
 }  // namespace vp::storage

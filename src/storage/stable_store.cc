@@ -1,0 +1,56 @@
+#include "storage/stable_store.h"
+
+namespace vp::storage {
+
+const char* DurabilityModeName(DurabilityMode mode) {
+  switch (mode) {
+    case DurabilityMode::kRetainMemory:
+      return "retain";
+    case DurabilityMode::kWal:
+      return "wal";
+    case DurabilityMode::kNoWal:
+      return "nowal";
+  }
+  return "?";
+}
+
+void StableStore::PersistCopy(ObjectId obj, const Value& value, VpId date,
+                              const std::vector<LogRecord>& log) {
+  StableCopy& copy = copies_[obj];
+  copy.value = value;
+  copy.date = date;
+  copy.log = log;
+  uint64_t bytes = value.size() + 8;
+  for (const LogRecord& rec : log) bytes += rec.value.size() + 20;
+  stats_.copy_persist_bytes += bytes;
+  ++stats_.fsyncs;
+}
+
+void StableStore::PersistViewMeta(VpId max_id, VpId cur_id) {
+  max_view_ = max_id;
+  cur_view_ = cur_id;
+  has_view_meta_ = true;
+  ++stats_.fsyncs;
+}
+
+void StableStore::AppendWal(WalRecord rec) {
+  if (mode_ == DurabilityMode::kNoWal) return;  // Strawman: records lost.
+  if (replaying_) return;  // Re-staging during replay must not re-log.
+  stats_.wal_bytes += WriteAheadLog::RecordBytes(rec);
+  ++stats_.wal_appends;
+  ++stats_.fsyncs;
+  wal_.Append(std::move(rec));
+}
+
+uint32_t StableStore::BeginIncarnation() {
+  ++incarnation_;
+  ++stats_.reboots;
+  replaying_ = false;
+  return incarnation_;
+}
+
+void StableStore::BeginReplay() { replaying_ = true; }
+
+void StableStore::EndReplay() { replaying_ = false; }
+
+}  // namespace vp::storage

@@ -1,0 +1,124 @@
+// Simulated per-processor stable-storage device.
+//
+// Under the crash-amnesia fault model a crashed processor loses every byte
+// of volatile state; on recovery the harness rebuilds the node from this
+// device alone. The device holds three things:
+//
+//   1. Copy images — committed value/date/write-log per local copy, updated
+//      at every CommitStage / InstallRecovery / ApplyLogSuffix (the paper's
+//      copies and their *dates* implicitly live on stable storage; R5 and
+//      the §6 missing-writes optimization depend on dates surviving
+//      crashes).
+//   2. A write-ahead log of transaction prepare/outcome/decision records
+//      (see wal.h) so in-doubt transactions can be resolved after reboot.
+//   3. View metadata — the greatest virtual-partition id this processor has
+//      seen (max_id) and the id it last committed to (cur_id), so a reboot
+//      can generate a strictly larger vp id and never violate the
+//      recorder's monotonic-join check.
+//
+// Every mutation is an explicit persist point and counts one fsync; the
+// fsync/byte counters make recovery cost visible in bench output.
+//
+// Durability modes:
+//   kRetainMemory — legacy fault model: crashes keep volatile state, the
+//                   device is bookkeeping only (fsyncs still counted).
+//   kWal          — crash-amnesia with full write-ahead logging.
+//   kNoWal        — deliberately broken strawman: copy images and view
+//                   metadata persist but transaction records are dropped,
+//                   so a reboot forgets commit decisions and in-doubt
+//                   stages. Nemesis campaigns must catch this losing
+//                   committed writes (negative control).
+#ifndef VPART_STORAGE_STABLE_STORE_H_
+#define VPART_STORAGE_STABLE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "common/vp_id.h"
+#include "storage/replica_store.h"
+#include "storage/wal.h"
+
+namespace vp::storage {
+
+enum class DurabilityMode : uint8_t {
+  kRetainMemory,  // Legacy: crashes preserve volatile state.
+  kWal,           // Crash-amnesia + write-ahead log.
+  kNoWal,         // Crash-amnesia, WAL dropped (broken strawman).
+};
+
+const char* DurabilityModeName(DurabilityMode mode);
+
+/// Counters for one processor's stable device.
+struct StableStats {
+  uint64_t fsyncs = 0;
+  uint64_t wal_appends = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t copy_persist_bytes = 0;
+  uint64_t wal_replay_records = 0;
+  uint64_t reboots = 0;
+};
+
+class StableStore {
+ public:
+  explicit StableStore(DurabilityMode mode) : mode_(mode) {}
+
+  DurabilityMode mode() const { return mode_; }
+  /// True when crashes destroy volatile state (kWal and kNoWal).
+  bool amnesia() const { return mode_ != DurabilityMode::kRetainMemory; }
+
+  /// Persisted committed image of one copy.
+  struct StableCopy {
+    Value value;
+    VpId date = kEpochDate;
+    std::vector<LogRecord> log;
+  };
+
+  /// Writes the full committed image of `obj` (one fsync).
+  void PersistCopy(ObjectId obj, const Value& value, VpId date,
+                   const std::vector<LogRecord>& log);
+
+  /// Writes the view metadata (one fsync).
+  void PersistViewMeta(VpId max_id, VpId cur_id);
+
+  /// Appends a transaction record (one fsync). Dropped entirely in kNoWal
+  /// mode and while a reboot is replaying the existing log.
+  void AppendWal(WalRecord rec);
+
+  const std::map<ObjectId, StableCopy>& copies() const { return copies_; }
+  const WriteAheadLog& wal() const { return wal_; }
+  VpId max_view() const { return max_view_; }
+  VpId cur_view() const { return cur_view_; }
+  bool has_view_meta() const { return has_view_meta_; }
+
+  /// Called by the harness when rebuilding the node after an amnesia crash.
+  /// Returns the new incarnation number (first boot is incarnation 0).
+  uint32_t BeginIncarnation();
+  uint32_t incarnation() const { return incarnation_; }
+
+  /// Brackets WAL replay: appends are suppressed (replayed stages must not
+  /// be re-logged) and replayed records are counted. Re-entrant safe so a
+  /// double crash during replay starts over cleanly.
+  void BeginReplay();
+  void EndReplay();
+  bool replaying() const { return replaying_; }
+  void CountReplayedRecord() { ++stats_.wal_replay_records; }
+
+  const StableStats& stats() const { return stats_; }
+
+ private:
+  DurabilityMode mode_;
+  std::map<ObjectId, StableCopy> copies_;
+  WriteAheadLog wal_;
+  VpId max_view_ = kEpochDate;
+  VpId cur_view_ = kEpochDate;
+  bool has_view_meta_ = false;
+  uint32_t incarnation_ = 0;
+  bool replaying_ = false;
+  StableStats stats_;
+};
+
+}  // namespace vp::storage
+
+#endif  // VPART_STORAGE_STABLE_STORE_H_

@@ -1,0 +1,34 @@
+#include "storage/wal.h"
+
+namespace vp::storage {
+
+const char* WalRecordTypeName(WalRecord::Type type) {
+  switch (type) {
+    case WalRecord::Type::kPrepare:
+      return "prepare";
+    case WalRecord::Type::kOutcome:
+      return "outcome";
+    case WalRecord::Type::kDecision:
+      return "decision";
+  }
+  return "?";
+}
+
+uint64_t WriteAheadLog::RecordBytes(const WalRecord& rec) {
+  // Fixed header: type + txn id + object id + date + outcome flag.
+  uint64_t bytes = 1 + 12 + 4 + 8 + 1;
+  if (rec.type == WalRecord::Type::kPrepare) bytes += rec.value.size();
+  return bytes;
+}
+
+void WriteAheadLog::Append(WalRecord rec) {
+  bytes_ += RecordBytes(rec);
+  records_.push_back(std::move(rec));
+}
+
+void WriteAheadLog::Clear() {
+  records_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace vp::storage

@@ -1,0 +1,65 @@
+// Write-ahead log of transaction state transitions, kept on the simulated
+// stable device (see stable_store.h).
+//
+// The protocol's atomic-commitment layer is presumed-abort 2PC: a
+// participant that staged a write and then lost its memory must be able to
+// tell, after reboot, whether the transaction (a) is still undecided — in
+// which case it re-stages the write and asks the coordinator — or (b) was
+// already resolved locally before the crash. A coordinator must remember
+// the commit decisions it announced (aborts are presumed and need no
+// record). Three record types cover this:
+//
+//   kPrepare  — participant staged a write for (txn, obj): value + date.
+//   kOutcome  — participant applied the decision for txn locally
+//               (committed or aborted); earlier prepares for txn are dead.
+//   kDecision — coordinator decided commit for txn. Abort decisions are
+//               never logged (presumed abort).
+//
+// Replay is a single forward pass; see NodeBase::ReplayWal.
+#ifndef VPART_STORAGE_WAL_H_
+#define VPART_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "common/vp_id.h"
+
+namespace vp::storage {
+
+struct WalRecord {
+  enum class Type : uint8_t { kPrepare, kOutcome, kDecision };
+
+  Type type = Type::kPrepare;
+  TxnId txn;
+  // kPrepare only:
+  ObjectId obj = kInvalidObject;
+  Value value;
+  VpId date = kEpochDate;
+  // kOutcome only:
+  bool committed = false;
+};
+
+const char* WalRecordTypeName(WalRecord::Type type);
+
+/// Append-only record sequence with byte accounting. Each record models one
+/// device write; the owning StableStore charges the fsync.
+class WriteAheadLog {
+ public:
+  void Append(WalRecord rec);
+
+  const std::vector<WalRecord>& records() const { return records_; }
+  uint64_t bytes() const { return bytes_; }
+  void Clear();
+
+  /// Size one record would occupy on the device (header + payload bytes).
+  static uint64_t RecordBytes(const WalRecord& rec);
+
+ private:
+  std::vector<WalRecord> records_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace vp::storage
+
+#endif  // VPART_STORAGE_WAL_H_

@@ -7,10 +7,10 @@
 
 namespace vp::workload {
 
-Client::Client(core::NodeBase* node, sim::Scheduler* scheduler,
+Client::Client(NodeProvider provider, sim::Scheduler* scheduler,
                const net::CommGraph* graph, ObjectId n_objects,
                ClientConfig config)
-    : node_(node),
+    : node_provider_(std::move(provider)),
       scheduler_(scheduler),
       graph_(graph),
       config_(config),
@@ -18,7 +18,15 @@ Client::Client(core::NodeBase* node, sim::Scheduler* scheduler,
       zipf_(n_objects, config.zipf_theta) {
   VP_CHECK(n_objects > 0);
   VP_CHECK(config_.ops_per_txn > 0);
+  node_ = node_provider_();
+  VP_CHECK(node_ != nullptr);
 }
+
+Client::Client(core::NodeBase* node, sim::Scheduler* scheduler,
+               const net::CommGraph* graph, ObjectId n_objects,
+               ClientConfig config)
+    : Client(NodeProvider([node]() { return node; }), scheduler, graph,
+             n_objects, config) {}
 
 void Client::Start(sim::Duration initial_delay) {
   scheduler_->ScheduleAfter(initial_delay, [this]() { StartTxn(); });
@@ -31,6 +39,7 @@ void Client::ScheduleNext() {
 
 void Client::StartTxn() {
   if (stopped_) return;
+  node_ = node_provider_();  // A reboot may have replaced the node object.
   if (!graph_->Alive(node_->processor())) {
     // Processor is down; retry once it recovers.
     ScheduleNext();
@@ -64,6 +73,14 @@ void Client::RunOp(uint32_t idx) {
 }
 
 void Client::RunOpNow(uint32_t idx) {
+  if (node_ != node_provider_()) {
+    // The processor rebooted mid-transaction (crash-amnesia): the cached
+    // node object is retired and must not be spoken to. The transaction's
+    // volatile coordinator state died with it; presumed abort resolves any
+    // staged writes.
+    FinishTxn(true, Status::Aborted("coordinator rebooted"));
+    return;
+  }
   if (idx >= plan_.size()) {
     const TxnId txn = cur_txn_;
     node_->Commit(txn, [this, txn](Status s) {
@@ -150,13 +167,26 @@ std::vector<std::unique_ptr<Client>> MakeClients(
     std::vector<core::NodeBase*> nodes, sim::Scheduler* scheduler,
     const net::CommGraph* graph, ObjectId n_objects,
     const ClientConfig& config) {
+  std::vector<NodeProvider> providers;
+  providers.reserve(nodes.size());
+  for (core::NodeBase* node : nodes) {
+    providers.push_back([node]() { return node; });
+  }
+  return MakeClients(std::move(providers), scheduler, graph, n_objects,
+                     config);
+}
+
+std::vector<std::unique_ptr<Client>> MakeClients(
+    std::vector<NodeProvider> providers, sim::Scheduler* scheduler,
+    const net::CommGraph* graph, ObjectId n_objects,
+    const ClientConfig& config) {
   std::vector<std::unique_ptr<Client>> out;
   uint64_t i = 0;
-  for (core::NodeBase* node : nodes) {
+  for (NodeProvider& provider : providers) {
     ClientConfig c = config;
     c.seed = config.seed * 7919 + 104729 * (++i);
-    out.push_back(
-        std::make_unique<Client>(node, scheduler, graph, n_objects, c));
+    out.push_back(std::make_unique<Client>(std::move(provider), scheduler,
+                                           graph, n_objects, c));
   }
   return out;
 }

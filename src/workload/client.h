@@ -7,6 +7,7 @@
 #define VPART_WORKLOAD_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -47,8 +48,17 @@ struct ClientStats {
   sim::Duration total_commit_latency = 0;  // Across committed txns.
 };
 
+/// Resolves the client's current node each transaction. Under the
+/// crash-amnesia fault model a reboot replaces the node object, so clients
+/// must not cache the pointer across transactions.
+using NodeProvider = std::function<core::NodeBase*()>;
+
 class Client {
  public:
+  Client(NodeProvider provider, sim::Scheduler* scheduler,
+         const net::CommGraph* graph, ObjectId n_objects,
+         ClientConfig config);
+  /// Fixed-node convenience (no reboots possible in the caller's setup).
   Client(core::NodeBase* node, sim::Scheduler* scheduler,
          const net::CommGraph* graph, ObjectId n_objects,
          ClientConfig config);
@@ -74,7 +84,8 @@ class Client {
   void FinishTxn(bool failed, const Status& why);
   void ScheduleNext();
 
-  core::NodeBase* node_;
+  NodeProvider node_provider_;
+  core::NodeBase* node_ = nullptr;  // Resolved per transaction.
   sim::Scheduler* scheduler_;
   const net::CommGraph* graph_;
   ClientConfig config_;
@@ -93,6 +104,12 @@ class Client {
 /// per-client derived seeds.
 std::vector<std::unique_ptr<Client>> MakeClients(
     std::vector<core::NodeBase*> nodes, sim::Scheduler* scheduler,
+    const net::CommGraph* graph, ObjectId n_objects,
+    const ClientConfig& config);
+
+/// Provider-based variant for clusters where reboots replace node objects.
+std::vector<std::unique_ptr<Client>> MakeClients(
+    std::vector<NodeProvider> providers, sim::Scheduler* scheduler,
     const net::CommGraph* graph, ObjectId n_objects,
     const ClientConfig& config);
 
