@@ -8,6 +8,7 @@
 //   nemesis_campaign --amnesia --durability=nowal ...  # no-WAL negative ctl
 //   nemesis_campaign --weighted-placements ...         # a²b copy geometries
 //   nemesis_campaign --protocol=quorum --harsh ...     # harsher knob menus
+//   nemesis_campaign --reliable ...                    # ack/retry delivery
 //
 // Campaign mode prints a pass/fail table plus fault-mix coverage; every
 // violation is shrunk to a minimal plan and saved as a replayable
@@ -47,6 +48,15 @@ void PrintOutcome(const RunOutcome& outcome) {
               static_cast<unsigned long long>(outcome.duplicated));
   std::printf("  reordered   %llu\n",
               static_cast<unsigned long long>(outcome.reordered));
+  if (outcome.retransmits > 0 || outcome.delivery_timeouts > 0 ||
+      outcome.dups_suppressed > 0) {
+    std::printf("  retransmits   %llu\n",
+                static_cast<unsigned long long>(outcome.retransmits));
+    std::printf("  dlvry timeout %llu\n",
+                static_cast<unsigned long long>(outcome.delivery_timeouts));
+    std::printf("  dups supprsd  %llu\n",
+                static_cast<unsigned long long>(outcome.dups_suppressed));
+  }
   std::printf("  one-copy-sr   %s\n", outcome.one_copy_sr ? "ok" : "VIOLATED");
   std::printf("  conflict-sr   %s\n", outcome.conflict_sr ? "ok" : "VIOLATED");
   std::printf("  durable-reads %s\n",
@@ -114,6 +124,8 @@ int main(int argc, char** argv) {
       config.generator.weighted_placements = true;
     } else if (std::strcmp(argv[i], "--harsh") == 0) {
       config.generator.harsh = true;
+    } else if (std::strcmp(argv[i], "--reliable") == 0) {
+      config.generator.reliable = true;
     } else if (ParseFlag(argv[i], "--durability", &value)) {
       bool found = false;
       for (vp::storage::DurabilityMode m :
@@ -154,7 +166,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--seeds=N] [--first-seed=K] [--protocol=NAME]\n"
                    "          [--amnesia] [--durability=retain|wal|nowal]\n"
-                   "          [--weighted-placements] [--harsh]\n"
+                   "          [--weighted-placements] [--harsh] [--reliable]\n"
                    "          [--no-shrink] [--max-shrinks=N]\n"
                    "          [--shrink-budget=N] [--out-dir=DIR]\n"
                    "          [--replay=FILE] [--dump-seed=K]\n",

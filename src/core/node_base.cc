@@ -24,6 +24,13 @@ NodeBase::NodeBase(ProcessorId id, NodeEnv env, sim::Duration lock_timeout,
     synth_seq_ = 1 + (inc << 40);
     next_op_id_ = 1 + (inc << 40);
   }
+  if (env_.reliable.enabled) {
+    const uint32_t inc = env_.stable != nullptr
+                             ? static_cast<uint32_t>(env_.stable->incarnation())
+                             : 0;
+    rel_ = std::make_unique<net::ReliableChannel>(
+        env_.scheduler, env_.network, id_, inc, env_.reliable);
+  }
 }
 
 void NodeBase::Start() {
@@ -37,6 +44,12 @@ void NodeBase::Start() {
 
 void NodeBase::Retire() {
   retired_ = true;
+  // Orphan, not Shutdown: pending reliable sends — notably the abort
+  // broadcasts issued while failing in-flight operations just above in
+  // derived Retire()s — keep retransmitting until their delivery deadline,
+  // so a quickly-revived processor still gets them out. Only the timeout
+  // hooks are cleared (they capture this retired object).
+  if (rel_ != nullptr) rel_->Orphan();
   for (auto& [txn, rec] : txns_) {
     if (rec.retry_event != sim::kInvalidEvent) {
       env_.scheduler->Cancel(rec.retry_event);
@@ -174,7 +187,7 @@ void NodeBase::BroadcastOutcome(TxnId txn) {
   if (rec == nullptr || rec->outcome_unacked.empty()) return;
   const bool committed = rec->st == cc::TxnOutcome::kCommitted;
   for (ProcessorId p : rec->outcome_unacked) {
-    Send(p, msg::kTxnOutcome, msg::TxnOutcomeMsg{txn, committed});
+    SendPhys(p, msg::kTxnOutcome, msg::TxnOutcomeMsg{txn, committed});
   }
   ScheduleOutcomeRetry(txn);
 }
@@ -220,7 +233,7 @@ void NodeBase::HandlePhysRead(const net::Message& m) {
   const ProcessorId reply_to = m.src;
   if (!req.recovery && remote_outcomes_.count(req.txn) > 0) {
     // Duplicate/reordered request for an already-decided transaction.
-    Send(reply_to, msg::kPhysReadReply,
+    SendPhys(reply_to, msg::kPhysReadReply,
          msg::PhysReadReply{req.op_id, false, "stale-txn", Value(),
                             kEpochDate});
     return;
@@ -228,13 +241,13 @@ void NodeBase::HandlePhysRead(const net::Message& m) {
   Status admit = ValidateAccess(req.txn, req.v, req.obj, req.footprint,
                                 req.recovery, /*is_write=*/false);
   if (!admit.ok()) {
-    Send(reply_to, msg::kPhysReadReply,
+    SendPhys(reply_to, msg::kPhysReadReply,
          msg::PhysReadReply{req.op_id, false, std::string(admit.message()),
                             Value(), kEpochDate});
     return;
   }
   if (!env_.store->HasCopy(req.obj)) {
-    Send(reply_to, msg::kPhysReadReply,
+    SendPhys(reply_to, msg::kPhysReadReply,
          msg::PhysReadReply{req.op_id, false, "no-copy", Value(), kEpochDate});
     return;
   }
@@ -249,7 +262,7 @@ void NodeBase::HandlePhysRead(const net::Message& m) {
       locker, obj, mode, lock_timeout_,
       [this, locker, obj, op_id, txn, recovery, reply_to](Status s) {
         if (!s.ok()) {
-          Send(reply_to, msg::kPhysReadReply,
+          SendPhys(reply_to, msg::kPhysReadReply,
                msg::PhysReadReply{op_id, false, "lock-timeout", Value(),
                                   kEpochDate});
           return;
@@ -257,7 +270,7 @@ void NodeBase::HandlePhysRead(const net::Message& m) {
         if (!recovery && remote_outcomes_.count(txn) > 0) {
           // The outcome landed while this request waited for the lock.
           env_.locks->ReleaseAll(locker);
-          Send(reply_to, msg::kPhysReadReply,
+          SendPhys(reply_to, msg::kPhysReadReply,
                msg::PhysReadReply{op_id, false, "stale-txn", Value(),
                                   kEpochDate});
           return;
@@ -283,7 +296,7 @@ void NodeBase::HandlePhysRead(const net::Message& m) {
           env_.recorder->PhysicalOp(id_, txn, obj, /*is_write=*/false,
                                     env_.scheduler->Now());
         }
-        Send(reply_to, msg::kPhysReadReply,
+        SendPhys(reply_to, msg::kPhysReadReply,
              msg::PhysReadReply{op_id, true, "", version.value().value,
                                 version.value().date});
       });
@@ -295,19 +308,19 @@ void NodeBase::HandlePhysWrite(const net::Message& m) {
   const ProcessorId reply_to = m.src;
   if (remote_outcomes_.count(req.txn) > 0) {
     // Duplicate/reordered request for an already-decided transaction.
-    Send(reply_to, msg::kPhysWriteReply,
+    SendPhys(reply_to, msg::kPhysWriteReply,
          msg::PhysWriteReply{req.op_id, false, "stale-txn"});
     return;
   }
   Status admit = ValidateAccess(req.txn, req.v, req.obj, req.footprint,
                                 /*is_recovery=*/false, /*is_write=*/true);
   if (!admit.ok()) {
-    Send(reply_to, msg::kPhysWriteReply,
+    SendPhys(reply_to, msg::kPhysWriteReply,
          msg::PhysWriteReply{req.op_id, false, std::string(admit.message())});
     return;
   }
   if (!env_.store->HasCopy(req.obj)) {
-    Send(reply_to, msg::kPhysWriteReply,
+    SendPhys(reply_to, msg::kPhysWriteReply,
          msg::PhysWriteReply{req.op_id, false, "no-copy"});
     return;
   }
@@ -320,20 +333,20 @@ void NodeBase::HandlePhysWrite(const net::Message& m) {
       txn, obj, cc::LockMode::kExclusive, lock_timeout_,
       [this, txn, obj, op_id, value, date, reply_to](Status s) {
         if (!s.ok()) {
-          Send(reply_to, msg::kPhysWriteReply,
+          SendPhys(reply_to, msg::kPhysWriteReply,
                msg::PhysWriteReply{op_id, false, "lock-timeout"});
           return;
         }
         if (remote_outcomes_.count(txn) > 0) {
           // The outcome landed while this request waited for the lock.
           env_.locks->ReleaseAll(txn);
-          Send(reply_to, msg::kPhysWriteReply,
+          SendPhys(reply_to, msg::kPhysWriteReply,
                msg::PhysWriteReply{op_id, false, "stale-txn"});
           return;
         }
         Status st = env_.store->StageWrite(txn, obj, value, date);
         if (!st.ok()) {
-          Send(reply_to, msg::kPhysWriteReply,
+          SendPhys(reply_to, msg::kPhysWriteReply,
                msg::PhysWriteReply{op_id, false, std::string(st.message())});
           return;
         }
@@ -343,7 +356,7 @@ void NodeBase::HandlePhysWrite(const net::Message& m) {
         rt.last_activity = env_.scheduler->Now();
         env_.recorder->PhysicalOp(id_, txn, obj, /*is_write=*/true,
                                   env_.scheduler->Now());
-        Send(reply_to, msg::kPhysWriteReply,
+        SendPhys(reply_to, msg::kPhysWriteReply,
              msg::PhysWriteReply{op_id, true, ""});
       });
 }
@@ -355,7 +368,7 @@ void NodeBase::HandleLogQuery(const net::Message& m) {
                                 /*is_recovery=*/true, /*is_write=*/false);
   const ProcessorId reply_to = m.src;
   if (!admit.ok() || !env_.store->HasCopy(req.obj)) {
-    Send(reply_to, msg::kLogReply, msg::LogReply{req.op_id, false, req.obj, {}});
+    SendPhys(reply_to, msg::kLogReply, msg::LogReply{req.op_id, false, req.obj, {}});
     return;
   }
   const TxnId locker = SyntheticTxnId();
@@ -366,7 +379,7 @@ void NodeBase::HandleLogQuery(const net::Message& m) {
       locker, obj, cc::LockMode::kShared, lock_timeout_,
       [this, locker, obj, op_id, after, reply_to](Status s) {
         if (!s.ok()) {
-          Send(reply_to, msg::kLogReply, msg::LogReply{op_id, false, obj, {}});
+          SendPhys(reply_to, msg::kLogReply, msg::LogReply{op_id, false, obj, {}});
           return;
         }
         msg::LogReply reply{op_id, true, obj, {}};
@@ -374,7 +387,7 @@ void NodeBase::HandleLogQuery(const net::Message& m) {
           reply.records.emplace_back(r.date, r.value, r.txn);
         }
         env_.locks->ReleaseAll(locker);
-        Send(reply_to, msg::kLogReply, std::move(reply));
+        SendPhys(reply_to, msg::kLogReply, std::move(reply));
       });
 }
 
@@ -405,7 +418,7 @@ void NodeBase::ApplyOutcomeLocally(TxnId txn, bool committed) {
 void NodeBase::HandleTxnOutcome(const net::Message& m) {
   const auto& body = net::BodyAs<msg::TxnOutcomeMsg>(m);
   ApplyOutcomeLocally(body.txn, body.committed);
-  Send(m.src, msg::kTxnOutcomeAck, msg::TxnOutcomeAck{body.txn, id_});
+  SendPhys(m.src, msg::kTxnOutcomeAck, msg::TxnOutcomeAck{body.txn, id_});
 }
 
 void NodeBase::HandleTxnOutcomeAck(const net::Message& m) {
@@ -422,7 +435,7 @@ void NodeBase::HandleTxnOutcomeAck(const net::Message& m) {
 
 void NodeBase::HandleTxnStatusQuery(const net::Message& m) {
   const auto& body = net::BodyAs<msg::TxnStatusQuery>(m);
-  Send(m.src, msg::kTxnStatusReply,
+  SendPhys(m.src, msg::kTxnStatusReply,
        msg::TxnStatusReply{body.txn, decisions_.Query(body.txn)});
 }
 
@@ -461,7 +474,7 @@ void NodeBase::InDoubtSweep() {
       }
       continue;
     }
-    Send(rt.coordinator, msg::kTxnStatusQuery, msg::TxnStatusQuery{txn, id_});
+    SendPhys(rt.coordinator, msg::kTxnStatusQuery, msg::TxnStatusQuery{txn, id_});
   }
   for (const auto& [txn, committed] : local_resolved) {
     ApplyOutcomeLocally(txn, committed);
@@ -482,6 +495,15 @@ void NodeBase::ScheduleInDoubtSweep() {
 
 void NodeBase::HandleMessage(const net::Message& m) {
   if (Crashed()) return;  // Defensive; the network already drops these.
+  if (rel_ != nullptr &&
+      rel_->HandleMessage(
+          m, [this](const net::Message& inner) { Dispatch(inner); })) {
+    return;  // Envelope or ack, consumed (and unwrapped) by the channel.
+  }
+  Dispatch(m);
+}
+
+void NodeBase::Dispatch(const net::Message& m) {
   if (m.type == msg::kPhysRead) {
     HandlePhysRead(m);
   } else if (m.type == msg::kPhysWrite) {

@@ -14,6 +14,7 @@
 #define VPART_CORE_NODE_BASE_H_
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -28,6 +29,7 @@
 #include "core/vp_messages.h"
 #include "history/recorder.h"
 #include "net/network.h"
+#include "net/reliable_channel.h"
 #include "sim/scheduler.h"
 #include "sim/timer.h"
 #include "storage/placement.h"
@@ -48,6 +50,10 @@ struct NodeEnv {
   /// build a NodeEnv by hand); then no persist points fire and crashes
   /// retain memory.
   storage::StableStore* stable = nullptr;
+  /// Reliable-delivery knobs for physical operations. Disabled by default
+  /// (sends go straight to the lossy network, the pre-reliability
+  /// behavior); the harness enables it per run.
+  net::ReliableConfig reliable;
 };
 
 /// Base class of all protocol nodes. See file comment.
@@ -62,7 +68,16 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
   void Abort(TxnId txn) override;
   void Commit(TxnId txn, CommitCallback cb) override;
   ProcessorId processor() const override { return id_; }
-  const ProtocolStats& stats() const override { return stats_; }
+  const ProtocolStats& stats() const override {
+    if (rel_ != nullptr) {
+      const net::ReliableStats& rs = rel_->stats();
+      stats_.rel_sends = rs.sends;
+      stats_.rel_retransmits = rs.retransmits;
+      stats_.rel_timeouts = rs.timed_out;
+      stats_.rel_dups_suppressed = rs.dup_suppressed;
+    }
+    return stats_;
+  }
 
   /// Allocates a fresh client transaction id coordinated here.
   TxnId NewTxnId() { return TxnId{id_, next_txn_seq_++}; }
@@ -157,6 +172,34 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
     env_.network->Send(id_, dst, type, std::move(body));
   }
 
+  /// Sends a physical-operation message (request, reply, 2PC outcome)
+  /// through the reliable channel when it is enabled: retransmitted until
+  /// acked or its delivery deadline passes, at which point `on_timeout`
+  /// (if given) fires so the caller can fail the operation explicitly.
+  /// Self-sends and disabled channels go straight to the network (local
+  /// delivery never drops).
+  /// Returns the channel message id (0 for raw sends, which need no
+  /// cancellation); pass it to CancelPhys when the reply becomes
+  /// irrelevant before it arrives.
+  uint64_t SendPhys(ProcessorId dst, const char* type, std::any body,
+                    net::ReliableChannel::TimeoutFn on_timeout = nullptr) {
+    if (rel_ == nullptr || dst == id_) {
+      env_.network->Send(id_, dst, type, std::move(body));
+      return 0;
+    }
+    return rel_->Send(dst, type, std::move(body), std::move(on_timeout));
+  }
+
+  /// Stops retransmitting a SendPhys whose reply no longer matters (e.g.
+  /// a quorum was reached without it). Without this, the leftover request
+  /// keeps retrying until its delivery deadline and can be served at the
+  /// copy AFTER the transaction decided — a physical access outside the
+  /// transaction's two-phase-locking window that the conflict checker
+  /// would (rightly) flag.
+  void CancelPhys(uint64_t rel_id) {
+    if (rel_ != nullptr && rel_id != 0) rel_->Cancel(rel_id);
+  }
+
   /// Synthetic transaction id for short-lived recovery-read locks.
   TxnId SyntheticTxnId() { return TxnId{id_, kSyntheticBase + synth_seq_++}; }
 
@@ -167,7 +210,11 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
   const sim::Duration lock_timeout_;
   const sim::Duration outcome_retry_period_;
 
-  ProtocolStats stats_;
+  /// Reliable-delivery endpoint; null when env_.reliable.enabled is false.
+  std::unique_ptr<net::ReliableChannel> rel_;
+
+  /// Mutable: stats() refreshes the rel_* counters from the channel.
+  mutable ProtocolStats stats_;
   uint64_t next_txn_seq_ = 1;
   uint64_t synth_seq_ = 1;
   uint64_t next_op_id_ = 1;
@@ -186,6 +233,8 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
   bool retired_ = false;
 
  private:
+  /// Type-based dispatch of a (possibly channel-unwrapped) message.
+  void Dispatch(const net::Message& m);
   void ScheduleInDoubtSweep();
   void ScheduleOutcomeRetry(TxnId txn);
 };

@@ -54,6 +54,12 @@ struct ProtocolStats {
   uint64_t phys_reads_sent = 0;
   uint64_t phys_writes_sent = 0;
 
+  /// Reliable-delivery channel counters (all zero when the layer is off).
+  uint64_t rel_sends = 0;            // Messages entrusted to the channel.
+  uint64_t rel_retransmits = 0;      // Transmissions beyond each first one.
+  uint64_t rel_timeouts = 0;         // Sends abandoned at their deadline.
+  uint64_t rel_dups_suppressed = 0;  // Duplicate envelopes deduplicated.
+
   /// VP protocol only.
   uint64_t vp_creations_initiated = 0;
   uint64_t vp_joins = 0;

@@ -2,9 +2,20 @@
 #ifndef VPART_CORE_VP_CONFIG_H_
 #define VPART_CORE_VP_CONFIG_H_
 
+#include "net/reliable_channel.h"
 #include "sim/time.h"
 
 namespace vp::core {
+
+/// Reliable-delivery knobs (ack/retransmit/backoff/delivery-deadline) for
+/// physical operations, shared by every protocol and wired into each node
+/// through NodeEnv.reliable; see net/reliable_channel.h for the layer and
+/// DESIGN.md §9 for the contract. Caution when enabling it for the VP
+/// protocol: the paper's liveness bound Δ = π + 8δ is stated for a one-hop
+/// delay bound δ, and retransmission stretches the effective per-message
+/// latency to the channel's delivery deadline — so any Δ-derived window
+/// must be restated with δ' = max(δ, delivery_deadline) to stay sound.
+using ReliableConfig = net::ReliableConfig;
 
 /// How Update-Copies-in-View brings accessible copies up to date (R5).
 enum class RecoveryMode {

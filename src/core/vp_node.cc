@@ -424,9 +424,9 @@ void VpNode::RecoverObjectFullRead(ObjectId obj) {
           });
     } else {
       ++stats_.recovery_reads_sent;
-      Send(q, msg::kPhysRead,
-           msg::PhysRead{SyntheticTxnId(), obj, cur_id_, /*recovery=*/true,
-                         /*for_update=*/false, op_id, {}});
+      SendPhys(q, msg::kPhysRead,
+               msg::PhysRead{SyntheticTxnId(), obj, cur_id_, /*recovery=*/true,
+                             /*for_update=*/false, op_id, {}});
     }
   }
 }
@@ -458,7 +458,7 @@ void VpNode::RecoverObjectLogCatchup(ObjectId obj) {
 
   for (ProcessorId q : targets) {
     ++stats_.recovery_reads_sent;
-    Send(q, msg::kLogQuery, msg::LogQuery{obj, after, cur_id_, op_id});
+    SendPhys(q, msg::kLogQuery, msg::LogQuery{obj, after, cur_id_, op_id});
   }
 }
 
@@ -489,7 +489,7 @@ void VpNode::RecoverObjectDatePoll(ObjectId obj) {
 
   for (ProcessorId q : targets) {
     ++stats_.recovery_date_polls;
-    Send(q, msg::kDateQuery, msg::DateQuery{obj, cur_id_, op_id});
+    SendPhys(q, msg::kDateQuery, msg::DateQuery{obj, cur_id_, op_id});
   }
 }
 
@@ -500,8 +500,8 @@ void VpNode::HandleDateQuery(const net::Message& m) {
                                 /*is_recovery=*/true, /*is_write=*/false);
   const ProcessorId reply_to = m.src;
   if (!admit.ok() || !env_.store->HasCopy(req.obj)) {
-    Send(reply_to, msg::kDateReply,
-         msg::DateReply{req.op_id, false, req.obj, kEpochDate});
+    SendPhys(reply_to, msg::kDateReply,
+             msg::DateReply{req.op_id, false, req.obj, kEpochDate});
     return;
   }
   // The §6 condition (3) lock discipline applies to date reads too: a
@@ -514,15 +514,15 @@ void VpNode::HandleDateQuery(const net::Message& m) {
       locker, obj, cc::LockMode::kShared, lock_timeout_,
       [this, locker, obj, op_id, reply_to](Status s) {
         if (!s.ok()) {
-          Send(reply_to, msg::kDateReply,
-               msg::DateReply{op_id, false, obj, kEpochDate});
+          SendPhys(reply_to, msg::kDateReply,
+                   msg::DateReply{op_id, false, obj, kEpochDate});
           return;
         }
         auto v = env_.store->Read(obj);
         env_.locks->ReleaseAll(locker);
         VP_CHECK(v.ok());
-        Send(reply_to, msg::kDateReply,
-             msg::DateReply{op_id, true, obj, v.value().date});
+        SendPhys(reply_to, msg::kDateReply,
+                 msg::DateReply{op_id, true, obj, v.value().date});
       });
 }
 
@@ -569,9 +569,9 @@ void VpNode::HandleDateReply(const net::Message& m) {
       });
   ++stats_.recovery_value_fetches;
   ++stats_.recovery_reads_sent;
-  Send(rec.best_holder, msg::kPhysRead,
-       msg::PhysRead{SyntheticTxnId(), rec.obj, cur_id_, /*recovery=*/true,
-                     /*for_update=*/false, body.op_id, {}});
+  SendPhys(rec.best_holder, msg::kPhysRead,
+           msg::PhysRead{SyntheticTxnId(), rec.obj, cur_id_, /*recovery=*/true,
+                         /*for_update=*/false, body.op_id, {}});
 }
 
 void VpNode::HandleRecoveryReadReply(uint64_t op_id, bool ok,
@@ -792,9 +792,9 @@ void VpNode::LogicalRead(TxnId txn, ObjectId obj, ReadCallback cb) {
       });
 
   ++stats_.phys_reads_sent;
-  Send(pr.target, msg::kPhysRead,
-       msg::PhysRead{txn, obj, cur_id_, /*recovery=*/false,
-                     /*for_update=*/false, op_id, rec->participants});
+  SendPhys(pr.target, msg::kPhysRead,
+           msg::PhysRead{txn, obj, cur_id_, /*recovery=*/false,
+                         /*for_update=*/false, op_id, rec->participants});
   pending_reads_[op_id] = std::move(pr);
 }
 
@@ -843,8 +843,8 @@ void VpNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
   for (ProcessorId q : targets) rec->participants.insert(q);
   for (ProcessorId q : targets) {
     ++stats_.phys_writes_sent;
-    Send(q, msg::kPhysWrite,
-         msg::PhysWrite{txn, obj, value, cur_id_, op_id, footprint});
+    SendPhys(q, msg::kPhysWrite,
+             msg::PhysWrite{txn, obj, value, cur_id_, op_id, footprint});
   }
 }
 
@@ -996,9 +996,10 @@ bool VpNode::HandleProtocolMessage(const net::Message& m) {
               pr2.cb(Status::Timeout("no response from copy holder"));
             });
         ++stats_.phys_reads_sent;
-        Send(pr.target, msg::kPhysRead,
-             msg::PhysRead{pr.txn, pr.obj, cur_id_, /*recovery=*/false,
-                           /*for_update=*/false, op_id, rec->participants});
+        SendPhys(pr.target, msg::kPhysRead,
+                 msg::PhysRead{pr.txn, pr.obj, cur_id_, /*recovery=*/false,
+                               /*for_update=*/false, op_id,
+                               rec->participants});
         pending_reads_[op_id] = std::move(pr);
       } else {
         ++stats_.reads_failed;

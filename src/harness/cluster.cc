@@ -90,6 +90,8 @@ std::unique_ptr<core::NodeBase> Cluster::MakeNode(ProcessorId p) {
   env.locks = locks_[p].get();
   env.recorder = &recorder_;
   env.stable = stables_[p].get();
+  env.reliable = config_.reliable;
+  env.reliable.jitter_seed ^= config_.seed;
   switch (config_.protocol) {
     case Protocol::kVirtualPartition:
       return std::make_unique<core::VpNode>(p, env, config_.vp);
@@ -219,6 +221,10 @@ core::ProtocolStats Cluster::AggregateStats() const {
     sum.recovery_log_records += s.recovery_log_records;
     sum.recovery_date_polls += s.recovery_date_polls;
     sum.recovery_value_fetches += s.recovery_value_fetches;
+    sum.rel_sends += s.rel_sends;
+    sum.rel_retransmits += s.rel_retransmits;
+    sum.rel_timeouts += s.rel_timeouts;
+    sum.rel_dups_suppressed += s.rel_dups_suppressed;
   }
   return sum;
 }

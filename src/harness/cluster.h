@@ -68,6 +68,12 @@ struct ClusterConfig {
   core::VpConfig vp;
   protocols::QuorumConfig quorum;
   protocols::NaiveConfig naive;
+
+  /// Reliable-delivery layer for physical operations (all protocols); lives
+  /// here rather than on the per-protocol configs because kMajorityVoting
+  /// and kRowa build their QuorumConfig from factories. The channel's jitter
+  /// stream is decorrelated per cluster by xor-ing `seed` into jitter_seed.
+  core::ReliableConfig reliable;
 };
 
 class Cluster {

@@ -129,12 +129,28 @@ namespace {
 
 /// Conflict edges among committed transactions: same node+object, at least
 /// one write, different txns, ordered by (time, record sequence).
+///
+/// Reads served AFTER their transaction decided are excluded. Such an op is
+/// a straggler: a request copy that was still in flight when its quorum
+/// operation completed without it (vote overshoot, or a network duplicate)
+/// and got served at the copy after commit. Its reply was provably
+/// discarded — the transaction's value was fixed when the quorum
+/// completed, before the decide — so it constrains nothing. Late WRITES
+/// are never excluded: a write phase only completes when every targeted
+/// copy replied, so a post-decide write for a committed transaction would
+/// be a real protocol bug and must keep its edges.
 std::map<TxnId, std::set<TxnId>> BuildConflictEdges(
     const std::vector<Recorder::PhysOp>& physical_ops,
-    const std::set<TxnId>& committed_ids) {
+    const std::set<TxnId>& committed_ids,
+    const std::map<TxnId, sim::SimTime>& decided_at) {
   std::vector<Recorder::PhysOp> ops;
   for (const auto& op : physical_ops) {
-    if (committed_ids.count(op.txn) > 0) ops.push_back(op);
+    if (committed_ids.count(op.txn) == 0) continue;
+    if (!op.is_write) {
+      auto d = decided_at.find(op.txn);
+      if (d != decided_at.end() && op.at > d->second) continue;
+    }
+    ops.push_back(op);
   }
   std::sort(ops.begin(), ops.end(),
             [](const Recorder::PhysOp& a, const Recorder::PhysOp& b) {
@@ -167,10 +183,14 @@ CertifyResult CheckConflictSerializable(
     const std::vector<TxnHistory>& committed) {
   CertifyResult result;
   std::set<TxnId> committed_ids;
-  for (const TxnHistory& t : committed) committed_ids.insert(t.id);
+  std::map<TxnId, sim::SimTime> decided_at;
+  for (const TxnHistory& t : committed) {
+    committed_ids.insert(t.id);
+    decided_at[t.id] = t.decided_at;
+  }
 
   std::map<TxnId, std::set<TxnId>> edges =
-      BuildConflictEdges(physical_ops, committed_ids);
+      BuildConflictEdges(physical_ops, committed_ids, decided_at);
 
   // DFS cycle detection.
   std::map<TxnId, int> color;  // 0 white, 1 grey, 2 black.
@@ -210,12 +230,14 @@ CertifyResult CertifyOneCopySRConflictOrder(
   CertifyResult result;
   std::set<TxnId> committed_ids;
   std::map<TxnId, size_t> index_of;
+  std::map<TxnId, sim::SimTime> decided_at;
   for (size_t i = 0; i < committed.size(); ++i) {
     committed_ids.insert(committed[i].id);
     index_of[committed[i].id] = i;
+    decided_at[committed[i].id] = committed[i].decided_at;
   }
   std::map<TxnId, std::set<TxnId>> edges =
-      BuildConflictEdges(physical_ops, committed_ids);
+      BuildConflictEdges(physical_ops, committed_ids, decided_at);
 
   // Kahn's algorithm with a deterministic ready set: among transactions
   // whose predecessors are all placed, the earliest (decided_at, id) goes

@@ -25,6 +25,7 @@ std::set<std::string> PlanCoverage(const FaultPlan& plan) {
     kinds.insert("nowal_strawman");
   }
   if (!plan.placement.empty()) kinds.insert("weighted_placement");
+  if (plan.reliable) kinds.insert("reliable_delivery");
   return kinds;
 }
 
@@ -44,6 +45,9 @@ CampaignResult RunCampaign(const CampaignConfig& config,
     result.aborted += outcome.aborted;
     result.duplicated += outcome.duplicated;
     result.reordered += outcome.reordered;
+    result.retransmits += outcome.retransmits;
+    result.delivery_timeouts += outcome.delivery_timeouts;
+    result.dups_suppressed += outcome.dups_suppressed;
     result.stable.fsyncs += outcome.stable.fsyncs;
     result.stable.wal_appends += outcome.stable.wal_appends;
     result.stable.wal_bytes += outcome.stable.wal_bytes;
@@ -95,6 +99,13 @@ std::string FormatCampaign(const CampaignConfig& config,
   out << "  aborted     " << result.aborted << "\n";
   out << "  dup msgs    " << result.duplicated << "\n";
   out << "  reordered   " << result.reordered << "\n";
+  if (result.retransmits > 0 || result.delivery_timeouts > 0 ||
+      result.dups_suppressed > 0) {
+    out << "reliable delivery (summed over runs):\n";
+    out << "  retransmits " << result.retransmits << "\n";
+    out << "  deadline timeouts " << result.delivery_timeouts << "\n";
+    out << "  dups suppressed   " << result.dups_suppressed << "\n";
+  }
   if (result.stable.fsyncs > 0 || result.stable.reboots > 0) {
     out << "stable storage (summed over runs):\n";
     out << "  fsyncs      " << result.stable.fsyncs << "\n";

@@ -49,6 +49,12 @@ struct CampaignResult {
   uint64_t duplicated = 0;
   uint64_t reordered = 0;
 
+  /// Reliable-channel accounting summed over all runs (zeros unless the
+  /// generator stamps plans with reliable delivery).
+  uint64_t retransmits = 0;
+  uint64_t delivery_timeouts = 0;
+  uint64_t dups_suppressed = 0;
+
   /// Stable-storage accounting summed over all runs (zeros unless the
   /// generator enables amnesia or plans set a WAL durability mode).
   storage::StableStats stable;

@@ -82,6 +82,8 @@ std::string FaultPlan::ToText() const {
   out << "ops_per_txn " << ops_per_txn << "\n";
   out << "rmw " << (rmw ? 1 : 0) << "\n";
   out << "durability " << storage::DurabilityModeName(durability) << "\n";
+  // Only emitted when set, so pre-existing plan files stay byte-identical.
+  if (reliable) out << "reliable 1\n";
   for (const CopySpec& c : placement) {
     out << "copy " << c.obj << " " << c.proc << " " << c.weight << "\n";
   }
@@ -183,6 +185,10 @@ Result<FaultPlan> FaultPlan::FromText(const std::string& text) {
         }
       }
       if (!found) return bad("unknown durability mode '" + name + "'");
+    } else if (key == "reliable") {
+      int v = 0;
+      fields >> v;
+      plan.reliable = v != 0;
     } else if (key == "copy") {
       FaultPlan::CopySpec c;
       uint32_t weight = 0;
@@ -342,6 +348,7 @@ FaultPlan GeneratePlan(uint64_t seed, const GeneratorConfig& cfg) {
   // Every extra rng draw below is gated on its flag, so legacy campaigns
   // (flags off) keep generating byte-identical plans for existing seeds.
   if (cfg.enable_amnesia) plan.durability = cfg.amnesia_durability;
+  if (cfg.reliable) plan.reliable = true;  // Stamp only; no rng draw.
   if (cfg.weighted_placements && n >= 3 && rng.Bernoulli(0.5)) {
     // Quorum-style placements: 3..n holders per object, and half the time
     // one copy carries a double vote (the paper's a²b configurations).
@@ -463,6 +470,7 @@ RunOutcome RunPlan(const FaultPlan& plan) {
   cfg.seed = plan.seed;
   cfg.protocol = plan.protocol;
   cfg.durability = plan.durability;
+  cfg.reliable.enabled = plan.reliable;
   cfg.net.drop_prob = plan.drop_prob;
   cfg.net.slow_prob = plan.slow_prob;
   cfg.net.dup_prob = plan.dup_prob;
@@ -546,6 +554,10 @@ RunOutcome RunPlan(const FaultPlan& plan) {
   out.progress = out.committed > 0;
   out.duplicated = cluster.network().stats().duplicated;
   out.reordered = cluster.network().stats().reordered;
+  const core::ProtocolStats agg = cluster.AggregateStats();
+  out.retransmits = agg.rel_retransmits;
+  out.delivery_timeouts = agg.rel_timeouts;
+  out.dups_suppressed = agg.rel_dups_suppressed;
   out.converged = converged;
 
   out.safety_ok = rec.safety_violations().empty();

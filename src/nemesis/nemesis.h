@@ -67,6 +67,12 @@ struct FaultPlan {
   /// negative control — campaigns must catch it losing committed writes.
   storage::DurabilityMode durability = storage::DurabilityMode::kRetainMemory;
 
+  /// When true the cluster runs every physical operation through the
+  /// reliable-delivery channel (ack/retransmit/backoff, net/
+  /// reliable_channel.h) with its default knobs. Off by default so legacy
+  /// plans and their traces are untouched.
+  bool reliable = false;
+
   /// One weighted physical copy. An empty `placement` means full
   /// replication with unit weights.
   struct CopySpec {
@@ -116,6 +122,9 @@ struct GeneratorConfig {
   /// keeps the draw sequence intact, so a seed's plan keeps its shape and
   /// only the knob values change.
   bool harsh = false;
+  /// Stamp plans with reliable = true (no rng draw, so seeds keep their
+  /// plans byte-identical apart from the stamped flag).
+  bool reliable = false;
 };
 
 /// Generates a randomized fault-storm plan. Pure function of (seed, cfg).
@@ -144,6 +153,12 @@ struct RunOutcome {
   /// Fault-mix accounting from the network layer.
   uint64_t duplicated = 0;
   uint64_t reordered = 0;
+
+  /// Reliable-channel accounting (all zeros when the plan ran without the
+  /// reliable-delivery layer).
+  uint64_t retransmits = 0;
+  uint64_t delivery_timeouts = 0;
+  uint64_t dups_suppressed = 0;
 
   /// Stable-device accounting (all zeros under kRetainMemory).
   storage::StableStats stable;

@@ -1,0 +1,162 @@
+#include "net/reliable_channel.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vp::net {
+
+ReliableChannel::ReliableChannel(sim::Scheduler* scheduler, Network* network,
+                                 ProcessorId self, uint32_t incarnation,
+                                 ReliableConfig config)
+    : scheduler_(scheduler),
+      network_(network),
+      self_(self),
+      incarnation_(incarnation),
+      config_(config),
+      // Per-node, per-incarnation jitter stream, independent of the
+      // network's rng so retransmission timing never perturbs unrelated
+      // delay draws.
+      rng_(config.jitter_seed ^
+           (0x9e3779b97f4a7c15ULL * (uint64_t{self} + 1)) ^
+           (uint64_t{incarnation} << 32)),
+      // Same salting idiom as NodeBase op ids: a rebooted sender never
+      // reissues an id from a previous life, so stale acks and stale dedup
+      // entries can never match a new send.
+      next_rel_id_(1 + (uint64_t{incarnation} << 40)) {
+  VP_CHECK(scheduler_ != nullptr && network_ != nullptr);
+  VP_CHECK_MSG(config_.delivery_deadline > 0,
+               "delivery deadline must be finite: the simulation runs to "
+               "idle and cannot host unbounded retransmission loops");
+  VP_CHECK(config_.retransmit_initial > 0 && config_.retransmit_max > 0);
+  VP_CHECK(config_.backoff_factor >= 1.0);
+}
+
+sim::Duration ReliableChannel::Jittered(sim::Duration d) {
+  if (config_.jitter <= 0.0) return d;
+  const auto span = static_cast<int64_t>(static_cast<double>(d) *
+                                         config_.jitter);
+  if (span <= 0) return d;
+  return d + rng_.UniformInt(0, span);
+}
+
+uint64_t ReliableChannel::Send(ProcessorId dst, std::string type,
+                               std::any body, TimeoutFn on_timeout) {
+  const uint64_t rel_id = next_rel_id_++;
+  Pending p;
+  p.dst = dst;
+  p.type = std::move(type);
+  p.body = std::move(body);
+  p.deadline = scheduler_->Now() + config_.delivery_deadline;
+  p.next_delay = config_.retransmit_initial;
+  p.on_timeout = std::move(on_timeout);
+  auto [it, inserted] = pending_.emplace(rel_id, std::move(p));
+  VP_CHECK(inserted);
+  ++stats_.sends;
+  Transmit(rel_id, it->second);
+  ArmTimer(rel_id);
+  return rel_id;
+}
+
+void ReliableChannel::Transmit(uint64_t rel_id, const Pending& p) {
+  network_->Send(self_, p.dst, kRelPrefix + p.type,
+                 RelEnvelope{rel_id, incarnation_, p.body});
+}
+
+void ReliableChannel::ArmTimer(uint64_t rel_id) {
+  auto it = pending_.find(rel_id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  const sim::Duration delay = Jittered(p.next_delay);
+  p.timer = scheduler_->ScheduleAfter(delay,
+                                      [this, rel_id]() { OnTimer(rel_id); });
+}
+
+void ReliableChannel::OnTimer(uint64_t rel_id) {
+  auto it = pending_.find(rel_id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  p.timer = sim::kInvalidEvent;
+  if (scheduler_->Now() >= p.deadline) {
+    // Give up: surface an explicit timeout instead of silent loss. Move
+    // the hook out first — it may re-enter the channel.
+    TimeoutFn on_timeout = std::move(p.on_timeout);
+    pending_.erase(it);
+    ++stats_.timed_out;
+    if (on_timeout) on_timeout();
+    return;
+  }
+  ++stats_.retransmits;
+  Transmit(rel_id, p);
+  p.next_delay = std::min<sim::Duration>(
+      static_cast<sim::Duration>(static_cast<double>(p.next_delay) *
+                                 config_.backoff_factor),
+      config_.retransmit_max);
+  ArmTimer(rel_id);
+}
+
+bool ReliableChannel::HandleMessage(const Message& m,
+                                    const DeliverFn& deliver) {
+  if (m.type == kRelAck) {
+    const auto& ack = BodyAs<RelAckBody>(m);
+    if (ack.incarnation != incarnation_) {
+      // Ack addressed to a previous life of this processor; the pending
+      // send it settles died with that incarnation's volatile state.
+      ++stats_.stale_acks;
+      return true;
+    }
+    auto it = pending_.find(ack.rel_id);
+    if (it == pending_.end()) {
+      // Duplicate ack, or an ack racing a just-expired deadline.
+      ++stats_.stale_acks;
+      return true;
+    }
+    ++stats_.acks_received;
+    scheduler_->Cancel(it->second.timer);
+    pending_.erase(it);
+    return true;
+  }
+  if (m.type.rfind(kRelPrefix, 0) != 0) return false;
+
+  const auto& env = BodyAs<RelEnvelope>(m);
+  // Ack every copy (the first transmission's ack may have been lost; the
+  // retransmission that follows must still be acknowledged or the sender
+  // retries forever-until-deadline).
+  network_->Send(self_, m.src, kRelAck,
+                 RelAckBody{env.rel_id, env.incarnation});
+  if (!seen_[m.src].insert(env.rel_id).second) {
+    ++stats_.dup_suppressed;
+    return true;
+  }
+  ++stats_.delivered;
+  Message inner;
+  inner.src = m.src;
+  inner.dst = m.dst;
+  inner.type = m.type.substr(std::string(kRelPrefix).size());
+  inner.body = env.body;
+  inner.sent_at = m.sent_at;
+  deliver(inner);
+  return true;
+}
+
+void ReliableChannel::Cancel(uint64_t rel_id) {
+  auto it = pending_.find(rel_id);
+  if (it == pending_.end()) return;
+  scheduler_->Cancel(it->second.timer);
+  pending_.erase(it);
+}
+
+void ReliableChannel::Shutdown() {
+  for (auto& [rel_id, p] : pending_) {
+    scheduler_->Cancel(p.timer);
+  }
+  pending_.clear();
+}
+
+void ReliableChannel::Orphan() {
+  for (auto& [rel_id, p] : pending_) {
+    p.on_timeout = nullptr;
+  }
+}
+
+}  // namespace vp::net

@@ -73,9 +73,12 @@ void NaiveViewNode::LogicalRead(TxnId txn, ObjectId obj,
       });
   rec->participants.insert(target);
   ++stats_.phys_reads_sent;
-  Send(target, core::msg::kPhysRead,
-       PhysRead{txn, obj, kEpochDate, /*recovery=*/false,
-                /*for_update=*/false, op_id, {}});
+  SendPhys(target, core::msg::kPhysRead,
+           PhysRead{txn, obj, kEpochDate, /*recovery=*/false,
+                    /*for_update=*/false, op_id, {}},
+           [this, op_id, target]() {
+             OnDeliveryTimeout(op_id, target, /*write_phase=*/false);
+           });
   pending_reads_[op_id] = std::move(pr);
 }
 
@@ -122,8 +125,31 @@ void NaiveViewNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
   for (ProcessorId q : targets) {
     rec->participants.insert(q);
     ++stats_.phys_writes_sent;
-    Send(q, core::msg::kPhysWrite, PhysWrite{txn, obj, value, date, op_id, {}});
+    SendPhys(q, core::msg::kPhysWrite,
+             PhysWrite{txn, obj, value, date, op_id, {}},
+             [this, op_id, q]() {
+               OnDeliveryTimeout(op_id, q, /*write_phase=*/true);
+             });
   }
+}
+
+void NaiveViewNode::OnDeliveryTimeout(uint64_t op_id, ProcessorId q,
+                                      bool write_phase) {
+  if (retired_) return;
+  // Synthesize a nack from `q` so the normal reply path fails the op.
+  net::Message m;
+  m.src = q;
+  m.dst = id_;
+  m.sent_at = env_.scheduler->Now();
+  if (write_phase) {
+    m.type = core::msg::kPhysWriteReply;
+    m.body = PhysWriteReply{op_id, false, "delivery-timeout"};
+  } else {
+    m.type = core::msg::kPhysReadReply;
+    m.body = PhysReadReply{op_id, false, "delivery-timeout", Value(),
+                           kEpochDate};
+  }
+  HandleProtocolMessage(m);
 }
 
 bool NaiveViewNode::HandleProtocolMessage(const net::Message& m) {
@@ -137,7 +163,9 @@ bool NaiveViewNode::HandleProtocolMessage(const net::Message& m) {
     if (!body.ok) {
       ++stats_.reads_failed;
       InternalAbort(done.txn);
-      done.cb(Status::Aborted("physical read failed: " + body.error));
+      done.cb(body.error == "delivery-timeout"
+                  ? Status::Timeout("physical read delivery deadline passed")
+                  : Status::Aborted("physical read failed: " + body.error));
       return true;
     }
     ++stats_.reads_ok;
@@ -157,7 +185,9 @@ bool NaiveViewNode::HandleProtocolMessage(const net::Message& m) {
       env_.scheduler->Cancel(done.timeout_event);
       ++stats_.writes_failed;
       InternalAbort(done.txn);
-      done.cb(Status::Aborted("physical write failed: " + body.error));
+      done.cb(body.error == "delivery-timeout"
+                  ? Status::Timeout("physical write delivery deadline passed")
+                  : Status::Aborted("physical write failed: " + body.error));
       return true;
     }
     pw.awaiting.erase(m.src);

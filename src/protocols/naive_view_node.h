@@ -54,6 +54,10 @@ class NaiveViewNode : public core::NodeBase {
   bool HandleProtocolMessage(const net::Message& m) override;
 
  private:
+  /// Reliable-channel delivery-deadline hook; synthesizes a failed reply
+  /// from `q` so the op fails through the normal reply path.
+  void OnDeliveryTimeout(uint64_t op_id, ProcessorId q, bool write_phase);
+
   struct PendingRead {
     TxnId txn;
     ObjectId obj;

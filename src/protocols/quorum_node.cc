@@ -103,13 +103,17 @@ void QuorumNode::LogicalRead(TxnId txn, ObjectId obj, core::ReadCallback cb) {
   pr.timeout_event = env_.scheduler->ScheduleAfter(
       config_.op_timeout + config_.lock_timeout,
       [this, op_id]() { FailRead(op_id, Status::Timeout("read quorum")); });
-  pending_reads_[op_id] = std::move(pr);
+  PendingRead& live = pending_reads_[op_id] = std::move(pr);
   for (ProcessorId q : targets) {
     rec->participants.insert(q);
     ++stats_.phys_reads_sent;
-    Send(q, core::msg::kPhysRead,
-         PhysRead{txn, obj, kEpochDate, /*recovery=*/false,
-                  /*for_update=*/false, op_id, {}});
+    live.rel_ids[q] =
+        SendPhys(q, core::msg::kPhysRead,
+                 PhysRead{txn, obj, kEpochDate, /*recovery=*/false,
+                          /*for_update=*/false, op_id, {}},
+                 [this, op_id, q]() {
+                   OnDeliveryTimeout(op_id, q, /*write_phase=*/false);
+                 });
   }
 }
 
@@ -145,21 +149,31 @@ void QuorumNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
       config_.op_timeout + config_.lock_timeout, [this, op_id]() {
         FailWrite(op_id, Status::Timeout("write version poll"));
       });
-  pending_writes_[op_id] = std::move(pw);
+  PendingWrite& live = pending_writes_[op_id] = std::move(pw);
   // Phase 1: version poll under exclusive locks.
   for (ProcessorId q : targets) {
     rec->participants.insert(q);
     ++stats_.phys_reads_sent;
-    Send(q, core::msg::kPhysRead,
-         PhysRead{txn, obj, kEpochDate, /*recovery=*/false,
-                  /*for_update=*/true, op_id, {}});
+    live.rel_ids[q] =
+        SendPhys(q, core::msg::kPhysRead,
+                 PhysRead{txn, obj, kEpochDate, /*recovery=*/false,
+                          /*for_update=*/true, op_id, {}},
+                 [this, op_id, q]() {
+                   // Poll replies are read replies, so write_phase = false.
+                   OnDeliveryTimeout(op_id, q, /*write_phase=*/false);
+                 });
   }
 }
 
 void QuorumNode::Retire() {
-  // Fail in-flight logical operations; their transactions die with the
-  // coordinator's volatile state (the abort broadcasts are dropped at send
-  // time because the processor is already marked dead).
+  // Fail in-flight logical operations. Their abort broadcasts ride the
+  // reliable channel when it is enabled: NodeBase::Retire (below) orphans
+  // rather than cancels the pending sends, so the aborts keep
+  // retransmitting until their delivery deadline and reach the
+  // participants if the processor revives in time. Without the channel
+  // (or past the deadline) the sends are dropped because the processor is
+  // already marked dead, and participants fall back to the in-doubt sweep
+  // against the coordinator's presumed-abort decision log.
   std::vector<uint64_t> reads;
   for (const auto& [op_id, pr] : pending_reads_) reads.push_back(op_id);
   for (uint64_t op_id : reads) {
@@ -179,6 +193,7 @@ void QuorumNode::FailRead(uint64_t op_id, Status why) {
   PendingRead pr = std::move(it->second);
   pending_reads_.erase(it);
   env_.scheduler->Cancel(pr.timeout_event);
+  CancelOutstanding(pr);
   ++stats_.reads_failed;
   TxnRec* rec = FindTxn(pr.txn);
   if (rec != nullptr) rec->doomed = true;
@@ -192,6 +207,7 @@ void QuorumNode::FailWrite(uint64_t op_id, Status why) {
   PendingWrite pw = std::move(it->second);
   pending_writes_.erase(it);
   env_.scheduler->Cancel(pw.timeout_event);
+  CancelOutstanding(pw);
   ++stats_.writes_failed;
   TxnRec* rec = FindTxn(pw.txn);
   if (rec != nullptr) rec->doomed = true;
@@ -204,6 +220,12 @@ void QuorumNode::StartWritePhase2(uint64_t op_id) {
   if (it == pending_writes_.end()) return;
   PendingWrite& pw = it->second;
   pw.polling = false;
+  // A quorum of poll answers arrived; the unanswered poll requests must
+  // stop retrying, or a late-served poll takes a lock (and records a read)
+  // at a copy that is not part of the write — possibly after the
+  // transaction has already decided.
+  CancelOutstanding(pw);
+  pw.rel_ids.clear();
   // New version: one past the largest seen, tie-broken by writer id.
   const VpId new_date{pw.max_date.n + 1, id_};
   pw.outstanding = pw.pollers;
@@ -217,9 +239,39 @@ void QuorumNode::StartWritePhase2(uint64_t op_id) {
   const std::set<ProcessorId> targets = pw.pollers;
   for (ProcessorId q : targets) {
     ++stats_.phys_writes_sent;
-    Send(q, core::msg::kPhysWrite,
-         PhysWrite{txn, obj, value, new_date, op_id, {}});
+    const uint64_t rel_id =
+        SendPhys(q, core::msg::kPhysWrite,
+                 PhysWrite{txn, obj, value, new_date, op_id, {}},
+                 [this, op_id, q]() {
+                   OnDeliveryTimeout(op_id, q, /*write_phase=*/true);
+                 });
+    // Re-find: SendPhys itself never mutates pending_writes_, but keeping
+    // the lookup inside the loop guards against future re-entrancy.
+    auto live = pending_writes_.find(op_id);
+    if (live != pending_writes_.end()) live->second.rel_ids[q] = rel_id;
   }
+}
+
+void QuorumNode::OnDeliveryTimeout(uint64_t op_id, ProcessorId q,
+                                   bool write_phase) {
+  if (retired_) return;
+  // Feed a synthesized nack through the normal reply path: the pending op
+  // (if still live) does its quorum-unreachable accounting exactly as if
+  // `q` had nacked, and stale hooks for completed ops fall through the
+  // "already completed" guards.
+  net::Message m;
+  m.src = q;
+  m.dst = id_;
+  m.sent_at = env_.scheduler->Now();
+  if (write_phase) {
+    m.type = core::msg::kPhysWriteReply;
+    m.body = PhysWriteReply{op_id, false, "delivery-timeout"};
+  } else {
+    m.type = core::msg::kPhysReadReply;
+    m.body = PhysReadReply{op_id, false, "delivery-timeout", Value(),
+                           kEpochDate};
+  }
+  HandleProtocolMessage(m);
 }
 
 bool QuorumNode::HandleProtocolMessage(const net::Message& m) {
@@ -242,6 +294,12 @@ bool QuorumNode::HandleProtocolMessage(const net::Message& m) {
         PendingRead done = std::move(it->second);
         pending_reads_.erase(it);
         env_.scheduler->Cancel(done.timeout_event);
+        // The quorum can complete with requests still outstanding (vote
+        // overshoot under weighted placements: SelectCopies may contact
+        // more copies than the cheapest reply-set needs). Cancel them —
+        // a leftover request retransmitted past commit would be served
+        // outside the transaction's 2PL window.
+        CancelOutstanding(done);
         ++stats_.reads_ok;
         env_.recorder->TxnRead(done.txn, done.obj, done.best_value,
                                done.best_date, env_.scheduler->Now());
@@ -254,8 +312,14 @@ bool QuorumNode::HandleProtocolMessage(const net::Message& m) {
         potential += env_.placement->WeightOf(pr.obj, q);
       }
       if (potential < pr.votes_needed) {
-        FailRead(body.op_id, Status::Aborted("read quorum unreachable: " +
-                                             body.error));
+        // Delivery deadlines surface as an explicit timeout, not a
+        // generic abort: the copy never saw the request.
+        FailRead(body.op_id,
+                 body.error == "delivery-timeout"
+                     ? Status::Timeout("read quorum unreachable: delivery "
+                                       "deadline passed")
+                     : Status::Aborted("read quorum unreachable: " +
+                                       body.error));
       }
       return true;
     }
@@ -278,8 +342,12 @@ bool QuorumNode::HandleProtocolMessage(const net::Message& m) {
         potential += env_.placement->WeightOf(pw.obj, q);
       }
       if (potential < pw.votes_needed) {
-        FailWrite(body.op_id, Status::Aborted("write quorum unreachable: " +
-                                              body.error));
+        FailWrite(body.op_id,
+                  body.error == "delivery-timeout"
+                      ? Status::Timeout("write quorum unreachable: delivery "
+                                        "deadline passed")
+                      : Status::Aborted("write quorum unreachable: " +
+                                        body.error));
       }
       return true;
     }
@@ -293,7 +361,10 @@ bool QuorumNode::HandleProtocolMessage(const net::Message& m) {
     if (pw.polling) return true;
     if (!body.ok) {
       FailWrite(body.op_id,
-                Status::Aborted("physical write failed: " + body.error));
+                body.error == "delivery-timeout"
+                    ? Status::Timeout(
+                          "physical write delivery deadline passed")
+                    : Status::Aborted("physical write failed: " + body.error));
       return true;
     }
     pw.outstanding.erase(m.src);

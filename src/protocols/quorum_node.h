@@ -78,6 +78,9 @@ class QuorumNode : public core::NodeBase {
     Weight votes_needed = 0;
     Weight votes_have = 0;
     std::set<ProcessorId> outstanding;
+    /// Channel ids of the in-flight requests, for cancelling the leftovers
+    /// when the quorum completes without every reply (vote overshoot).
+    std::map<ProcessorId, uint64_t> rel_ids;
     Value best_value;
     VpId best_date;
     bool have_value = false;
@@ -93,6 +96,7 @@ class QuorumNode : public core::NodeBase {
     Weight votes_needed = 0;
     Weight votes_have = 0;
     std::set<ProcessorId> outstanding;
+    std::map<ProcessorId, uint64_t> rel_ids;  // As in PendingRead.
     std::set<ProcessorId> pollers;  // Copies that answered the poll.
     VpId max_date;
     sim::EventId timeout_event = sim::kInvalidEvent;
@@ -101,6 +105,23 @@ class QuorumNode : public core::NodeBase {
   void FailRead(uint64_t op_id, Status why);
   void FailWrite(uint64_t op_id, Status why);
   void StartWritePhase2(uint64_t op_id);
+
+  /// Stops retransmission of every still-outstanding request of a
+  /// completed/failed operation. A leftover request served after the
+  /// transaction decides is a physical access outside its 2PL window.
+  template <typename Pending>
+  void CancelOutstanding(const Pending& p) {
+    for (ProcessorId q : p.outstanding) {
+      auto it = p.rel_ids.find(q);
+      if (it != p.rel_ids.end()) CancelPhys(it->second);
+    }
+  }
+
+  /// Reliable-channel delivery-deadline hook: synthesizes a failed reply
+  /// from `q` so the quorum-unreachable accounting runs and the caller
+  /// gets an explicit timeout instead of waiting out the op timer.
+  /// `write_phase` distinguishes a phase-2 write from a read/version poll.
+  void OnDeliveryTimeout(uint64_t op_id, ProcessorId q, bool write_phase);
 
   QuorumConfig config_;
   std::map<uint64_t, PendingRead> pending_reads_;
