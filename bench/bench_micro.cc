@@ -7,6 +7,7 @@
 #include "cc/lock_manager.h"
 #include "common/rng.h"
 #include "harness/cluster.h"
+#include "runtime/sim_runtime.h"
 #include "history/checker.h"
 #include "sim/scheduler.h"
 #include "storage/replica_store.h"
@@ -55,7 +56,8 @@ BENCHMARK(BM_ZipfNext)->Arg(100)->Arg(100000);
 
 void BM_LockAcquireRelease(benchmark::State& state) {
   sim::Scheduler s;
-  cc::LockManager lm(&s);
+  runtime::SimExecutor ex(&s);
+  cc::LockManager lm(&ex);
   uint64_t seq = 0;
   for (auto _ : state) {
     TxnId txn{0, ++seq};
@@ -125,8 +127,7 @@ void BM_EndToEndSimulatedSecond(benchmark::State& state) {
     for (ProcessorId p = 0; p < 5; ++p) nodes.push_back(&cluster.node(p));
     workload::ClientConfig cc;
     cc.think_time = sim::Millis(2);
-    auto clients = workload::MakeClients(nodes, &cluster.scheduler(),
-                                         &cluster.graph(), 16, cc);
+    auto clients = workload::MakeClients(nodes, cluster.runtime_view(), 16, cc);
     for (auto& c : clients) c->Start();
     cluster.RunFor(sim::Seconds(1));
     benchmark::DoNotOptimize(workload::Aggregate(clients).txns_committed);

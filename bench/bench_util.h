@@ -54,7 +54,7 @@ inline RunResult RunWorkload(harness::Cluster& cluster,
     for (ProcessorId p : opts.client_at) nodes.push_back(&cluster.node(p));
   }
   auto clients =
-      workload::MakeClients(nodes, &cluster.scheduler(), &cluster.graph(),
+      workload::MakeClients(nodes, cluster.runtime_view(),
                             cluster.placement().object_count(), opts.client);
 
   const auto proto_before = cluster.AggregateStats();

@@ -31,7 +31,7 @@ void LockManager::Grant(ObjectId obj, Lock& lock, TxnId txn, LockMode mode) {
 }
 
 void LockManager::Acquire(TxnId txn, ObjectId obj, LockMode mode,
-                          sim::Duration timeout, LockCallback cb) {
+                          runtime::Duration timeout, LockCallback cb) {
   Lock& lock = locks_[obj];
 
   // Already held at sufficient strength?
@@ -62,8 +62,8 @@ void LockManager::Acquire(TxnId txn, ObjectId obj, LockMode mode,
   req.mode = mode;
   req.cb = std::move(cb);
   const uint64_t req_id = req.id;
-  req.timeout_event =
-      scheduler_->ScheduleAfter(timeout, [this, obj, req_id]() {
+  req.timeout_task =
+      executor_->ScheduleAfter(timeout, [this, obj, req_id]() {
         auto lit = locks_.find(obj);
         if (lit == locks_.end()) return;
         auto& queue = lit->second.queue;
@@ -99,9 +99,9 @@ void LockManager::PumpQueue(ObjectId obj) {
 }
 
 void LockManager::CancelTimeout(Request& req) {
-  if (req.timeout_event != sim::kInvalidEvent) {
-    scheduler_->Cancel(req.timeout_event);
-    req.timeout_event = sim::kInvalidEvent;
+  if (req.timeout_task != runtime::kInvalidTask) {
+    executor_->Cancel(req.timeout_task);
+    req.timeout_task = runtime::kInvalidTask;
   }
 }
 

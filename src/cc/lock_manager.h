@@ -19,7 +19,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
-#include "sim/scheduler.h"
+#include "runtime/runtime.h"
 
 namespace vp::cc {
 
@@ -40,7 +40,7 @@ struct LockStats {
 /// Lock table for the copies stored at one processor.
 class LockManager {
  public:
-  explicit LockManager(sim::Scheduler* scheduler) : scheduler_(scheduler) {}
+  explicit LockManager(runtime::Executor* executor) : executor_(executor) {}
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
@@ -48,7 +48,8 @@ class LockManager {
   /// synchronously if the lock is immediately grantable or already held,
   /// otherwise later upon grant or timeout. A held shared lock upgrades to
   /// exclusive when `txn` is the sole holder; otherwise the upgrade queues.
-  void Acquire(TxnId txn, ObjectId obj, LockMode mode, sim::Duration timeout,
+  void Acquire(TxnId txn, ObjectId obj, LockMode mode,
+               runtime::Duration timeout,
                LockCallback cb);
 
   /// Releases every lock held by `txn` and cancels its queued requests
@@ -78,7 +79,7 @@ class LockManager {
     TxnId txn;
     LockMode mode;
     LockCallback cb;
-    sim::EventId timeout_event = sim::kInvalidEvent;
+    runtime::TaskId timeout_task = runtime::kInvalidTask;
   };
   struct Lock {
     // Invariant: holders is empty, one exclusive holder, or >=1 shared
@@ -96,7 +97,7 @@ class LockManager {
   void Grant(ObjectId obj, Lock& lock, TxnId txn, LockMode mode);
   void CancelTimeout(Request& req);
 
-  sim::Scheduler* scheduler_;
+  runtime::Executor* executor_;
   std::unordered_map<ObjectId, Lock> locks_;
   std::unordered_map<TxnId, std::set<ObjectId>, TxnIdHash> txn_objects_;
   LockStats stats_;

@@ -6,14 +6,15 @@
 
 namespace vp::core {
 
-NodeBase::NodeBase(ProcessorId id, NodeEnv env, sim::Duration lock_timeout,
-                   sim::Duration outcome_retry_period)
+NodeBase::NodeBase(ProcessorId id, NodeEnv env,
+                   runtime::Duration lock_timeout,
+                   runtime::Duration outcome_retry_period)
     : id_(id),
       env_(env),
       lock_timeout_(lock_timeout),
       outcome_retry_period_(outcome_retry_period) {
-  VP_CHECK(env_.scheduler && env_.network && env_.placement && env_.store &&
-           env_.locks && env_.recorder);
+  VP_CHECK(env_.clock && env_.executor && env_.transport &&
+           env_.placement && env_.store && env_.locks && env_.recorder);
   if (env_.stable != nullptr) {
     // Salt all local sequence counters with the incarnation so a rebooted
     // processor never reissues a transaction or op id from a previous life
@@ -29,12 +30,12 @@ NodeBase::NodeBase(ProcessorId id, NodeEnv env, sim::Duration lock_timeout,
                              ? static_cast<uint32_t>(env_.stable->incarnation())
                              : 0;
     rel_ = std::make_unique<net::ReliableChannel>(
-        env_.scheduler, env_.network, id_, inc, env_.reliable);
+        env_.clock, env_.executor, env_.transport, id_, inc, env_.reliable);
   }
 }
 
 void NodeBase::Start() {
-  env_.network->Register(id_, this);
+  env_.transport->Register(id_, this);
   if (env_.stable != nullptr && env_.stable->amnesia() &&
       env_.stable->incarnation() > 0) {
     ReplayWal();
@@ -51,9 +52,9 @@ void NodeBase::Retire() {
   // hooks are cleared (they capture this retired object).
   if (rel_ != nullptr) rel_->Orphan();
   for (auto& [txn, rec] : txns_) {
-    if (rec.retry_event != sim::kInvalidEvent) {
-      env_.scheduler->Cancel(rec.retry_event);
-      rec.retry_event = sim::kInvalidEvent;
+    if (rec.retry_event != runtime::kInvalidTask) {
+      env_.executor->Cancel(rec.retry_event);
+      rec.retry_event = runtime::kInvalidTask;
     }
   }
   // Volatile lock state dies with the crash; cancel queued waiters'
@@ -124,7 +125,7 @@ void NodeBase::Begin(TxnId txn) {
   VP_CHECK_MSG(txns_.count(txn) == 0, "duplicate transaction id");
   txns_[txn] = TxnRec{};
   decisions_.MarkActive(txn);
-  env_.recorder->TxnBegin(txn, id_, env_.scheduler->Now());
+  env_.recorder->TxnBegin(txn, id_, env_.clock->Now());
   ++stats_.txns_begun;
 }
 
@@ -172,10 +173,10 @@ void NodeBase::Decide(TxnId txn, TxnRec* rec, bool committed) {
         storage::WalRecord{storage::WalRecord::Type::kDecision, txn});
   }
   if (committed) {
-    env_.recorder->TxnCommit(txn, env_.scheduler->Now());
+    env_.recorder->TxnCommit(txn, env_.clock->Now());
     ++stats_.txns_committed;
   } else {
-    env_.recorder->TxnAbort(txn, env_.scheduler->Now());
+    env_.recorder->TxnAbort(txn, env_.clock->Now());
     ++stats_.txns_aborted;
   }
   rec->outcome_unacked = rec->participants;
@@ -195,15 +196,15 @@ void NodeBase::BroadcastOutcome(TxnId txn) {
 void NodeBase::ScheduleOutcomeRetry(TxnId txn) {
   TxnRec* rec = FindTxn(txn);
   if (rec == nullptr) return;
-  if (rec->retry_event != sim::kInvalidEvent) {
-    env_.scheduler->Cancel(rec->retry_event);
+  if (rec->retry_event != runtime::kInvalidTask) {
+    env_.executor->Cancel(rec->retry_event);
   }
   rec->retry_event =
-      env_.scheduler->ScheduleAfter(outcome_retry_period_, [this, txn]() {
+      env_.executor->ScheduleAfter(outcome_retry_period_, [this, txn]() {
         if (retired_) return;
         TxnRec* r = FindTxn(txn);
         if (r == nullptr) return;
-        r->retry_event = sim::kInvalidEvent;
+        r->retry_event = runtime::kInvalidTask;
         if (Crashed()) {
           // Keep the retry loop alive; it resumes doing useful work when
           // the processor recovers (state is durable).
@@ -292,9 +293,9 @@ void NodeBase::HandlePhysRead(const net::Message& m) {
         } else {
           RemoteTxn& rt = remote_txns_[txn];
           rt.coordinator = txn.coordinator;
-          rt.last_activity = env_.scheduler->Now();
+          rt.last_activity = env_.clock->Now();
           env_.recorder->PhysicalOp(id_, txn, obj, /*is_write=*/false,
-                                    env_.scheduler->Now());
+                                    env_.clock->Now());
         }
         SendPhys(reply_to, msg::kPhysReadReply,
              msg::PhysReadReply{op_id, true, "", version.value().value,
@@ -353,9 +354,9 @@ void NodeBase::HandlePhysWrite(const net::Message& m) {
         RemoteTxn& rt = remote_txns_[txn];
         rt.coordinator = txn.coordinator;
         rt.staged.insert(obj);
-        rt.last_activity = env_.scheduler->Now();
+        rt.last_activity = env_.clock->Now();
         env_.recorder->PhysicalOp(id_, txn, obj, /*is_write=*/true,
-                                  env_.scheduler->Now());
+                                  env_.clock->Now());
         SendPhys(reply_to, msg::kPhysWriteReply,
              msg::PhysWriteReply{op_id, true, ""});
       });
@@ -427,9 +428,9 @@ void NodeBase::HandleTxnOutcomeAck(const net::Message& m) {
   if (rec == nullptr) return;
   rec->outcome_unacked.erase(body.from);
   if (rec->outcome_unacked.empty() &&
-      rec->retry_event != sim::kInvalidEvent) {
-    env_.scheduler->Cancel(rec->retry_event);
-    rec->retry_event = sim::kInvalidEvent;
+      rec->retry_event != runtime::kInvalidTask) {
+    env_.executor->Cancel(rec->retry_event);
+    rec->retry_event = runtime::kInvalidTask;
   }
 }
 
@@ -444,7 +445,7 @@ void NodeBase::HandleTxnStatusReply(const net::Message& m) {
   switch (body.outcome) {
     case cc::TxnOutcome::kActive:
       if (auto it = remote_txns_.find(body.txn); it != remote_txns_.end()) {
-        it->second.last_activity = env_.scheduler->Now();
+        it->second.last_activity = env_.clock->Now();
       }
       break;
     case cc::TxnOutcome::kCommitted:
@@ -457,8 +458,8 @@ void NodeBase::HandleTxnStatusReply(const net::Message& m) {
 }
 
 void NodeBase::InDoubtSweep() {
-  const sim::SimTime now = env_.scheduler->Now();
-  const sim::Duration patience = 4 * outcome_retry_period_;
+  const runtime::TimePoint now = env_.clock->Now();
+  const runtime::Duration patience = 4 * outcome_retry_period_;
   std::vector<std::pair<TxnId, bool>> local_resolved;
   for (const auto& [txn, rt] : remote_txns_) {
     if (now - rt.last_activity < patience) continue;
@@ -482,7 +483,7 @@ void NodeBase::InDoubtSweep() {
 }
 
 void NodeBase::ScheduleInDoubtSweep() {
-  env_.scheduler->ScheduleAfter(2 * outcome_retry_period_, [this]() {
+  env_.executor->ScheduleAfter(2 * outcome_retry_period_, [this]() {
     if (retired_) return;
     if (!Crashed()) InDoubtSweep();
     ScheduleInDoubtSweep();

@@ -30,18 +30,22 @@
 #include "history/recorder.h"
 #include "net/network.h"
 #include "net/reliable_channel.h"
-#include "sim/scheduler.h"
-#include "sim/timer.h"
+#include "runtime/runtime.h"
 #include "storage/placement.h"
 #include "storage/replica_store.h"
 #include "storage/stable_store.h"
 
 namespace vp::core {
 
-/// Everything a node needs from its environment.
+class TestEnv;  // core/test_env.h
+
+/// Everything a node needs from its environment. The execution substrate
+/// enters only through the three runtime interfaces, so the same node code
+/// runs on the deterministic simulator and on real threads.
 struct NodeEnv {
-  sim::Scheduler* scheduler = nullptr;
-  net::Network* network = nullptr;
+  runtime::Clock* clock = nullptr;
+  runtime::Executor* executor = nullptr;
+  runtime::Transport* transport = nullptr;
   const storage::CopyPlacement* placement = nullptr;
   storage::ReplicaStore* store = nullptr;
   cc::LockManager* locks = nullptr;
@@ -54,13 +58,17 @@ struct NodeEnv {
   /// (sends go straight to the lossy network, the pre-reliability
   /// behavior); the harness enables it per run.
   net::ReliableConfig reliable;
+
+  /// Builder for unit tests: wires every field except `stable` from a
+  /// TestEnv (defined in core/test_env.h, where this is implemented).
+  static NodeEnv ForTest(TestEnv& env, ProcessorId p = 0);
 };
 
 /// Base class of all protocol nodes. See file comment.
 class NodeBase : public net::NodeInterface, public ReplicaControl {
  public:
-  NodeBase(ProcessorId id, NodeEnv env, sim::Duration lock_timeout,
-           sim::Duration outcome_retry_period);
+  NodeBase(ProcessorId id, NodeEnv env, runtime::Duration lock_timeout,
+           runtime::Duration outcome_retry_period);
   ~NodeBase() override = default;
 
   // --- ReplicaControl (common parts) ---
@@ -112,14 +120,14 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
     std::set<ProcessorId> participants;
     /// Participants that have not yet acknowledged the outcome.
     std::set<ProcessorId> outcome_unacked;
-    sim::EventId retry_event = sim::kInvalidEvent;
+    runtime::TaskId retry_event = runtime::kInvalidTask;
   };
 
   /// Participant-side record of a transaction that touched local copies.
   struct RemoteTxn {
     ProcessorId coordinator = kInvalidProcessor;
     std::set<ObjectId> staged;  // Local copies with pending writes.
-    sim::SimTime last_activity = 0;
+    runtime::TimePoint last_activity = 0;
   };
 
   // --- hooks for derived protocols ---
@@ -160,7 +168,7 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
 
   /// True if this processor is currently crashed (then handlers and timers
   /// do nothing; the network already drops inbound messages).
-  bool Crashed() const { return !env_.network->graph()->Alive(id_); }
+  bool Crashed() const { return !env_.transport->Alive(id_); }
 
   /// Replays the stable WAL after an amnesia reboot: re-stages in-doubt
   /// prepares (re-acquiring their exclusive locks), restores learned
@@ -169,7 +177,7 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
   void ReplayWal();
 
   void Send(ProcessorId dst, const char* type, std::any body) {
-    env_.network->Send(id_, dst, type, std::move(body));
+    env_.transport->Send(id_, dst, type, std::move(body));
   }
 
   /// Sends a physical-operation message (request, reply, 2PC outcome)
@@ -184,7 +192,7 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
   uint64_t SendPhys(ProcessorId dst, const char* type, std::any body,
                     net::ReliableChannel::TimeoutFn on_timeout = nullptr) {
     if (rel_ == nullptr || dst == id_) {
-      env_.network->Send(id_, dst, type, std::move(body));
+      env_.transport->Send(id_, dst, type, std::move(body));
       return 0;
     }
     return rel_->Send(dst, type, std::move(body), std::move(on_timeout));
@@ -207,8 +215,8 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
 
   const ProcessorId id_;
   const NodeEnv env_;
-  const sim::Duration lock_timeout_;
-  const sim::Duration outcome_retry_period_;
+  const runtime::Duration lock_timeout_;
+  const runtime::Duration outcome_retry_period_;
 
   /// Reliable-delivery endpoint; null when env_.reliable.enabled is false.
   std::unique_ptr<net::ReliableChannel> rel_;

@@ -13,7 +13,7 @@ VpNode::VpNode(ProcessorId id, NodeEnv env, VpConfig config)
       cur_id_{0, id},
       max_id_{0, id},
       lview_{id},
-      monitor_timer_(env.scheduler) {}
+      monitor_timer_(env.executor) {}
 
 void VpNode::PersistViewMeta() {
   if (env_.stable != nullptr) env_.stable->PersistViewMeta(max_id_, cur_id_);
@@ -42,11 +42,11 @@ void VpNode::Start() {
   // The initial assignment is the singleton partition (0, myid), per
   // Fig. 3's initializers; probing merges the system into larger
   // partitions within Δ.
-  env_.recorder->JoinVp(id_, cur_id_, lview_, env_.scheduler->Now());
+  env_.recorder->JoinVp(id_, cur_id_, lview_, env_.clock->Now());
   // Stagger first probes so n probe storms do not collide at t=π.
-  const sim::Duration stagger =
-      config_.probe_period * (id_ + 1) / (env_.network->graph()->size() + 1);
-  env_.scheduler->ScheduleAfter(stagger, [this]() { ProbeTick(); });
+  const runtime::Duration stagger =
+      config_.probe_period * (id_ + 1) / (env_.transport->size() + 1);
+  env_.executor->ScheduleAfter(stagger, [this]() { ProbeTick(); });
 }
 
 // ---------------------------------------------------------------------------
@@ -73,17 +73,17 @@ void VpNode::Retire() {
   auto reads = std::move(pending_reads_);
   pending_reads_.clear();
   for (auto& [op_id, pr] : reads) {
-    env_.scheduler->Cancel(pr.timeout_event);
+    env_.executor->Cancel(pr.timeout_event);
     pr.cb(Status::Aborted("processor crashed"));
   }
   auto writes = std::move(pending_writes_);
   pending_writes_.clear();
   for (auto& [op_id, pw] : writes) {
-    env_.scheduler->Cancel(pw.timeout_event);
+    env_.executor->Cancel(pw.timeout_event);
     pw.cb(Status::Aborted("processor crashed"));
   }
   for (auto& [op_id, rec] : pending_recoveries_) {
-    env_.scheduler->Cancel(rec.timeout_event);
+    env_.executor->Cancel(rec.timeout_event);
   }
   pending_recoveries_.clear();
   recovery_by_object_.clear();
@@ -97,7 +97,7 @@ void VpNode::Depart() {
   if (!assigned_) return;
   assigned_ = false;
   ++join_generation_;
-  env_.recorder->DepartVp(id_, env_.scheduler->Now());
+  env_.recorder->DepartVp(id_, env_.clock->Now());
 }
 
 void VpNode::StartCreateVp(VpId new_id) {
@@ -107,13 +107,13 @@ void VpNode::StartCreateVp(VpId new_id) {
   create_id_ = new_id;
   accepting_ = {id_};
   accept_previous_ = {{id_, cur_id_}};
-  const uint32_t n = env_.network->graph()->size();
+  const uint32_t n = env_.transport->size();
   for (ProcessorId p = 0; p < n; ++p) {
     if (p == id_) continue;
     Send(p, msg::kNewVp, msg::NewVp{new_id});
   }
   const uint64_t gen = create_generation_;
-  env_.scheduler->ScheduleAfter(2 * config_.delta,
+  env_.executor->ScheduleAfter(2 * config_.delta,
                                 [this, gen]() { FinishCreateVp(gen); });
 }
 
@@ -138,7 +138,7 @@ void VpNode::FinishCreateVp(uint64_t generation) {
     std::map<ProcessorId, VpId> previous = accept_previous_;
     // Phase 2: distribute the view. The paper broadcasts to all of P;
     // commit_to_acceptors_only narrows this to the acceptors.
-    const uint32_t n = env_.network->graph()->size();
+    const uint32_t n = env_.transport->size();
     for (ProcessorId p = 0; p < n; ++p) {
       if (p == id_) continue;
       if (config_.commit_to_acceptors_only && view.count(p) == 0) continue;
@@ -218,8 +218,8 @@ void VpNode::CommitToVp(VpId v, std::set<ProcessorId> view,
   assigned_ = true;
   PersistViewMeta();
   ++stats_.vp_joins;
-  env_.recorder->JoinVp(id_, v, lview_, env_.scheduler->Now());
-  VP_LOG(kInfo, env_.scheduler->Now())
+  env_.recorder->JoinVp(id_, v, lview_, env_.clock->Now());
+  VP_LOG(kInfo, env_.clock->Now())
       << "p" << id_ << " joined vp " << v.ToString() << " (|view|="
       << lview_.size() << ")";
 
@@ -268,19 +268,19 @@ void VpNode::CommitToVp(VpId v, std::set<ProcessorId> view,
 void VpNode::ProbeTick() {
   if (retired_) return;
   // The loop persists across crashes; a crashed processor skips the round.
-  env_.scheduler->ScheduleAfter(config_.probe_period,
+  env_.executor->ScheduleAfter(config_.probe_period,
                                 [this]() { ProbeTick(); });
   if (Crashed() || !assigned_) return;
   ++probe_seq_;
   probe_round_open_ = true;
   probe_attempt_ = 0;
   probe_acks_ = {id_};
-  const uint32_t n = env_.network->graph()->size();
+  const uint32_t n = env_.transport->size();
   for (ProcessorId p = 0; p < n; ++p) {
     if (p == id_) continue;
     Send(p, msg::kProbe, msg::Probe{id_, cur_id_, probe_seq_});
   }
-  env_.scheduler->ScheduleAfter(
+  env_.executor->ScheduleAfter(
       2 * config_.delta, [this, seq = probe_seq_]() {
         if (seq == probe_seq_) FinishProbeRound();
       });
@@ -306,7 +306,7 @@ void VpNode::FinishProbeRound() {
         Send(p, msg::kProbe, msg::Probe{id_, cur_id_, probe_seq_});
       }
     }
-    env_.scheduler->ScheduleAfter(
+    env_.executor->ScheduleAfter(
         2 * config_.delta, [this, seq = probe_seq_]() {
           if (seq == probe_seq_) FinishProbeRound();
         });
@@ -400,7 +400,7 @@ void VpNode::RecoverObjectFullRead(ObjectId obj) {
   VP_CHECK(!rec.awaiting.empty());
   recovery_by_object_[obj] = op_id;
   const std::set<ProcessorId> targets = rec.awaiting;
-  rec.timeout_event = env_.scheduler->ScheduleAfter(
+  rec.timeout_event = env_.executor->ScheduleAfter(
       2 * config_.delta + config_.lock_timeout,
       [this, obj, gen = rec.join_gen]() { RecoveryFailed(obj, gen); });
   pending_recoveries_[op_id] = std::move(rec);
@@ -451,7 +451,7 @@ void VpNode::RecoverObjectLogCatchup(ObjectId obj) {
   }
   recovery_by_object_[obj] = op_id;
   const std::set<ProcessorId> targets = rec.awaiting;
-  rec.timeout_event = env_.scheduler->ScheduleAfter(
+  rec.timeout_event = env_.executor->ScheduleAfter(
       2 * config_.delta + config_.lock_timeout,
       [this, obj, gen = rec.join_gen]() { RecoveryFailed(obj, gen); });
   pending_recoveries_[op_id] = std::move(rec);
@@ -482,7 +482,7 @@ void VpNode::RecoverObjectDatePoll(ObjectId obj) {
   }
   recovery_by_object_[obj] = op_id;
   const std::set<ProcessorId> targets = rec.awaiting;
-  rec.timeout_event = env_.scheduler->ScheduleAfter(
+  rec.timeout_event = env_.executor->ScheduleAfter(
       2 * config_.delta + config_.lock_timeout,
       [this, obj, gen = rec.join_gen]() { RecoveryFailed(obj, gen); });
   pending_recoveries_[op_id] = std::move(rec);
@@ -532,7 +532,7 @@ void VpNode::HandleDateReply(const net::Message& m) {
   if (it == pending_recoveries_.end()) return;
   PendingRecovery& rec = it->second;
   if (rec.join_gen != join_generation_) {
-    env_.scheduler->Cancel(rec.timeout_event);
+    env_.executor->Cancel(rec.timeout_event);
     recovery_by_object_.erase(rec.obj);
     pending_recoveries_.erase(it);
     return;
@@ -551,7 +551,7 @@ void VpNode::HandleDateReply(const net::Message& m) {
   if (rec.best_holder == id_) {
     // The local copy is already the freshest: no value fetch at all.
     const ObjectId obj = rec.obj;
-    env_.scheduler->Cancel(rec.timeout_event);
+    env_.executor->Cancel(rec.timeout_event);
     pending_recoveries_.erase(it);
     recovery_by_object_.erase(obj);
     Unlock(obj);
@@ -561,8 +561,8 @@ void VpNode::HandleDateReply(const net::Message& m) {
   rec.fetching_value = true;
   rec.awaiting = {rec.best_holder};
   rec.have_value = false;
-  env_.scheduler->Cancel(rec.timeout_event);
-  rec.timeout_event = env_.scheduler->ScheduleAfter(
+  env_.executor->Cancel(rec.timeout_event);
+  rec.timeout_event = env_.executor->ScheduleAfter(
       2 * config_.delta + config_.lock_timeout,
       [this, obj = rec.obj, gen = rec.join_gen]() {
         RecoveryFailed(obj, gen);
@@ -582,7 +582,7 @@ void VpNode::HandleRecoveryReadReply(uint64_t op_id, bool ok,
   PendingRecovery& rec = it->second;
   if (rec.join_gen != join_generation_) {
     // Joined another partition meanwhile; this task is dead.
-    env_.scheduler->Cancel(rec.timeout_event);
+    env_.executor->Cancel(rec.timeout_event);
     recovery_by_object_.erase(rec.obj);
     pending_recoveries_.erase(it);
     return;
@@ -608,7 +608,7 @@ void VpNode::HandleLogReply(const net::Message& m) {
   if (it == pending_recoveries_.end()) return;
   PendingRecovery& rec = it->second;
   if (rec.join_gen != join_generation_) {
-    env_.scheduler->Cancel(rec.timeout_event);
+    env_.executor->Cancel(rec.timeout_event);
     recovery_by_object_.erase(rec.obj);
     pending_recoveries_.erase(it);
     return;
@@ -632,7 +632,7 @@ void VpNode::FinishRecovery(ObjectId obj, uint64_t join_gen) {
   auto it = pending_recoveries_.find(op_id);
   if (it == pending_recoveries_.end()) return;
   PendingRecovery rec = std::move(it->second);
-  env_.scheduler->Cancel(rec.timeout_event);
+  env_.executor->Cancel(rec.timeout_event);
   pending_recoveries_.erase(it);
   recovery_by_object_.erase(oit);
   // Fig. 9 lines 15-17: install only if still in the same partition.
@@ -670,7 +670,7 @@ void VpNode::RecoveryFailed(ObjectId obj, uint64_t join_gen) {
   if (oit != recovery_by_object_.end()) {
     auto it = pending_recoveries_.find(oit->second);
     if (it != pending_recoveries_.end()) {
-      env_.scheduler->Cancel(it->second.timeout_event);
+      env_.executor->Cancel(it->second.timeout_event);
       pending_recoveries_.erase(it);
     }
     recovery_by_object_.erase(oit);
@@ -737,7 +737,7 @@ ProcessorId VpNode::Nearest(ObjectId obj) const {
   double best_cost = 0;
   for (ProcessorId q : env_.placement->CopyHolders(obj)) {
     if (lview_.count(q) == 0) continue;
-    const double cost = q == id_ ? 0.0 : env_.network->graph()->Cost(id_, q);
+    const double cost = q == id_ ? 0.0 : env_.transport->Cost(id_, q);
     if (best == kInvalidProcessor || cost < best_cost) {
       best = q;
       best_cost = cost;
@@ -769,13 +769,13 @@ void VpNode::LogicalRead(TxnId txn, ObjectId obj, ReadCallback cb) {
     std::vector<std::pair<double, ProcessorId>> rest;
     for (ProcessorId q : env_.placement->CopyHolders(obj)) {
       if (q == pr.target || lview_.count(q) == 0) continue;
-      rest.emplace_back(q == id_ ? 0.0 : env_.network->graph()->Cost(id_, q),
+      rest.emplace_back(q == id_ ? 0.0 : env_.transport->Cost(id_, q),
                         q);
     }
     std::sort(rest.begin(), rest.end());
     for (auto& [cost, q] : rest) pr.fallbacks.push_back(q);
   }
-  pr.timeout_event = env_.scheduler->ScheduleAfter(
+  pr.timeout_event = env_.executor->ScheduleAfter(
       2 * config_.delta + config_.lock_timeout, [this, op_id]() {
         auto it = pending_reads_.find(op_id);
         if (it == pending_reads_.end()) return;
@@ -820,7 +820,7 @@ void VpNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
     if (lview_.count(q) > 0) pw.awaiting.insert(q);
   }
   VP_CHECK(!pw.awaiting.empty());
-  pw.timeout_event = env_.scheduler->ScheduleAfter(
+  pw.timeout_event = env_.executor->ScheduleAfter(
       2 * config_.delta + config_.lock_timeout, [this, op_id]() {
         auto it = pending_writes_.find(op_id);
         if (it == pending_writes_.end()) return;
@@ -965,7 +965,7 @@ bool VpNode::HandleProtocolMessage(const net::Message& m) {
     if (it != pending_reads_.end()) {
       PendingRead pr = std::move(it->second);
       pending_reads_.erase(it);
-      env_.scheduler->Cancel(pr.timeout_event);
+      env_.executor->Cancel(pr.timeout_event);
       TxnRec* rec = FindTxn(pr.txn);
       if (rec == nullptr || rec->st != cc::TxnOutcome::kActive) {
         // Transaction is gone (aborted); nothing to deliver.
@@ -976,7 +976,7 @@ bool VpNode::HandleProtocolMessage(const net::Message& m) {
         ++stats_.reads_ok;
         rec->participants.insert(m.src);
         env_.recorder->TxnRead(pr.txn, pr.obj, body.value, body.date,
-                               env_.scheduler->Now());
+                               env_.clock->Now());
         pr.cb(ReadResult{body.value, body.date, m.src});
       } else if (config_.read_retry && !pr.fallbacks.empty() &&
                  body.error != "wrong-vp") {
@@ -984,7 +984,7 @@ bool VpNode::HandleProtocolMessage(const net::Message& m) {
         const uint64_t op_id = next_op_id_++;
         pr.target = pr.fallbacks.front();
         pr.fallbacks.erase(pr.fallbacks.begin());
-        pr.timeout_event = env_.scheduler->ScheduleAfter(
+        pr.timeout_event = env_.executor->ScheduleAfter(
             2 * config_.delta + config_.lock_timeout, [this, op_id]() {
               auto it2 = pending_reads_.find(op_id);
               if (it2 == pending_reads_.end()) return;
@@ -1018,7 +1018,7 @@ bool VpNode::HandleProtocolMessage(const net::Message& m) {
     PendingWrite& pw = it->second;
     TxnRec* rec = FindTxn(pw.txn);
     if (rec == nullptr || rec->st != cc::TxnOutcome::kActive) {
-      env_.scheduler->Cancel(pw.timeout_event);
+      env_.executor->Cancel(pw.timeout_event);
       PendingWrite done = std::move(it->second);
       pending_writes_.erase(it);
       done.cb(Status::Aborted("transaction aborted"));
@@ -1026,7 +1026,7 @@ bool VpNode::HandleProtocolMessage(const net::Message& m) {
     }
     rec->participants.insert(m.src);
     if (!body.ok) {
-      env_.scheduler->Cancel(pw.timeout_event);
+      env_.executor->Cancel(pw.timeout_event);
       PendingWrite done = std::move(it->second);
       pending_writes_.erase(it);
       ++stats_.writes_failed;
@@ -1037,12 +1037,12 @@ bool VpNode::HandleProtocolMessage(const net::Message& m) {
     }
     pw.awaiting.erase(m.src);
     if (pw.awaiting.empty()) {
-      env_.scheduler->Cancel(pw.timeout_event);
+      env_.executor->Cancel(pw.timeout_event);
       PendingWrite done = std::move(it->second);
       pending_writes_.erase(it);
       ++stats_.writes_ok;
       env_.recorder->TxnWrite(done.txn, done.obj, done.value,
-                              env_.scheduler->Now());
+                              env_.clock->Now());
       done.cb(Status::Ok());
     }
   } else if (m.type == msg::kLogReply) {

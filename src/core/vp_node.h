@@ -31,6 +31,7 @@
 
 #include "core/node_base.h"
 #include "core/vp_config.h"
+#include "runtime/timer.h"
 
 namespace vp::core {
 
@@ -148,7 +149,7 @@ class VpNode : public NodeBase {
   std::set<ProcessorId> accepting_;
   std::map<ProcessorId, VpId> accept_previous_;
 
-  sim::Timer monitor_timer_;  // Fig. 6's T (3δ).
+  runtime::Timer monitor_timer_;  // Fig. 6's T (3δ).
 
   // Probe round state.
   uint64_t probe_seq_ = 0;
@@ -163,7 +164,7 @@ class VpNode : public NodeBase {
     ReadCallback cb;
     ProcessorId target = kInvalidProcessor;
     std::vector<ProcessorId> fallbacks;  // For config_.read_retry.
-    sim::EventId timeout_event = sim::kInvalidEvent;
+    runtime::TaskId timeout_event = runtime::kInvalidTask;
   };
   struct PendingWrite {
     TxnId txn;
@@ -171,7 +172,7 @@ class VpNode : public NodeBase {
     WriteCallback cb;
     Value value;
     std::set<ProcessorId> awaiting;
-    sim::EventId timeout_event = sim::kInvalidEvent;
+    runtime::TaskId timeout_event = runtime::kInvalidTask;
     bool failed = false;
   };
   std::map<uint64_t, PendingRead> pending_reads_;
@@ -195,7 +196,7 @@ class VpNode : public NodeBase {
     bool date_mode = false;
     bool fetching_value = false;
     ProcessorId best_holder = kInvalidProcessor;
-    sim::EventId timeout_event = sim::kInvalidEvent;
+    runtime::TaskId timeout_event = runtime::kInvalidTask;
   };
   std::map<uint64_t, PendingRecovery> pending_recoveries_;
   std::map<ObjectId, uint64_t> recovery_by_object_;

@@ -39,6 +39,7 @@ Cluster::Cluster(ClusterConfig config)
       graph_(config_.n_processors),
       network_(&scheduler_, &graph_, config_.net, config_.seed ^ 0x9e37),
       injector_(&scheduler_, &graph_, config_.seed ^ 0x79b9),
+      runtime_(&scheduler_, &network_),
       placement_(config_.has_custom_placement
                      ? config_.placement
                      : storage::CopyPlacement::FullReplication(
@@ -51,7 +52,8 @@ Cluster::Cluster(ClusterConfig config)
   reboot_pending_.assign(n, false);
   for (ProcessorId p = 0; p < n; ++p) {
     stores_.push_back(std::make_unique<storage::ReplicaStore>());
-    locks_.push_back(std::make_unique<cc::LockManager>(&scheduler_));
+    locks_.push_back(
+        std::make_unique<cc::LockManager>(runtime_.executor()));
     stables_.push_back(
         std::make_unique<storage::StableStore>(config_.durability));
     for (ObjectId obj : placement_.LocalObjects(p)) {
@@ -83,8 +85,9 @@ Cluster::Cluster(ClusterConfig config)
 
 std::unique_ptr<core::NodeBase> Cluster::MakeNode(ProcessorId p) {
   core::NodeEnv env;
-  env.scheduler = &scheduler_;
-  env.network = &network_;
+  env.clock = runtime_.clock();
+  env.executor = runtime_.executor();
+  env.transport = runtime_.transport();
   env.placement = &placement_;
   env.store = stores_[p].get();
   env.locks = locks_[p].get();
@@ -123,7 +126,7 @@ void Cluster::Reboot(ProcessorId p) {
   retired_locks_.push_back(std::move(locks_[p]));
   retired_stores_.push_back(std::move(stores_[p]));
   stores_[p] = std::make_unique<storage::ReplicaStore>();
-  locks_[p] = std::make_unique<cc::LockManager>(&scheduler_);
+  locks_[p] = std::make_unique<cc::LockManager>(runtime_.executor());
   for (ObjectId obj : placement_.LocalObjects(p)) {
     auto it = config_.initial_values.find(obj);
     const Value& init = it != config_.initial_values.end()

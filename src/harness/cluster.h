@@ -22,6 +22,7 @@
 #include "net/topology.h"
 #include "protocols/naive_view_node.h"
 #include "protocols/quorum_node.h"
+#include "runtime/sim_runtime.h"
 #include "sim/scheduler.h"
 #include "storage/placement.h"
 #include "storage/replica_store.h"
@@ -87,6 +88,9 @@ class Cluster {
   net::CommGraph& graph() { return graph_; }
   net::Network& network() { return network_; }
   net::FailureInjector& injector() { return injector_; }
+  runtime::SimRuntime& runtime() { return runtime_; }
+  /// The simulation-backed runtime view nodes and clients program against.
+  runtime::RuntimeView runtime_view() { return runtime_.view(); }
   history::Recorder& recorder() { return recorder_; }
   const storage::CopyPlacement& placement() const { return placement_; }
   storage::ReplicaStore& store(ProcessorId p) { return *stores_[p]; }
@@ -149,6 +153,7 @@ class Cluster {
   net::CommGraph graph_;
   net::Network network_;
   net::FailureInjector injector_;
+  runtime::SimRuntime runtime_;
   storage::CopyPlacement placement_;
   history::Recorder recorder_;
   std::vector<std::unique_ptr<storage::ReplicaStore>> stores_;

@@ -1,0 +1,112 @@
+// The threaded sibling of Cluster: the same protocol nodes, storage stack
+// and recorder, wired to runtime::ThreadRuntime instead of the simulator.
+//
+// There is no failure injector, no stable storage and no determinism here —
+// the simulator owns fault exploration. ThreadCluster's job is the
+// complementary evidence the simulator cannot give: the protocol state
+// machines running under genuine hardware concurrency (many client threads,
+// strand-parallel nodes, TSan-clean) and real-time throughput/latency
+// numbers for bench_throughput.
+#ifndef VPART_HARNESS_THREAD_CLUSTER_H_
+#define VPART_HARNESS_THREAD_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "cc/lock_manager.h"
+#include "core/node_base.h"
+#include "core/vp_config.h"
+#include "harness/cluster.h"
+#include "history/checker.h"
+#include "history/recorder.h"
+#include "protocols/quorum_node.h"
+#include "runtime/thread_runtime.h"
+#include "storage/placement.h"
+#include "storage/replica_store.h"
+
+namespace vp::harness {
+
+struct ThreadClusterConfig {
+  uint32_t n_processors = 3;
+  /// Fully replicated objects (custom placements are a sim-harness feature).
+  ObjectId n_objects = 4;
+  Value initial_value = "0";
+  Protocol protocol = Protocol::kVirtualPartition;
+  core::VpConfig vp;
+  protocols::QuorumConfig quorum;
+  /// Reliable-delivery layer. Defaults off: the in-process transport never
+  /// drops messages between live processors.
+  net::ReliableConfig reliable;
+  runtime::ThreadRuntime::Config runtime;
+};
+
+class ThreadCluster {
+ public:
+  explicit ThreadCluster(ThreadClusterConfig config);
+  ThreadCluster(const ThreadCluster&) = delete;
+  ThreadCluster& operator=(const ThreadCluster&) = delete;
+  /// Stops the runtime before tearing down nodes, so no task can touch a
+  /// dead node.
+  ~ThreadCluster();
+
+  uint32_t size() const { return config_.n_processors; }
+  runtime::ThreadRuntime& runtime() { return runtime_; }
+  core::NodeBase& node(ProcessorId p) { return *nodes_[p]; }
+  history::Recorder& recorder() { return recorder_; }
+  /// Inspect only while quiesced (before clients start or after Stop).
+  storage::ReplicaStore& store(ProcessorId p) { return *stores_[p]; }
+  const ThreadClusterConfig& config() const { return config_; }
+
+  // --- Blocking client API ---
+  // Callable from any thread that is not a runtime worker (each call parks
+  // the caller until protocol callbacks fire on the node's strand).
+
+  struct Op {
+    enum class Kind { kRead, kWrite, kIncrement } kind = Kind::kRead;
+    ObjectId obj = kInvalidObject;
+    Value value;  // For writes.
+  };
+  static Op Read(ObjectId obj) { return Op{Op::Kind::kRead, obj, ""}; }
+  static Op Write(ObjectId obj, Value v) {
+    return Op{Op::Kind::kWrite, obj, std::move(v)};
+  }
+  /// Read obj, then write read-value + 1 (counter increment).
+  static Op Increment(ObjectId obj) {
+    return Op{Op::Kind::kIncrement, obj, ""};
+  }
+
+  struct TxnResult {
+    bool committed = false;
+    Status failure;            // First failing status, if any.
+    std::vector<Value> reads;  // Values returned by kRead/kIncrement ops.
+    /// Wall-clock begin-to-decision time (runtime clock microseconds).
+    runtime::Duration latency = 0;
+  };
+
+  /// Runs one transaction, coordinated at `at`, to its decision. On an
+  /// operation failure the transaction is aborted and the failure reported.
+  TxnResult RunTxn(ProcessorId at, const std::vector<Op>& ops);
+
+  /// Stops the runtime (idempotent): timers are dropped, workers join.
+  /// Call before Certify or any other whole-history inspection.
+  void Stop() { runtime_.Stop(); }
+
+  /// Theorem 1′ certification of everything committed so far. Quiesce
+  /// (Stop) first — the checker walks the recorder without snapshotting.
+  history::CertifyResult Certify() const;
+
+ private:
+  std::unique_ptr<core::NodeBase> MakeNode(ProcessorId p);
+
+  const ThreadClusterConfig config_;
+  runtime::ThreadRuntime runtime_;
+  storage::CopyPlacement placement_;
+  std::vector<std::unique_ptr<storage::ReplicaStore>> stores_;
+  std::vector<std::unique_ptr<cc::LockManager>> locks_;
+  history::Recorder recorder_;
+  std::vector<std::unique_ptr<core::NodeBase>> nodes_;
+};
+
+}  // namespace vp::harness
+
+#endif  // VPART_HARNESS_THREAD_CLUSTER_H_

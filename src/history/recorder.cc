@@ -17,6 +17,7 @@ void Recorder::AddViolation(const std::string& rule, const std::string& detail,
 }
 
 void Recorder::TxnBegin(TxnId txn, ProcessorId coordinator, sim::SimTime at) {
+  std::lock_guard<std::mutex> lk(mu_);
   TxnHistory h;
   h.id = txn;
   h.coordinator = coordinator;
@@ -26,6 +27,7 @@ void Recorder::TxnBegin(TxnId txn, ProcessorId coordinator, sim::SimTime at) {
 }
 
 void Recorder::TxnSetVp(TxnId txn, VpId vp) {
+  std::lock_guard<std::mutex> lk(mu_);
   TxnHistory* h = Find(txn);
   if (h == nullptr) return;
   if (!h->has_vp) h->vp_first = vp;
@@ -35,6 +37,7 @@ void Recorder::TxnSetVp(TxnId txn, VpId vp) {
 
 void Recorder::TxnRead(TxnId txn, ObjectId obj, const Value& value, VpId date,
                        sim::SimTime at) {
+  std::lock_guard<std::mutex> lk(mu_);
   TxnHistory* h = Find(txn);
   if (h == nullptr) return;
   h->ops.push_back(LogicalOp{LogicalOp::Kind::kRead, obj, value, date, at});
@@ -42,6 +45,7 @@ void Recorder::TxnRead(TxnId txn, ObjectId obj, const Value& value, VpId date,
 
 void Recorder::TxnWrite(TxnId txn, ObjectId obj, const Value& value,
                         sim::SimTime at) {
+  std::lock_guard<std::mutex> lk(mu_);
   TxnHistory* h = Find(txn);
   if (h == nullptr) return;
   h->ops.push_back(
@@ -49,6 +53,7 @@ void Recorder::TxnWrite(TxnId txn, ObjectId obj, const Value& value,
 }
 
 void Recorder::TxnCommit(TxnId txn, sim::SimTime at) {
+  std::lock_guard<std::mutex> lk(mu_);
   TxnHistory* h = Find(txn);
   if (h == nullptr) return;
   VP_CHECK_MSG(!h->decided, "double decision for a transaction");
@@ -59,6 +64,7 @@ void Recorder::TxnCommit(TxnId txn, sim::SimTime at) {
 }
 
 void Recorder::TxnAbort(TxnId txn, sim::SimTime at) {
+  std::lock_guard<std::mutex> lk(mu_);
   TxnHistory* h = Find(txn);
   if (h == nullptr) return;
   if (h->decided) return;  // Abort after abort is harmless.
@@ -70,12 +76,14 @@ void Recorder::TxnAbort(TxnId txn, sim::SimTime at) {
 
 void Recorder::PhysicalOp(ProcessorId node, TxnId txn, ObjectId obj,
                           bool is_write, sim::SimTime at) {
+  std::lock_guard<std::mutex> lk(mu_);
   physical_ops_.push_back(
       PhysOp{node, txn, obj, is_write, at, physical_ops_.size()});
 }
 
 void Recorder::JoinVp(ProcessorId p, VpId v, const std::set<ProcessorId>& view,
                       sim::SimTime at) {
+  std::lock_guard<std::mutex> lk(mu_);
   ++join_count_;
   view_events_.push_back(ViewEvent{p, true, v, view, at});
   Assignment& mine = assignment_[p];
@@ -125,11 +133,13 @@ void Recorder::JoinVp(ProcessorId p, VpId v, const std::set<ProcessorId>& view,
 }
 
 void Recorder::DepartVp(ProcessorId p, sim::SimTime at) {
+  std::lock_guard<std::mutex> lk(mu_);
   assignment_[p].assigned = false;
   view_events_.push_back(ViewEvent{p, false, VpId{}, {}, at});
 }
 
 std::vector<TxnHistory> Recorder::Decided() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<TxnHistory> out;
   for (TxnId id : txn_order_) {
     auto it = txns_.find(id);
@@ -139,6 +149,7 @@ std::vector<TxnHistory> Recorder::Decided() const {
 }
 
 std::vector<TxnHistory> Recorder::Committed() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<TxnHistory> out;
   for (TxnId id : txn_order_) {
     auto it = txns_.find(id);
@@ -149,6 +160,7 @@ std::vector<TxnHistory> Recorder::Committed() const {
 }
 
 uint64_t Recorder::CountStaleReads(sim::Duration* max_staleness) const {
+  std::lock_guard<std::mutex> lk(mu_);
   // Committed writes of each object: (date, commit time).
   struct W {
     VpId date;

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -65,6 +66,13 @@ struct SafetyViolation {
 };
 
 /// Captures executions and checks view-management invariants online.
+///
+/// Thread-safety: every event entry point and the copying accessors take an
+/// internal mutex, so one Recorder can be shared by all nodes on the
+/// threaded runtime (on the simulator the lock is uncontended). The
+/// reference-returning accessors (safety_violations, view_events,
+/// physical_ops) are snapshot-free and must only be called once the system
+/// is quiesced — after the sim drains or the thread runtime stops.
 class Recorder {
  public:
   Recorder() = default;
@@ -99,9 +107,18 @@ class Recorder {
   const std::vector<SafetyViolation>& safety_violations() const {
     return violations_;
   }
-  uint64_t committed_count() const { return committed_count_; }
-  uint64_t aborted_count() const { return aborted_count_; }
-  uint64_t join_count() const { return join_count_; }
+  uint64_t committed_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return committed_count_;
+  }
+  uint64_t aborted_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return aborted_count_;
+  }
+  uint64_t join_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return join_count_;
+  }
 
   /// Stale-read accounting: a read is stale if, at the moment it was
   /// served, some transaction had already committed a write of the same
@@ -144,6 +161,7 @@ class Recorder {
   void AddViolation(const std::string& rule, const std::string& detail,
                     sim::SimTime at);
 
+  mutable std::mutex mu_;
   std::unordered_map<TxnId, TxnHistory, TxnIdHash> txns_;
   std::vector<TxnId> txn_order_;  // Begin order, for deterministic output.
   std::map<ProcessorId, Assignment> assignment_;

@@ -503,8 +503,8 @@ RunOutcome RunPlan(const FaultPlan& plan) {
     providers.push_back([&cluster, p]() { return &cluster.node(p); });
   }
   auto clients =
-      workload::MakeClients(std::move(providers), &cluster.scheduler(),
-                            &cluster.graph(), plan.n_objects, wc);
+      workload::MakeClients(std::move(providers), cluster.runtime_view(),
+                            plan.n_objects, wc);
   for (auto& c : clients) c->Start();
   const sim::SimTime base = cluster.scheduler().Now();
   for (net::FaultAction a : plan.actions) {

@@ -6,11 +6,14 @@
 
 namespace vp::net {
 
-ReliableChannel::ReliableChannel(sim::Scheduler* scheduler, Network* network,
+ReliableChannel::ReliableChannel(runtime::Clock* clock,
+                                 runtime::Executor* executor,
+                                 runtime::Transport* transport,
                                  ProcessorId self, uint32_t incarnation,
                                  ReliableConfig config)
-    : scheduler_(scheduler),
-      network_(network),
+    : clock_(clock),
+      executor_(executor),
+      transport_(transport),
       self_(self),
       incarnation_(incarnation),
       config_(config),
@@ -24,7 +27,8 @@ ReliableChannel::ReliableChannel(sim::Scheduler* scheduler, Network* network,
       // reissues an id from a previous life, so stale acks and stale dedup
       // entries can never match a new send.
       next_rel_id_(1 + (uint64_t{incarnation} << 40)) {
-  VP_CHECK(scheduler_ != nullptr && network_ != nullptr);
+  VP_CHECK(clock_ != nullptr && executor_ != nullptr &&
+           transport_ != nullptr);
   VP_CHECK_MSG(config_.delivery_deadline > 0,
                "delivery deadline must be finite: the simulation runs to "
                "idle and cannot host unbounded retransmission loops");
@@ -32,7 +36,7 @@ ReliableChannel::ReliableChannel(sim::Scheduler* scheduler, Network* network,
   VP_CHECK(config_.backoff_factor >= 1.0);
 }
 
-sim::Duration ReliableChannel::Jittered(sim::Duration d) {
+runtime::Duration ReliableChannel::Jittered(runtime::Duration d) {
   if (config_.jitter <= 0.0) return d;
   const auto span = static_cast<int64_t>(static_cast<double>(d) *
                                          config_.jitter);
@@ -47,7 +51,7 @@ uint64_t ReliableChannel::Send(ProcessorId dst, std::string type,
   p.dst = dst;
   p.type = std::move(type);
   p.body = std::move(body);
-  p.deadline = scheduler_->Now() + config_.delivery_deadline;
+  p.deadline = clock_->Now() + config_.delivery_deadline;
   p.next_delay = config_.retransmit_initial;
   p.on_timeout = std::move(on_timeout);
   auto [it, inserted] = pending_.emplace(rel_id, std::move(p));
@@ -59,7 +63,7 @@ uint64_t ReliableChannel::Send(ProcessorId dst, std::string type,
 }
 
 void ReliableChannel::Transmit(uint64_t rel_id, const Pending& p) {
-  network_->Send(self_, p.dst, kRelPrefix + p.type,
+  transport_->Send(self_, p.dst, kRelPrefix + p.type,
                  RelEnvelope{rel_id, incarnation_, p.body});
 }
 
@@ -67,17 +71,17 @@ void ReliableChannel::ArmTimer(uint64_t rel_id) {
   auto it = pending_.find(rel_id);
   if (it == pending_.end()) return;
   Pending& p = it->second;
-  const sim::Duration delay = Jittered(p.next_delay);
-  p.timer = scheduler_->ScheduleAfter(delay,
-                                      [this, rel_id]() { OnTimer(rel_id); });
+  const runtime::Duration delay = Jittered(p.next_delay);
+  p.timer = executor_->ScheduleAfter(
+      delay, [this, rel_id]() { OnTimer(rel_id); });
 }
 
 void ReliableChannel::OnTimer(uint64_t rel_id) {
   auto it = pending_.find(rel_id);
   if (it == pending_.end()) return;
   Pending& p = it->second;
-  p.timer = sim::kInvalidEvent;
-  if (scheduler_->Now() >= p.deadline) {
+  p.timer = runtime::kInvalidTask;
+  if (clock_->Now() >= p.deadline) {
     // Give up: surface an explicit timeout instead of silent loss. Move
     // the hook out first — it may re-enter the channel.
     TimeoutFn on_timeout = std::move(p.on_timeout);
@@ -88,8 +92,8 @@ void ReliableChannel::OnTimer(uint64_t rel_id) {
   }
   ++stats_.retransmits;
   Transmit(rel_id, p);
-  p.next_delay = std::min<sim::Duration>(
-      static_cast<sim::Duration>(static_cast<double>(p.next_delay) *
+  p.next_delay = std::min<runtime::Duration>(
+      static_cast<runtime::Duration>(static_cast<double>(p.next_delay) *
                                  config_.backoff_factor),
       config_.retransmit_max);
   ArmTimer(rel_id);
@@ -112,7 +116,7 @@ bool ReliableChannel::HandleMessage(const Message& m,
       return true;
     }
     ++stats_.acks_received;
-    scheduler_->Cancel(it->second.timer);
+    executor_->Cancel(it->second.timer);
     pending_.erase(it);
     return true;
   }
@@ -122,7 +126,7 @@ bool ReliableChannel::HandleMessage(const Message& m,
   // Ack every copy (the first transmission's ack may have been lost; the
   // retransmission that follows must still be acknowledged or the sender
   // retries forever-until-deadline).
-  network_->Send(self_, m.src, kRelAck,
+  transport_->Send(self_, m.src, kRelAck,
                  RelAckBody{env.rel_id, env.incarnation});
   if (!seen_[m.src].insert(env.rel_id).second) {
     ++stats_.dup_suppressed;
@@ -142,13 +146,13 @@ bool ReliableChannel::HandleMessage(const Message& m,
 void ReliableChannel::Cancel(uint64_t rel_id) {
   auto it = pending_.find(rel_id);
   if (it == pending_.end()) return;
-  scheduler_->Cancel(it->second.timer);
+  executor_->Cancel(it->second.timer);
   pending_.erase(it);
 }
 
 void ReliableChannel::Shutdown() {
   for (auto& [rel_id, p] : pending_) {
-    scheduler_->Cancel(p.timer);
+    executor_->Cancel(p.timer);
   }
   pending_.clear();
 }

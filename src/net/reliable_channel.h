@@ -41,8 +41,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/message.h"
-#include "net/network.h"
-#include "sim/scheduler.h"
+#include "runtime/runtime.h"
 
 namespace vp::net {
 
@@ -122,9 +121,9 @@ class ReliableChannel {
   /// Receives the reconstructed inner message of a fresh envelope.
   using DeliverFn = std::function<void(const Message&)>;
 
-  ReliableChannel(sim::Scheduler* scheduler, Network* network,
-                  ProcessorId self, uint32_t incarnation,
-                  ReliableConfig config);
+  ReliableChannel(runtime::Clock* clock, runtime::Executor* executor,
+                  runtime::Transport* transport, ProcessorId self,
+                  uint32_t incarnation, ReliableConfig config);
 
   /// Sends `type`/`body` to `dst` with at-most-once delivery and
   /// retransmission until acked or `delivery_deadline` passes (then
@@ -167,19 +166,20 @@ class ReliableChannel {
     ProcessorId dst = kInvalidProcessor;
     std::string type;
     std::any body;
-    sim::SimTime deadline = 0;
-    sim::Duration next_delay = 0;
-    sim::EventId timer = sim::kInvalidEvent;
+    runtime::TimePoint deadline = 0;
+    runtime::Duration next_delay = 0;
+    runtime::TaskId timer = runtime::kInvalidTask;
     TimeoutFn on_timeout;
   };
 
   void Transmit(uint64_t rel_id, const Pending& p);
   void ArmTimer(uint64_t rel_id);
   void OnTimer(uint64_t rel_id);
-  sim::Duration Jittered(sim::Duration d);
+  runtime::Duration Jittered(runtime::Duration d);
 
-  sim::Scheduler* const scheduler_;
-  Network* const network_;
+  runtime::Clock* const clock_;
+  runtime::Executor* const executor_;
+  runtime::Transport* const transport_;
   const ProcessorId self_;
   const uint32_t incarnation_;
   const ReliableConfig config_;

@@ -19,9 +19,9 @@ NaiveViewNode::NaiveViewNode(ProcessorId id, core::NodeEnv env,
 std::set<ProcessorId> NaiveViewNode::CurrentView() const {
   if (view_override_.has_value()) return *view_override_;
   std::set<ProcessorId> view{id_};
-  const net::CommGraph* g = env_.network->graph();
-  for (ProcessorId q = 0; q < g->size(); ++q) {
-    if (q != id_ && g->CanCommunicate(id_, q)) view.insert(q);
+  const runtime::Transport* t = env_.transport;
+  for (ProcessorId q = 0; q < t->size(); ++q) {
+    if (q != id_ && t->CanCommunicate(id_, q)) view.insert(q);
   }
   return view;
 }
@@ -48,7 +48,7 @@ void NaiveViewNode::LogicalRead(TxnId txn, ObjectId obj,
   double best = 0;
   for (ProcessorId q : env_.placement->CopyHolders(obj)) {
     if (view.count(q) == 0) continue;
-    const double cost = q == id_ ? 0.0 : env_.network->graph()->Cost(id_, q);
+    const double cost = q == id_ ? 0.0 : env_.transport->Cost(id_, q);
     if (target == kInvalidProcessor || cost < best) {
       target = q;
       best = cost;
@@ -61,7 +61,7 @@ void NaiveViewNode::LogicalRead(TxnId txn, ObjectId obj,
   pr.txn = txn;
   pr.obj = obj;
   pr.cb = std::move(cb);
-  pr.timeout_event = env_.scheduler->ScheduleAfter(
+  pr.timeout_event = env_.executor->ScheduleAfter(
       config_.op_timeout + config_.lock_timeout, [this, op_id]() {
         auto it = pending_reads_.find(op_id);
         if (it == pending_reads_.end()) return;
@@ -109,7 +109,7 @@ void NaiveViewNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
   for (ProcessorId q : env_.placement->CopyHolders(obj)) {
     if (view.count(q) > 0) pw.awaiting.insert(q);
   }
-  pw.timeout_event = env_.scheduler->ScheduleAfter(
+  pw.timeout_event = env_.executor->ScheduleAfter(
       config_.op_timeout + config_.lock_timeout, [this, op_id]() {
         auto it = pending_writes_.find(op_id);
         if (it == pending_writes_.end()) return;
@@ -140,7 +140,7 @@ void NaiveViewNode::OnDeliveryTimeout(uint64_t op_id, ProcessorId q,
   net::Message m;
   m.src = q;
   m.dst = id_;
-  m.sent_at = env_.scheduler->Now();
+  m.sent_at = env_.clock->Now();
   if (write_phase) {
     m.type = core::msg::kPhysWriteReply;
     m.body = PhysWriteReply{op_id, false, "delivery-timeout"};
@@ -159,7 +159,7 @@ bool NaiveViewNode::HandleProtocolMessage(const net::Message& m) {
     if (it == pending_reads_.end()) return true;
     PendingRead done = std::move(it->second);
     pending_reads_.erase(it);
-    env_.scheduler->Cancel(done.timeout_event);
+    env_.executor->Cancel(done.timeout_event);
     if (!body.ok) {
       ++stats_.reads_failed;
       InternalAbort(done.txn);
@@ -170,7 +170,7 @@ bool NaiveViewNode::HandleProtocolMessage(const net::Message& m) {
     }
     ++stats_.reads_ok;
     env_.recorder->TxnRead(done.txn, done.obj, body.value, body.date,
-                           env_.scheduler->Now());
+                           env_.clock->Now());
     done.cb(core::ReadResult{body.value, body.date, m.src});
     return true;
   }
@@ -182,7 +182,7 @@ bool NaiveViewNode::HandleProtocolMessage(const net::Message& m) {
     if (!body.ok) {
       PendingWrite done = std::move(it->second);
       pending_writes_.erase(it);
-      env_.scheduler->Cancel(done.timeout_event);
+      env_.executor->Cancel(done.timeout_event);
       ++stats_.writes_failed;
       InternalAbort(done.txn);
       done.cb(body.error == "delivery-timeout"
@@ -194,10 +194,10 @@ bool NaiveViewNode::HandleProtocolMessage(const net::Message& m) {
     if (pw.awaiting.empty()) {
       PendingWrite done = std::move(it->second);
       pending_writes_.erase(it);
-      env_.scheduler->Cancel(done.timeout_event);
+      env_.executor->Cancel(done.timeout_event);
       ++stats_.writes_ok;
       env_.recorder->TxnWrite(done.txn, done.obj, done.value,
-                              env_.scheduler->Now());
+                              env_.clock->Now());
       done.cb(Status::Ok());
     }
     return true;

@@ -62,7 +62,7 @@ class NaiveViewNode : public core::NodeBase {
     TxnId txn;
     ObjectId obj;
     core::ReadCallback cb;
-    sim::EventId timeout_event = sim::kInvalidEvent;
+    runtime::TaskId timeout_event = runtime::kInvalidTask;
   };
   struct PendingWrite {
     TxnId txn;
@@ -70,7 +70,7 @@ class NaiveViewNode : public core::NodeBase {
     Value value;
     core::WriteCallback cb;
     std::set<ProcessorId> awaiting;
-    sim::EventId timeout_event = sim::kInvalidEvent;
+    runtime::TaskId timeout_event = runtime::kInvalidTask;
   };
 
   NaiveConfig config_;

@@ -49,7 +49,7 @@ std::vector<ProcessorId> QuorumNode::SelectCopies(ObjectId obj,
   // Cheapest-first greedy selection.
   std::vector<std::pair<double, ProcessorId>> ranked;
   for (ProcessorId q : env_.placement->CopyHolders(obj)) {
-    ranked.emplace_back(q == id_ ? 0.0 : env_.network->graph()->Cost(id_, q),
+    ranked.emplace_back(q == id_ ? 0.0 : env_.transport->Cost(id_, q),
                         q);
   }
   std::sort(ranked.begin(), ranked.end());
@@ -100,7 +100,7 @@ void QuorumNode::LogicalRead(TxnId txn, ObjectId obj, core::ReadCallback cb) {
   pr.cb = std::move(cb);
   pr.votes_needed = needed;
   pr.outstanding.insert(targets.begin(), targets.end());
-  pr.timeout_event = env_.scheduler->ScheduleAfter(
+  pr.timeout_event = env_.executor->ScheduleAfter(
       config_.op_timeout + config_.lock_timeout,
       [this, op_id]() { FailRead(op_id, Status::Timeout("read quorum")); });
   PendingRead& live = pending_reads_[op_id] = std::move(pr);
@@ -145,7 +145,7 @@ void QuorumNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
   pw.cb = std::move(cb);
   pw.votes_needed = needed;
   pw.outstanding.insert(targets.begin(), targets.end());
-  pw.timeout_event = env_.scheduler->ScheduleAfter(
+  pw.timeout_event = env_.executor->ScheduleAfter(
       config_.op_timeout + config_.lock_timeout, [this, op_id]() {
         FailWrite(op_id, Status::Timeout("write version poll"));
       });
@@ -192,7 +192,7 @@ void QuorumNode::FailRead(uint64_t op_id, Status why) {
   if (it == pending_reads_.end()) return;
   PendingRead pr = std::move(it->second);
   pending_reads_.erase(it);
-  env_.scheduler->Cancel(pr.timeout_event);
+  env_.executor->Cancel(pr.timeout_event);
   CancelOutstanding(pr);
   ++stats_.reads_failed;
   TxnRec* rec = FindTxn(pr.txn);
@@ -206,7 +206,7 @@ void QuorumNode::FailWrite(uint64_t op_id, Status why) {
   if (it == pending_writes_.end()) return;
   PendingWrite pw = std::move(it->second);
   pending_writes_.erase(it);
-  env_.scheduler->Cancel(pw.timeout_event);
+  env_.executor->Cancel(pw.timeout_event);
   CancelOutstanding(pw);
   ++stats_.writes_failed;
   TxnRec* rec = FindTxn(pw.txn);
@@ -229,8 +229,8 @@ void QuorumNode::StartWritePhase2(uint64_t op_id) {
   // New version: one past the largest seen, tie-broken by writer id.
   const VpId new_date{pw.max_date.n + 1, id_};
   pw.outstanding = pw.pollers;
-  env_.scheduler->Cancel(pw.timeout_event);
-  pw.timeout_event = env_.scheduler->ScheduleAfter(
+  env_.executor->Cancel(pw.timeout_event);
+  pw.timeout_event = env_.executor->ScheduleAfter(
       config_.op_timeout,
       [this, op_id]() { FailWrite(op_id, Status::Timeout("write phase")); });
   const TxnId txn = pw.txn;
@@ -262,7 +262,7 @@ void QuorumNode::OnDeliveryTimeout(uint64_t op_id, ProcessorId q,
   net::Message m;
   m.src = q;
   m.dst = id_;
-  m.sent_at = env_.scheduler->Now();
+  m.sent_at = env_.clock->Now();
   if (write_phase) {
     m.type = core::msg::kPhysWriteReply;
     m.body = PhysWriteReply{op_id, false, "delivery-timeout"};
@@ -293,7 +293,7 @@ bool QuorumNode::HandleProtocolMessage(const net::Message& m) {
       if (pr.votes_have >= pr.votes_needed) {
         PendingRead done = std::move(it->second);
         pending_reads_.erase(it);
-        env_.scheduler->Cancel(done.timeout_event);
+        env_.executor->Cancel(done.timeout_event);
         // The quorum can complete with requests still outstanding (vote
         // overshoot under weighted placements: SelectCopies may contact
         // more copies than the cheapest reply-set needs). Cancel them —
@@ -302,7 +302,7 @@ bool QuorumNode::HandleProtocolMessage(const net::Message& m) {
         CancelOutstanding(done);
         ++stats_.reads_ok;
         env_.recorder->TxnRead(done.txn, done.obj, done.best_value,
-                               done.best_date, env_.scheduler->Now());
+                               done.best_date, env_.clock->Now());
         done.cb(core::ReadResult{done.best_value, done.best_date, m.src});
         return true;
       }
@@ -371,10 +371,10 @@ bool QuorumNode::HandleProtocolMessage(const net::Message& m) {
     if (pw.outstanding.empty()) {
       PendingWrite done = std::move(it->second);
       pending_writes_.erase(it);
-      env_.scheduler->Cancel(done.timeout_event);
+      env_.executor->Cancel(done.timeout_event);
       ++stats_.writes_ok;
       env_.recorder->TxnWrite(done.txn, done.obj, done.value,
-                              env_.scheduler->Now());
+                              env_.clock->Now());
       done.cb(Status::Ok());
     }
     return true;

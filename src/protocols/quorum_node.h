@@ -84,7 +84,7 @@ class QuorumNode : public core::NodeBase {
     Value best_value;
     VpId best_date;
     bool have_value = false;
-    sim::EventId timeout_event = sim::kInvalidEvent;
+    runtime::TaskId timeout_event = runtime::kInvalidTask;
   };
   struct PendingWrite {
     TxnId txn;
@@ -99,7 +99,7 @@ class QuorumNode : public core::NodeBase {
     std::map<ProcessorId, uint64_t> rel_ids;  // As in PendingRead.
     std::set<ProcessorId> pollers;  // Copies that answered the poll.
     VpId max_date;
-    sim::EventId timeout_event = sim::kInvalidEvent;
+    runtime::TaskId timeout_event = runtime::kInvalidTask;
   };
 
   void FailRead(uint64_t op_id, Status why);

@@ -1,0 +1,279 @@
+#include "runtime/thread_runtime.h"
+
+#include <algorithm>
+#include <future>
+
+#include "common/logging.h"
+#include "net/network.h"
+
+namespace vp::runtime {
+
+// ---------------------------------------------------------------------------
+// Clock: steady-clock microseconds since runtime construction.
+
+class ThreadRuntime::SteadyClock final : public Clock {
+ public:
+  explicit SteadyClock(const ThreadRuntime* rt) : rt_(rt) {}
+  TimePoint Now() const override { return rt_->NowUs(); }
+
+ private:
+  const ThreadRuntime* const rt_;
+};
+
+// ---------------------------------------------------------------------------
+// Executor: one strand per processor, backed by the shared timer wheel.
+
+class ThreadRuntime::StrandExecutor final : public Executor {
+ public:
+  StrandExecutor(ThreadRuntime* rt, uint32_t strand)
+      : rt_(rt), strand_(strand) {}
+
+  TaskId ScheduleAfter(Duration delay, std::function<void()> fn) override {
+    VP_CHECK_MSG(delay >= 0, "negative delay");
+    return rt_->ScheduleTask(strand_, rt_->NowUs() + delay, std::move(fn));
+  }
+  TaskId ScheduleAt(TimePoint when, std::function<void()> fn) override {
+    return rt_->ScheduleTask(strand_, when, std::move(fn));
+  }
+  void Cancel(TaskId id) override { rt_->CancelTask(id); }
+
+ private:
+  ThreadRuntime* const rt_;
+  const uint32_t strand_;
+};
+
+// ---------------------------------------------------------------------------
+// Transport: per-directed-link locked queues; every delivery runs as a task
+// on the destination strand, so receive handlers are strand-serialized.
+
+class ThreadRuntime::ThreadTransport final : public Transport {
+ public:
+  ThreadTransport(ThreadRuntime* rt, uint32_t n, Duration delta)
+      : rt_(rt), n_(n), delta_(delta), links_(size_t{n} * n),
+        endpoints_(n), alive_(n) {
+    for (auto& e : endpoints_) e.store(nullptr, std::memory_order_relaxed);
+    for (auto& a : alive_) a.store(true, std::memory_order_relaxed);
+  }
+
+  void Register(ProcessorId p, net::NodeInterface* endpoint) override {
+    VP_CHECK_MSG(p < n_, "Register: bad processor id");
+    // Release pairs with the acquire load in DeliverOne: a delivery task
+    // observing the new endpoint also observes the incarnation's state.
+    endpoints_[p].store(endpoint, std::memory_order_release);
+  }
+
+  void Send(net::Message msg) override {
+    VP_CHECK_MSG(msg.src < n_ && msg.dst < n_, "Send: bad endpoint");
+    msg.sent_at = rt_->NowUs();
+    if (!Alive(msg.src) || !Alive(msg.dst)) return;
+    const ProcessorId dst = msg.dst;
+    const size_t link = size_t{msg.src} * n_ + dst;
+    {
+      std::lock_guard<std::mutex> lk(links_[link].mu);
+      links_[link].q.push_back(std::move(msg));
+    }
+    // Drain on the receiver's strand. One task per message: the queue (not
+    // the task) carries the payload, so delivery order per link is the
+    // queue's FIFO order even if tasks fire out of order.
+    rt_->ScheduleTask(dst, rt_->NowUs(),
+                      [this, link, dst] { DeliverOne(link, dst); });
+  }
+
+  void Send(ProcessorId src, ProcessorId dst, std::string type,
+            std::any body) override {
+    net::Message msg;
+    msg.src = src;
+    msg.dst = dst;
+    msg.type = std::move(type);
+    msg.body = std::move(body);
+    Send(std::move(msg));
+  }
+
+  bool Alive(ProcessorId p) const override {
+    return p < n_ && alive_[p].load(std::memory_order_acquire);
+  }
+  bool CanCommunicate(ProcessorId a, ProcessorId b) const override {
+    return Alive(a) && Alive(b);  // Full connectivity; no simulated cuts.
+  }
+  double Cost(ProcessorId a, ProcessorId b) const override {
+    return a == b ? 0.0 : 1.0;  // Uniform in-process link cost.
+  }
+  uint32_t size() const override { return n_; }
+  Duration Delta() const override { return delta_; }
+
+  void SetAlive(ProcessorId p, bool alive) {
+    VP_CHECK_MSG(p < n_, "SetAlive: bad processor id");
+    alive_[p].store(alive, std::memory_order_release);
+  }
+
+ private:
+  struct Link {
+    std::mutex mu;
+    std::deque<net::Message> q;
+  };
+
+  void DeliverOne(size_t link, ProcessorId dst) {
+    net::Message msg;
+    {
+      std::lock_guard<std::mutex> lk(links_[link].mu);
+      if (links_[link].q.empty()) return;
+      msg = std::move(links_[link].q.front());
+      links_[link].q.pop_front();
+    }
+    if (!Alive(dst)) return;
+    net::NodeInterface* ep = endpoints_[dst].load(std::memory_order_acquire);
+    if (ep == nullptr) return;
+    ep->HandleMessage(msg);  // Already on dst's strand, under its lock.
+  }
+
+  ThreadRuntime* const rt_;
+  const uint32_t n_;
+  const Duration delta_;
+  std::vector<Link> links_;  // links_[src * n + dst].
+  std::vector<std::atomic<net::NodeInterface*>> endpoints_;
+  std::vector<std::atomic<bool>> alive_;
+};
+
+// ---------------------------------------------------------------------------
+// ThreadRuntime proper.
+
+ThreadRuntime::ThreadRuntime(uint32_t n_processors)
+    : ThreadRuntime(n_processors, Config()) {}
+
+ThreadRuntime::ThreadRuntime(uint32_t n_processors, Config config)
+    : n_(n_processors),
+      config_(config),
+      start_(std::chrono::steady_clock::now()) {
+  VP_CHECK_MSG(n_ > 0, "ThreadRuntime needs at least one processor");
+  clock_ = std::make_unique<SteadyClock>(this);
+  transport_ = std::make_unique<ThreadTransport>(this, n_, config_.delta);
+  strand_mu_.reserve(n_);
+  strands_.reserve(n_);
+  for (uint32_t p = 0; p < n_; ++p) {
+    strand_mu_.push_back(std::make_unique<std::mutex>());
+    strands_.push_back(std::make_unique<StrandExecutor>(this, p));
+  }
+  uint32_t workers = config_.workers;
+  if (workers == 0) {
+    workers = std::clamp(std::thread::hardware_concurrency(), 2u, 16u);
+  }
+  threads_.reserve(workers);
+  for (uint32_t w = 0; w < workers; ++w) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadRuntime::~ThreadRuntime() { Stop(); }
+
+Clock* ThreadRuntime::clock() { return clock_.get(); }
+
+Transport* ThreadRuntime::transport() { return transport_.get(); }
+
+Executor* ThreadRuntime::executor(ProcessorId p) {
+  VP_CHECK_MSG(p < n_, "executor: bad processor id");
+  return strands_[p].get();
+}
+
+RuntimeView ThreadRuntime::view(ProcessorId p) {
+  return RuntimeView{clock_.get(), executor(p), transport_.get()};
+}
+
+void ThreadRuntime::SetAlive(ProcessorId p, bool alive) {
+  transport_->SetAlive(p, alive);
+}
+
+void ThreadRuntime::RunOn(ProcessorId p, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    VP_CHECK_MSG(!stop_, "RunOn after Stop");
+  }
+  std::promise<void> done;
+  std::future<void> fut = done.get_future();
+  executor(p)->ScheduleAfter(0, [&fn, &done] {
+    fn();
+    done.set_value();
+  });
+  fut.wait();
+}
+
+void ThreadRuntime::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+    heap_.clear();
+    pending_.clear();
+    cancelled_.clear();
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+}
+
+TimePoint ThreadRuntime::NowUs() const {
+  return static_cast<TimePoint>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+TaskId ThreadRuntime::ScheduleTask(uint32_t strand, TimePoint when,
+                                   std::function<void()> fn) {
+  VP_CHECK_MSG(strand < n_, "ScheduleTask: bad strand");
+  std::unique_lock<std::mutex> lk(mu_);
+  const TaskId id = next_id_++;
+  if (stop_) return id;  // Dropped; id stays unique and inert.
+  heap_.push_back(Task{when, id, strand, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), TaskLater{});
+  pending_.insert(id);
+  const bool is_front = heap_.front().id == id;
+  lk.unlock();
+  // A new earliest deadline shortens every sleeper's wait; otherwise one
+  // waking worker suffices.
+  if (is_front) {
+    cv_.notify_all();
+  } else {
+    cv_.notify_one();
+  }
+  return id;
+}
+
+void ThreadRuntime::CancelTask(TaskId id) {
+  if (id == kInvalidTask) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  // Mark only ids still queued, so cancelled_ never accumulates ids that
+  // no pop will ever reclaim (same discipline as sim::Scheduler).
+  if (pending_.count(id) > 0) cancelled_.insert(id);
+}
+
+void ThreadRuntime::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    if (stop_) return;
+    if (heap_.empty()) {
+      cv_.wait(lk);
+      continue;
+    }
+    const auto deadline =
+        start_ + std::chrono::microseconds(heap_.front().when);
+    if (std::chrono::steady_clock::now() < deadline) {
+      cv_.wait_until(lk, deadline);
+      continue;  // Re-examine: the front may have changed while waiting.
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), TaskLater{});
+    Task task = std::move(heap_.back());
+    heap_.pop_back();
+    pending_.erase(task.id);
+    if (cancelled_.erase(task.id) > 0) continue;
+    lk.unlock();
+    {
+      std::lock_guard<std::mutex> strand_lk(*strand_mu_[task.strand]);
+      task.fn();
+    }
+    task.fn = nullptr;  // Destroy captures outside the wheel lock.
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    lk.lock();
+  }
+}
+
+}  // namespace vp::runtime

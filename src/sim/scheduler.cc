@@ -11,6 +11,7 @@ bool Scheduler::RunOne() {
     // pointers), so the copy is cheap.
     Event ev = queue_.top();
     queue_.pop();
+    pending_.erase(ev.id);
     auto it = cancelled_.find(ev.id);
     if (it != cancelled_.end()) {
       cancelled_.erase(it);
@@ -30,6 +31,7 @@ uint64_t Scheduler::RunUntil(SimTime deadline) {
   while (!queue_.empty() && queue_.top().when <= deadline) {
     Event ev = queue_.top();
     queue_.pop();
+    pending_.erase(ev.id);
     auto it = cancelled_.find(ev.id);
     if (it != cancelled_.end()) {
       cancelled_.erase(it);

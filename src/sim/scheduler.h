@@ -43,14 +43,17 @@ class Scheduler {
     VP_CHECK(when >= now_);
     const EventId id = next_id_++;
     queue_.push(Event{when, id, std::move(fn)});
+    pending_.insert(id);
     return id;
   }
 
   /// Cancels a pending event. Cancelling an already-fired or already-
-  /// cancelled event is a no-op.
+  /// cancelled event is a no-op. Only ids still queued are marked, so
+  /// `cancelled_` is bounded by the queue size — stale handles (the common
+  /// "cancel my timeout after it fired" pattern) cost nothing.
   void Cancel(EventId id) {
     if (id == kInvalidEvent) return;
-    cancelled_.insert(id);
+    if (pending_.count(id) > 0) cancelled_.insert(id);
   }
 
   /// True if any (possibly cancelled) event is still queued.
@@ -72,6 +75,10 @@ class Scheduler {
   /// Total events executed since construction.
   uint64_t events_executed() const { return executed_; }
 
+  /// Cancelled-but-not-yet-popped events (bounded by queue size; tests use
+  /// this to pin the no-leak invariant).
+  size_t cancelled_pending() const { return cancelled_.size(); }
+
  private:
   struct Event {
     SimTime when;
@@ -89,6 +96,9 @@ class Scheduler {
   EventId next_id_ = 1;
   uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Ids still in `queue_`; every pop erases its id, and Cancel consults
+  /// this so neither set can outgrow the queue.
+  std::unordered_set<EventId> pending_;
   std::unordered_set<EventId> cancelled_;
 };
 

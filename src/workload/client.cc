@@ -7,40 +7,39 @@
 
 namespace vp::workload {
 
-Client::Client(NodeProvider provider, sim::Scheduler* scheduler,
-               const net::CommGraph* graph, ObjectId n_objects,
-               ClientConfig config)
+Client::Client(NodeProvider provider, runtime::RuntimeView rt,
+               ObjectId n_objects, ClientConfig config)
     : node_provider_(std::move(provider)),
-      scheduler_(scheduler),
-      graph_(graph),
+      rt_(rt),
       config_(config),
       rng_(config.seed),
       zipf_(n_objects, config.zipf_theta) {
+  VP_CHECK(rt_.complete());
   VP_CHECK(n_objects > 0);
   VP_CHECK(config_.ops_per_txn > 0);
   node_ = node_provider_();
   VP_CHECK(node_ != nullptr);
 }
 
-Client::Client(core::NodeBase* node, sim::Scheduler* scheduler,
-               const net::CommGraph* graph, ObjectId n_objects,
-               ClientConfig config)
-    : Client(NodeProvider([node]() { return node; }), scheduler, graph,
-             n_objects, config) {}
+Client::Client(core::NodeBase* node, runtime::RuntimeView rt,
+               ObjectId n_objects, ClientConfig config)
+    : Client(NodeProvider([node]() { return node; }), rt, n_objects,
+             config) {}
 
-void Client::Start(sim::Duration initial_delay) {
-  scheduler_->ScheduleAfter(initial_delay, [this]() { StartTxn(); });
+void Client::Start(runtime::Duration initial_delay) {
+  rt_.executor->ScheduleAfter(initial_delay, [this]() { StartTxn(); });
 }
 
 void Client::ScheduleNext() {
   if (stopped_) return;
-  scheduler_->ScheduleAfter(config_.think_time, [this]() { StartTxn(); });
+  rt_.executor->ScheduleAfter(config_.think_time,
+                              [this]() { StartTxn(); });
 }
 
 void Client::StartTxn() {
   if (stopped_) return;
   node_ = node_provider_();  // A reboot may have replaced the node object.
-  if (!graph_->Alive(node_->processor())) {
+  if (!rt_.transport->Alive(node_->processor())) {
     // Processor is down; retry once it recovers.
     ScheduleNext();
     return;
@@ -54,7 +53,7 @@ void Client::StartTxn() {
   }
   cur_txn_ = node_->NewTxnId();
   txn_active_ = true;
-  txn_start_ = scheduler_->Now();
+  txn_start_ = rt_.clock->Now();
   node_->Begin(cur_txn_);
   RunOp(0);
 }
@@ -63,7 +62,7 @@ void Client::RunOp(uint32_t idx) {
   if (idx > 0 && idx < plan_.size() && config_.op_gap > 0) {
     // Interactive-transaction pacing: wait, then issue the op.
     const TxnId txn = cur_txn_;
-    scheduler_->ScheduleAfter(config_.op_gap, [this, txn, idx]() {
+    rt_.executor->ScheduleAfter(config_.op_gap, [this, txn, idx]() {
       if (!(txn == cur_txn_) || !txn_active_) return;
       RunOpNow(idx);
     });
@@ -148,7 +147,7 @@ void Client::FinishTxn(bool failed, const Status& why) {
   txn_active_ = false;
   if (!failed) {
     ++stats_.txns_committed;
-    stats_.total_commit_latency += scheduler_->Now() - txn_start_;
+    stats_.total_commit_latency += rt_.clock->Now() - txn_start_;
   } else {
     ++stats_.txns_aborted;
     if (why.IsUnavailable()) {
@@ -164,29 +163,26 @@ void Client::FinishTxn(bool failed, const Status& why) {
 }
 
 std::vector<std::unique_ptr<Client>> MakeClients(
-    std::vector<core::NodeBase*> nodes, sim::Scheduler* scheduler,
-    const net::CommGraph* graph, ObjectId n_objects,
-    const ClientConfig& config) {
+    std::vector<core::NodeBase*> nodes, runtime::RuntimeView rt,
+    ObjectId n_objects, const ClientConfig& config) {
   std::vector<NodeProvider> providers;
   providers.reserve(nodes.size());
   for (core::NodeBase* node : nodes) {
     providers.push_back([node]() { return node; });
   }
-  return MakeClients(std::move(providers), scheduler, graph, n_objects,
-                     config);
+  return MakeClients(std::move(providers), rt, n_objects, config);
 }
 
 std::vector<std::unique_ptr<Client>> MakeClients(
-    std::vector<NodeProvider> providers, sim::Scheduler* scheduler,
-    const net::CommGraph* graph, ObjectId n_objects,
-    const ClientConfig& config) {
+    std::vector<NodeProvider> providers, runtime::RuntimeView rt,
+    ObjectId n_objects, const ClientConfig& config) {
   std::vector<std::unique_ptr<Client>> out;
   uint64_t i = 0;
   for (NodeProvider& provider : providers) {
     ClientConfig c = config;
     c.seed = config.seed * 7919 + 104729 * (++i);
-    out.push_back(std::make_unique<Client>(std::move(provider), scheduler,
-                                           graph, n_objects, c));
+    out.push_back(std::make_unique<Client>(std::move(provider), rt,
+                                           n_objects, c));
   }
   return out;
 }

@@ -13,8 +13,7 @@
 
 #include "common/rng.h"
 #include "core/node_base.h"
-#include "net/topology.h"
-#include "sim/scheduler.h"
+#include "runtime/runtime.h"
 
 namespace vp::workload {
 
@@ -55,18 +54,16 @@ using NodeProvider = std::function<core::NodeBase*()>;
 
 class Client {
  public:
-  Client(NodeProvider provider, sim::Scheduler* scheduler,
-         const net::CommGraph* graph, ObjectId n_objects,
+  Client(NodeProvider provider, runtime::RuntimeView rt, ObjectId n_objects,
          ClientConfig config);
   /// Fixed-node convenience (no reboots possible in the caller's setup).
-  Client(core::NodeBase* node, sim::Scheduler* scheduler,
-         const net::CommGraph* graph, ObjectId n_objects,
+  Client(core::NodeBase* node, runtime::RuntimeView rt, ObjectId n_objects,
          ClientConfig config);
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   /// Begins issuing transactions (first one after `initial_delay`).
-  void Start(sim::Duration initial_delay = 0);
+  void Start(runtime::Duration initial_delay = 0);
   /// Stops after the in-flight transaction finishes.
   void Stop() { stopped_ = true; }
 
@@ -86,8 +83,7 @@ class Client {
 
   NodeProvider node_provider_;
   core::NodeBase* node_ = nullptr;  // Resolved per transaction.
-  sim::Scheduler* scheduler_;
-  const net::CommGraph* graph_;
+  runtime::RuntimeView rt_;
   ClientConfig config_;
   Rng rng_;
   ZipfGenerator zipf_;
@@ -96,22 +92,20 @@ class Client {
   bool txn_active_ = false;
   TxnId cur_txn_;
   std::vector<OpPlan> plan_;
-  sim::SimTime txn_start_ = 0;
+  runtime::TimePoint txn_start_ = 0;
   ClientStats stats_;
 };
 
 /// Convenience: one client per alive processor, identical configs with
 /// per-client derived seeds.
 std::vector<std::unique_ptr<Client>> MakeClients(
-    std::vector<core::NodeBase*> nodes, sim::Scheduler* scheduler,
-    const net::CommGraph* graph, ObjectId n_objects,
-    const ClientConfig& config);
+    std::vector<core::NodeBase*> nodes, runtime::RuntimeView rt,
+    ObjectId n_objects, const ClientConfig& config);
 
 /// Provider-based variant for clusters where reboots replace node objects.
 std::vector<std::unique_ptr<Client>> MakeClients(
-    std::vector<NodeProvider> providers, sim::Scheduler* scheduler,
-    const net::CommGraph* graph, ObjectId n_objects,
-    const ClientConfig& config);
+    std::vector<NodeProvider> providers, runtime::RuntimeView rt,
+    ObjectId n_objects, const ClientConfig& config);
 
 /// Sums stats over a set of clients.
 ClientStats Aggregate(const std::vector<std::unique_ptr<Client>>& clients);

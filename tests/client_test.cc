@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/cluster.h"
+#include "test_util.h"
 #include "workload/client.h"
 
 namespace vp {
@@ -10,24 +11,11 @@ namespace {
 using harness::Cluster;
 using harness::ClusterConfig;
 using harness::Protocol;
+using testutil::AllNodes;
 using workload::Client;
 using workload::ClientConfig;
 
-ClusterConfig Cfg(uint64_t seed) {
-  ClusterConfig c;
-  c.n_processors = 3;
-  c.n_objects = 4;
-  c.seed = seed;
-  c.protocol = Protocol::kVirtualPartition;
-  return c;
-}
-
-std::vector<core::NodeBase*> AllNodes(Cluster& cluster) {
-  std::vector<core::NodeBase*> nodes;
-  for (ProcessorId p = 0; p < cluster.size(); ++p)
-    nodes.push_back(&cluster.node(p));
-  return nodes;
-}
+ClusterConfig Cfg(uint64_t seed) { return testutil::Cfg(3, seed); }
 
 TEST(Client, MakesProgressAndCounts) {
   Cluster cluster(Cfg(1));
@@ -36,8 +24,7 @@ TEST(Client, MakesProgressAndCounts) {
   cc.read_fraction = 0.5;
   cc.ops_per_txn = 2;
   cc.think_time = sim::Millis(5);
-  Client client(&cluster.node(0), &cluster.scheduler(), &cluster.graph(), 4,
-                cc);
+  Client client(&cluster.node(0), cluster.runtime_view(), 4, cc);
   client.Start();
   cluster.RunFor(sim::Seconds(3));
   client.Stop();
@@ -57,8 +44,7 @@ TEST(Client, DeterministicAcrossRuns) {
     cluster.RunFor(sim::Seconds(1));
     ClientConfig cc;
     cc.seed = 7;
-    Client client(&cluster.node(1), &cluster.scheduler(), &cluster.graph(), 4,
-                  cc);
+    Client client(&cluster.node(1), cluster.runtime_view(), 4, cc);
     client.Start();
     cluster.RunFor(sim::Seconds(2));
     committed[run] = client.stats().txns_committed;
@@ -75,8 +61,7 @@ TEST(Client, CountsUnavailableAbortsInMinority) {
 
   ClientConfig cc;
   cc.read_fraction = 0.5;
-  Client client(&cluster.node(0), &cluster.scheduler(), &cluster.graph(), 4,
-                cc);
+  Client client(&cluster.node(0), cluster.runtime_view(), 4, cc);
   client.Start();
   cluster.RunFor(sim::Seconds(2));
   client.Stop();
@@ -92,8 +77,7 @@ TEST(Client, PausesWhileProcessorCrashed) {
   cluster.graph().SetAlive(0, false);
 
   ClientConfig cc;
-  Client client(&cluster.node(0), &cluster.scheduler(), &cluster.graph(), 4,
-                cc);
+  Client client(&cluster.node(0), cluster.runtime_view(), 4, cc);
   client.Start();
   cluster.RunFor(sim::Seconds(2));
   EXPECT_EQ(client.stats().txns_committed, 0u);
@@ -114,8 +98,7 @@ TEST(Client, RmwCountersAddUp) {
   cc.ops_per_txn = 1;
   cc.rmw = true;
   cc.zipf_theta = 0.0;
-  auto clients = workload::MakeClients(AllNodes(cluster),
-                                       &cluster.scheduler(), &cluster.graph(),
+  auto clients = workload::MakeClients(AllNodes(cluster), cluster.runtime_view(),
                                        4, cc);
   for (auto& c : clients) c->Start(sim::Millis(1));
   cluster.RunFor(sim::Seconds(2));
@@ -139,8 +122,7 @@ TEST(Client, AggregateSums) {
   Cluster cluster(Cfg(6));
   cluster.RunFor(sim::Seconds(1));
   ClientConfig cc;
-  auto clients = workload::MakeClients(AllNodes(cluster),
-                                       &cluster.scheduler(), &cluster.graph(),
+  auto clients = workload::MakeClients(AllNodes(cluster), cluster.runtime_view(),
                                        4, cc);
   for (auto& c : clients) c->Start();
   cluster.RunFor(sim::Seconds(2));

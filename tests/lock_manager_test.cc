@@ -5,6 +5,9 @@
 
 #include <vector>
 
+#include "runtime/sim_runtime.h"
+#include "sim/scheduler.h"
+
 namespace vp::cc {
 namespace {
 
@@ -12,7 +15,8 @@ constexpr sim::Duration kTimeout = sim::Millis(100);
 
 struct Fixture {
   sim::Scheduler scheduler;
-  LockManager lm{&scheduler};
+  runtime::SimExecutor executor{&scheduler};
+  LockManager lm{&executor};
 
   Status AcquireNow(TxnId t, ObjectId o, LockMode m) {
     Status result = Status::Internal("callback never ran");

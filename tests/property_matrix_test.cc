@@ -68,8 +68,8 @@ TEST_P(VpMatrixTest, PartitionScheduleStaysCorrect) {
   cc.rmw = params.rmw;
   cc.think_time = sim::Millis(8);
   cc.seed = params.seed;
-  auto clients = workload::MakeClients(nodes, &cluster.scheduler(),
-                                       &cluster.graph(), config.n_objects, cc);
+  auto clients = workload::MakeClients(nodes, cluster.runtime_view(),
+                                       config.n_objects, cc);
   for (auto& c : clients) c->Start(sim::Millis(3));
 
   // A partition-heavy schedule exercising splits, an isolated node, a

@@ -18,12 +18,7 @@ using testutil::RunTxn;
 using testutil::Write;
 
 ClusterConfig QuorumCfg(uint32_t n, Protocol proto, uint64_t seed = 2) {
-  ClusterConfig c;
-  c.n_processors = n;
-  c.n_objects = 3;
-  c.seed = seed;
-  c.protocol = proto;
-  return c;
+  return testutil::Cfg(n, seed, proto, /*n_objects=*/3);
 }
 
 TEST(QuorumConfigs, EffectiveQuorums) {

@@ -14,6 +14,7 @@
 #include "net/network.h"
 #include "net/reliable_channel.h"
 #include "net/topology.h"
+#include "runtime/sim_runtime.h"
 #include "sim/scheduler.h"
 
 namespace vp {
@@ -35,9 +36,9 @@ struct Endpoint : public net::NodeInterface {
   std::vector<Message> inbox;
   std::vector<Message> raw;
 
-  Endpoint(sim::Scheduler* s, Network* n, ProcessorId id, uint32_t inc,
+  Endpoint(runtime::SimRuntime* rt, ProcessorId id, uint32_t inc,
            ReliableConfig cfg)
-      : channel(s, n, id, inc, cfg) {}
+      : channel(rt->clock(), rt->executor(), rt->transport(), id, inc, cfg) {}
 
   void HandleMessage(const Message& m) override {
     const bool consumed = channel.HandleMessage(
@@ -50,13 +51,15 @@ struct Rig {
   sim::Scheduler sched;
   CommGraph graph;
   Network net;
+  runtime::SimRuntime rt;
   Endpoint a, b;
 
   Rig(NetworkConfig nc, ReliableConfig rc, uint64_t seed = 7)
       : graph(2),
         net(&sched, &graph, nc, seed),
-        a(&sched, &net, 0, /*inc=*/0, rc),
-        b(&sched, &net, 1, /*inc=*/0, rc) {
+        rt(&sched, &net),
+        a(&rt, 0, /*inc=*/0, rc),
+        b(&rt, 1, /*inc=*/0, rc) {
     net.Register(0, &a);
     net.Register(1, &b);
   }
@@ -138,8 +141,8 @@ TEST(ReliableChannel, BackoffCapsAndDeadlineFiresTheTimeoutHook) {
 TEST(ReliableChannel, AcksFromAnotherIncarnationAreStale) {
   NetworkConfig nc;
   Rig rig(nc, ReliableConfig{});
-  sim::Scheduler sched;
-  ReliableChannel reborn(&rig.sched, &rig.net, 0, /*incarnation=*/2,
+  ReliableChannel reborn(rig.rt.clock(), rig.rt.executor(),
+                         rig.rt.transport(), 0, /*incarnation=*/2,
                          ReliableConfig{});
   const uint64_t rel_id = reborn.Send(1, kPayload, std::string("x"));
 

@@ -41,8 +41,7 @@ TEST(Scale, FifteenNodesConvergeAndServe) {
   cc.ops_per_txn = 2;
   cc.zipf_theta = 0.5;
   cc.seed = 151;
-  auto clients = workload::MakeClients(nodes, &cluster.scheduler(),
-                                       &cluster.graph(), 10, cc);
+  auto clients = workload::MakeClients(nodes, cluster.runtime_view(), 10, cc);
   for (auto& c : clients) c->Start(sim::Millis(2));
 
   cluster.injector().PartitionAt(sim::Seconds(3),
@@ -79,8 +78,7 @@ TEST(Scale, DeterministicAtScale) {
     for (ProcessorId p = 0; p < 12; ++p) nodes.push_back(&cluster.node(p));
     workload::ClientConfig cc;
     cc.seed = 777;
-    auto clients = workload::MakeClients(nodes, &cluster.scheduler(),
-                                         &cluster.graph(), 8, cc);
+    auto clients = workload::MakeClients(nodes, cluster.runtime_view(), 8, cc);
     for (auto& c : clients) c->Start();
     cluster.injector().PartitionAt(sim::Seconds(2),
                                    {{0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11}});

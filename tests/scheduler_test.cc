@@ -163,6 +163,32 @@ TEST(Timer, SetInsideCallbackWorks) {
   EXPECT_EQ(fires, 3);
 }
 
+TEST(Scheduler, CancelBookkeepingDoesNotLeak) {
+  Scheduler s;
+  // Cancel of a queued event is recorded once; stale or invented handles
+  // are not recorded at all, so the cancelled set is bounded by the queue.
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(s.ScheduleAfter(10, [] {}));
+  }
+  for (EventId id : ids) {
+    s.Cancel(id);
+    s.Cancel(id);                 // Double-cancel: no second entry.
+    s.Cancel(id + 10'000'000);    // Never-issued handle: no entry.
+  }
+  EXPECT_EQ(s.cancelled_pending(), 1000u);
+  s.RunUntilIdle();
+  EXPECT_EQ(s.events_executed(), 0u);
+  EXPECT_EQ(s.cancelled_pending(), 0u);
+
+  // The historical leak: cancelling after the event fired used to park the
+  // id in the cancelled set forever.
+  const EventId fired = s.ScheduleAfter(1, [] {});
+  s.RunUntilIdle();
+  s.Cancel(fired);
+  EXPECT_EQ(s.cancelled_pending(), 0u);
+}
+
 TEST(TimeHelpers, Conversions) {
   EXPECT_EQ(Millis(3), 3000);
   EXPECT_EQ(Seconds(2), 2'000'000);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "harness/cluster.h"
+#include "test_util.h"
 #include "workload/client.h"
 
 namespace vp {
@@ -30,12 +31,7 @@ struct StressParams {
 
 class VpStressTest : public ::testing::TestWithParam<StressParams> {};
 
-std::vector<core::NodeBase*> AllNodes(Cluster& cluster) {
-  std::vector<core::NodeBase*> nodes;
-  for (ProcessorId p = 0; p < cluster.size(); ++p)
-    nodes.push_back(&cluster.node(p));
-  return nodes;
-}
+using testutil::AllNodes;
 
 TEST_P(VpStressTest, FaultStormPreservesOneCopySR) {
   const StressParams& params = GetParam();
@@ -54,8 +50,7 @@ TEST_P(VpStressTest, FaultStormPreservesOneCopySR) {
   cc.think_time = sim::Millis(10);
   cc.rmw = params.rmw;
   cc.seed = params.seed;
-  auto clients = workload::MakeClients(AllNodes(cluster),
-                                       &cluster.scheduler(), &cluster.graph(),
+  auto clients = workload::MakeClients(AllNodes(cluster), cluster.runtime_view(),
                                        config.n_objects, cc);
   for (auto& c : clients) c->Start(sim::Millis(5));
 
@@ -140,8 +135,7 @@ TEST(BaselineStress, QuorumFaultFree) {
   cc.ops_per_txn = 3;
   cc.rmw = true;
   cc.seed = 21;
-  auto clients = workload::MakeClients(AllNodes(cluster),
-                                       &cluster.scheduler(), &cluster.graph(),
+  auto clients = workload::MakeClients(AllNodes(cluster), cluster.runtime_view(),
                                        config.n_objects, cc);
   for (auto& c : clients) c->Start(sim::Millis(1));
   cluster.RunFor(sim::Seconds(5));
@@ -170,8 +164,7 @@ TEST(BaselineStress, QuorumUnderPartition) {
   cc.ops_per_txn = 2;
   cc.rmw = true;
   cc.seed = 22;
-  auto clients = workload::MakeClients(AllNodes(cluster),
-                                       &cluster.scheduler(), &cluster.graph(),
+  auto clients = workload::MakeClients(AllNodes(cluster), cluster.runtime_view(),
                                        config.n_objects, cc);
   for (auto& c : clients) c->Start(sim::Millis(1));
   cluster.injector().PartitionAt(sim::Millis(800), {{0, 1}, {2, 3, 4}});
@@ -199,8 +192,7 @@ TEST(BaselineStress, RowaFaultFree) {
   cc.ops_per_txn = 3;
   cc.rmw = true;
   cc.seed = 23;
-  auto clients = workload::MakeClients(AllNodes(cluster),
-                                       &cluster.scheduler(), &cluster.graph(),
+  auto clients = workload::MakeClients(AllNodes(cluster), cluster.runtime_view(),
                                        config.n_objects, cc);
   for (auto& c : clients) c->Start(sim::Millis(1));
   cluster.RunFor(sim::Seconds(5));

@@ -12,6 +12,30 @@
 
 namespace vp::testutil {
 
+/// Shared cluster-config builder: `n_processors` nodes, `n_objects` fully
+/// replicated objects, chosen protocol, everything else default. The
+/// per-file Cfg helpers delegate here instead of re-listing the fields.
+inline harness::ClusterConfig Cfg(
+    uint32_t n_processors, uint64_t seed,
+    harness::Protocol protocol = harness::Protocol::kVirtualPartition,
+    ObjectId n_objects = 4) {
+  harness::ClusterConfig c;
+  c.n_processors = n_processors;
+  c.n_objects = n_objects;
+  c.seed = seed;
+  c.protocol = protocol;
+  return c;
+}
+
+/// Pointers to every node, in processor order (MakeClients input).
+inline std::vector<core::NodeBase*> AllNodes(harness::Cluster& cluster) {
+  std::vector<core::NodeBase*> nodes;
+  nodes.reserve(cluster.size());
+  for (ProcessorId p = 0; p < cluster.size(); ++p)
+    nodes.push_back(&cluster.node(p));
+  return nodes;
+}
+
 struct ScriptOp {
   enum class Kind { kRead, kWrite, kIncrement } kind = Kind::kRead;
   ObjectId obj = kInvalidObject;

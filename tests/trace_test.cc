@@ -6,8 +6,7 @@
 namespace vp::history {
 namespace {
 
-Recorder MakeRecorder() {
-  Recorder rec;
+void FillRecorder(Recorder& rec) {
   rec.JoinVp(0, {1, 0}, {0, 1}, 5000);
   rec.JoinVp(1, {1, 0}, {0, 1}, 6000);
 
@@ -23,11 +22,11 @@ Recorder MakeRecorder() {
   rec.TxnAbort({1, 1}, 16'000);
 
   rec.DepartVp(1, 20'000);
-  return rec;
 }
 
 TEST(Trace, FormatTransactionsCommittedOnly) {
-  Recorder rec = MakeRecorder();
+  Recorder rec;
+  FillRecorder(rec);
   const std::string out = FormatTransactions(rec);
   EXPECT_NE(out.find("t0.1 [vp (1,0)] commit@13.0ms: R(o2)='x' W(o0)='y'"),
             std::string::npos)
@@ -36,7 +35,8 @@ TEST(Trace, FormatTransactionsCommittedOnly) {
 }
 
 TEST(Trace, FormatTransactionsIncludeAborted) {
-  Recorder rec = MakeRecorder();
+  Recorder rec;
+  FillRecorder(rec);
   TraceOptions options;
   options.include_aborted = true;
   const std::string out = FormatTransactions(rec, options);
@@ -45,7 +45,8 @@ TEST(Trace, FormatTransactionsIncludeAborted) {
 }
 
 TEST(Trace, FormatTransactionsObjectFilter) {
-  Recorder rec = MakeRecorder();
+  Recorder rec;
+  FillRecorder(rec);
   TraceOptions options;
   options.only_object = 2;
   const std::string out = FormatTransactions(rec, options);
@@ -54,7 +55,8 @@ TEST(Trace, FormatTransactionsObjectFilter) {
 }
 
 TEST(Trace, FormatViewEvents) {
-  Recorder rec = MakeRecorder();
+  Recorder rec;
+  FillRecorder(rec);
   const std::string out = FormatViewEvents(rec);
   EXPECT_NE(out.find("@5.0ms p0 join (1,0) view={0,1}"), std::string::npos)
       << out;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/cluster.h"
+#include "test_util.h"
 
 namespace vp {
 namespace {
@@ -12,12 +13,7 @@ using harness::ClusterConfig;
 using harness::Protocol;
 
 ClusterConfig BasicConfig(uint32_t n, uint64_t seed = 1) {
-  ClusterConfig c;
-  c.n_processors = n;
-  c.n_objects = 4;
-  c.seed = seed;
-  c.protocol = Protocol::kVirtualPartition;
-  return c;
+  return testutil::Cfg(n, seed);
 }
 
 TEST(VpBasic, ThreeNodesConvergeToOnePartition) {

@@ -19,12 +19,8 @@ using testutil::TxnOutcome;
 using testutil::Write;
 
 ClusterConfig Config(uint32_t n, uint64_t seed = 3) {
-  ClusterConfig c;
-  c.n_processors = n;
-  c.n_objects = 3;
-  c.seed = seed;
-  c.protocol = Protocol::kVirtualPartition;
-  return c;
+  return testutil::Cfg(n, seed, Protocol::kVirtualPartition,
+                       /*n_objects=*/3);
 }
 
 TEST(VpR4, TxnAbortsWhenCoordinatorChangesPartition) {

@@ -21,12 +21,8 @@ using harness::ClusterConfig;
 using harness::Protocol;
 
 ClusterConfig Cfg(uint32_t n, uint64_t seed = 13) {
-  ClusterConfig c;
-  c.n_processors = n;
-  c.n_objects = 2;
-  c.seed = seed;
-  c.protocol = Protocol::kVirtualPartition;
-  return c;
+  return testutil::Cfg(n, seed, Protocol::kVirtualPartition,
+                       /*n_objects=*/2);
 }
 
 TEST(VpCreation, InvitationWithLowerIdIsIgnored) {
