@@ -12,20 +12,29 @@
 //
 // Usage:
 //   bench_throughput [--smoke] [--protocol=NAME] [--clients=N]
-//                    [--duration-ms=N] [--out=PATH]
+//                    [--duration-ms=N] [--out=PATH] [--trace-out=PATH]
+//                    [--overhead-check]
 //
 // --smoke shrinks the run for CI (TSan job): short window, fewer clients,
 // all protocols, full certification.
+// --trace-out enables causal tracing for the first protocol's run and
+// writes its Chrome trace_event JSON there.
+// --overhead-check runs VP twice uninstrumented and once with tracing on,
+// and fails (exit 1) if the traced run's throughput drops below 90% of the
+// slower baseline. The guard is skipped when the baselines committed too
+// few transactions for the comparison to mean anything (short smoke
+// windows under TSan).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "harness/thread_cluster.h"
 
 namespace vp::bench {
@@ -38,6 +47,10 @@ struct Options {
   uint32_t duration_ms = 5000;
   uint32_t warmup_ms = 1000;
   std::string out = "BENCH_throughput.json";
+  /// Enable tracing on the first protocol's run and write its span JSON.
+  std::string trace_out;
+  /// Instrumentation-overhead guard mode (see file comment).
+  bool overhead_check = false;
 };
 
 struct ProtoResult {
@@ -49,6 +62,7 @@ struct ProtoResult {
   double p99_ms = 0;
   bool certified_1sr = false;
   std::string certify_detail;
+  obs::MetricsSnapshot metrics;
 };
 
 double PercentileMs(std::vector<runtime::Duration>& lat, double q) {
@@ -59,12 +73,14 @@ double PercentileMs(std::vector<runtime::Duration>& lat, double q) {
   return sim::ToMillis(lat[idx]);
 }
 
-ProtoResult RunOne(harness::Protocol proto, const Options& opts) {
+ProtoResult RunOne(harness::Protocol proto, const Options& opts,
+                   bool tracing = false, const std::string& trace_out = {}) {
   using TC = harness::ThreadCluster;
   harness::ThreadClusterConfig cfg;
   cfg.n_processors = 3;
   cfg.n_objects = 16;
   cfg.protocol = proto;
+  cfg.tracing = tracing || !trace_out.empty();
   // Wall-clock-realistic VP bounds. The sim defaults (δ=5ms, π=100ms) are
   // tuned for modeled delays; on an oversubscribed host a busy worker pool
   // alone can exceed 2δ, and every missed probe deadline tears the view
@@ -136,41 +152,81 @@ ProtoResult RunOne(harness::Protocol proto, const Options& opts) {
   const history::CertifyResult cert = cluster.Certify();
   result.certified_1sr = cert.ok;
   result.certify_detail = cert.detail;
+  result.metrics = cluster.metrics().Snapshot();
+  if (!trace_out.empty()) {
+    if (cluster.tracer().WriteFile(trace_out)) {
+      std::printf("wrote trace to %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    }
+  }
   return result;
 }
 
 void WriteJson(const std::string& path, const Options& opts,
                const std::vector<ProtoResult>& results) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
+  WriteBenchJson(path, "throughput", [&](obs::JsonWriter& w) {
+    w.Field("backend", "thread");
+    w.Field("n_processors", 3);
+    w.Field("n_objects", 16);
+    w.Field("clients", opts.clients);
+    w.Field("duration_ms", opts.duration_ms);
+    w.Field("hardware_threads",
+            static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    w.BeginArray("results");
+    for (const ProtoResult& r : results) {
+      w.BeginObject();
+      w.Field("protocol", r.protocol);
+      w.Field("committed", r.committed);
+      w.Field("aborted", r.aborted);
+      w.Field("txns_per_sec", r.txns_per_sec, 1);
+      w.Field("p50_commit_ms", r.p50_ms);
+      w.Field("p99_commit_ms", r.p99_ms);
+      w.Field("certified_1sr", r.certified_1sr);
+      r.metrics.WriteJson(w, "metrics");
+      w.EndObject();
+    }
+    w.EndArray();
+  });
+}
+
+/// --overhead-check: the registry is always on, so the only switchable
+/// instrumentation is tracing. Two uninstrumented baselines bound the
+/// run-to-run noise; the traced run must stay within 10% of the slower one.
+int OverheadCheck(const Options& opts) {
+  const harness::Protocol proto = harness::Protocol::kVirtualPartition;
+  std::printf("overhead check: VP, %u clients, %u ms window\n", opts.clients,
+              opts.duration_ms);
+  const ProtoResult base1 = RunOne(proto, opts);
+  const ProtoResult base2 = RunOne(proto, opts);
+  const ProtoResult traced = RunOne(proto, opts, /*tracing=*/true);
+  const double base_floor = std::min(base1.txns_per_sec, base2.txns_per_sec);
+  std::printf("  baseline   %.1f / %.1f txns/sec (%llu / %llu committed)\n",
+              base1.txns_per_sec, base2.txns_per_sec,
+              static_cast<unsigned long long>(base1.committed),
+              static_cast<unsigned long long>(base2.committed));
+  std::printf("  traced     %.1f txns/sec (%llu committed)\n",
+              traced.txns_per_sec,
+              static_cast<unsigned long long>(traced.committed));
+  // Below this many committed transactions the window is noise-dominated
+  // (short smoke runs on oversubscribed CI hosts) and a ratio test would
+  // flake; report but do not enforce.
+  constexpr uint64_t kMinTxnsForGuard = 200;
+  const uint64_t min_committed = std::min(base1.committed, base2.committed);
+  if (min_committed < kMinTxnsForGuard) {
+    std::printf("  guard skipped: baseline committed %llu < %llu\n",
+                static_cast<unsigned long long>(min_committed),
+                static_cast<unsigned long long>(kMinTxnsForGuard));
+    return 0;
   }
-  char buf[256];
-  out << "{\n"
-      << "  \"bench\": \"throughput\",\n"
-      << "  \"backend\": \"thread\",\n"
-      << "  \"n_processors\": 3,\n  \"n_objects\": 16,\n"
-      << "  \"clients\": " << opts.clients << ",\n"
-      << "  \"duration_ms\": " << opts.duration_ms << ",\n"
-      << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
-      << ",\n"
-      << "  \"results\": [\n";
-  for (size_t i = 0; i < results.size(); ++i) {
-    const ProtoResult& r = results[i];
-    std::snprintf(buf, sizeof(buf),
-                  "    {\"protocol\": \"%s\", \"committed\": %llu, "
-                  "\"aborted\": %llu, \"txns_per_sec\": %.1f, "
-                  "\"p50_commit_ms\": %.3f, \"p99_commit_ms\": %.3f, "
-                  "\"certified_1sr\": %s}%s\n",
-                  r.protocol.c_str(),
-                  static_cast<unsigned long long>(r.committed),
-                  static_cast<unsigned long long>(r.aborted), r.txns_per_sec,
-                  r.p50_ms, r.p99_ms, r.certified_1sr ? "true" : "false",
-                  i + 1 < results.size() ? "," : "");
-    out << buf;
+  if (traced.txns_per_sec < 0.9 * base_floor) {
+    std::fprintf(stderr,
+                 "overhead check FAILED: traced %.1f < 90%% of baseline %.1f\n",
+                 traced.txns_per_sec, base_floor);
+    return 1;
   }
-  out << "  ]\n}\n";
+  std::printf("  guard ok: traced within 10%% of baseline\n");
+  return 0;
 }
 
 int Main(int argc, char** argv) {
@@ -191,6 +247,10 @@ int Main(int argc, char** argv) {
       opts.duration_ms = static_cast<uint32_t>(std::atoi(v));
     } else if (const char* v = val("--out=")) {
       opts.out = v;
+    } else if (const char* v = val("--trace-out=")) {
+      opts.trace_out = v;
+    } else if (arg == "--overhead-check") {
+      opts.overhead_check = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -201,6 +261,7 @@ int Main(int argc, char** argv) {
     opts.duration_ms = 400;
     opts.warmup_ms = 400;
   }
+  if (opts.overhead_check) return OverheadCheck(opts);
 
   std::vector<harness::Protocol> protos;
   if (opts.protocol.empty()) {
@@ -223,7 +284,9 @@ int Main(int argc, char** argv) {
   std::vector<ProtoResult> results;
   bool all_certified = true;
   for (harness::Protocol proto : protos) {
-    ProtoResult r = RunOne(proto, opts);
+    // Tracing (when requested) applies to the first protocol's run only.
+    ProtoResult r = RunOne(proto, opts, /*tracing=*/false,
+                           results.empty() ? opts.trace_out : std::string());
     std::printf("%-18s %12.1f %10llu %12.3f %12.3f  %s\n",
                 r.protocol.c_str(), r.txns_per_sec,
                 static_cast<unsigned long long>(r.committed), r.p50_ms,

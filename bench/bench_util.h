@@ -1,13 +1,17 @@
 // Shared experiment-harness helpers for the bench/ binaries: standardized
-// workload runs over a cluster and aligned table printing.
+// workload runs over a cluster, aligned table printing, and the one JSON
+// report writer every committed BENCH_*.json file goes through.
 #ifndef VPART_BENCH_BENCH_UTIL_H_
 #define VPART_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "harness/cluster.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "workload/client.h"
 
 namespace vp::bench {
@@ -27,6 +31,9 @@ struct RunResult {
   bool certified_1sr = false;
   std::string certify_detail;
   core::ProtocolStats proto;
+  /// Snapshot of the cluster registry at the end of the run (cumulative
+  /// since cluster construction, not windowed like the fields above).
+  obs::MetricsSnapshot metrics;
 };
 
 struct RunOptions {
@@ -58,14 +65,14 @@ inline RunResult RunWorkload(harness::Cluster& cluster,
                             cluster.placement().object_count(), opts.client);
 
   const auto proto_before = cluster.AggregateStats();
-  const auto net_before = cluster.network().stats();
+  const uint64_t remote_before =
+      cluster.metrics().Snapshot().CounterValue("net.msgs_remote");
   for (auto& c : clients) c->Start(sim::Millis(1));
   cluster.RunFor(opts.measure);
   for (auto& c : clients) c->Stop();
   cluster.RunFor(opts.drain);
 
   const auto proto_after = cluster.AggregateStats();
-  const auto net_after = cluster.network().stats();
   const auto agg = workload::Aggregate(clients);
 
   RunResult r;
@@ -82,7 +89,8 @@ inline RunResult RunWorkload(harness::Cluster& cluster,
   r.phys_reads = proto_after.phys_reads_sent - proto_before.phys_reads_sent;
   r.phys_writes =
       proto_after.phys_writes_sent - proto_before.phys_writes_sent;
-  r.remote_msgs = net_after.sent_remote - net_before.sent_remote;
+  r.metrics = cluster.metrics().Snapshot();
+  r.remote_msgs = r.metrics.CounterValue("net.msgs_remote") - remote_before;
   r.stale_reads = cluster.recorder().CountStaleReads();
   r.proto = proto_after;
   if (opts.certify) {
@@ -136,6 +144,26 @@ inline std::string Fmt(double v, int decimals = 2) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
   return buf;
+}
+
+/// The one writer for committed BENCH_*.json reports. Opens the root
+/// object, stamps the bench name, hands the writer to `body` for the
+/// report-specific fields and arrays, closes and writes the file. Returns
+/// false (after reporting to stderr) on I/O error.
+template <typename BodyFn>
+bool WriteBenchJson(const std::string& path, std::string_view bench,
+                    BodyFn&& body) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("bench", bench);
+  body(w);
+  w.EndObject();
+  if (!w.WriteFile(path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace vp::bench

@@ -9,6 +9,12 @@
 //   nemesis_campaign --weighted-placements ...         # a²b copy geometries
 //   nemesis_campaign --protocol=quorum --harsh ...     # harsher knob menus
 //   nemesis_campaign --reliable ...                    # ack/retry delivery
+//   nemesis_campaign --first-seed=7 --trace-out=t.json # trace one run
+//   nemesis_campaign --replay=f.plan --trace-out=t.json
+//
+// --trace-out runs a single plan (the replayed plan, or the plan generated
+// from --first-seed) with causal tracing enabled and writes the run's
+// Chrome trace_event JSON for Perfetto.
 //
 // Campaign mode prints a pass/fail table plus fault-mix coverage; every
 // violation is shrunk to a minimal plan and saved as a replayable
@@ -79,9 +85,10 @@ void PrintOutcome(const RunOutcome& outcome) {
   if (outcome.violation()) {
     std::printf("  witness: %s\n", outcome.failure.c_str());
   }
+  std::printf("metrics:\n%s", outcome.metrics.Format().c_str());
 }
 
-int Replay(const std::string& path) {
+int Replay(const std::string& path, const vp::nemesis::RunOptions& opts) {
   vp::Result<FaultPlan> plan = FaultPlan::LoadFile(path);
   if (!plan.ok()) {
     std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
@@ -92,8 +99,11 @@ int Replay(const std::string& path) {
               vp::harness::ProtocolName(plan.value().protocol).c_str(),
               plan.value().actions.size(),
               static_cast<unsigned long long>(plan.value().seed));
-  RunOutcome outcome = vp::nemesis::RunPlan(plan.value());
+  RunOutcome outcome = vp::nemesis::RunPlan(plan.value(), opts);
   PrintOutcome(outcome);
+  if (!opts.trace_out.empty()) {
+    std::printf("wrote trace to %s\n", opts.trace_out.c_str());
+  }
   return outcome.violation() ? 1 : 0;
 }
 
@@ -103,6 +113,7 @@ int main(int argc, char** argv) {
   CampaignConfig config;
   std::string replay_path;
   std::string out_dir = ".";
+  std::string trace_out;
   uint64_t dump_seed = 0;
   bool have_dump_seed = false;
 
@@ -162,6 +173,8 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--dump-seed", &value)) {
       dump_seed = std::strtoull(value.c_str(), nullptr, 10);
       have_dump_seed = true;
+    } else if (ParseFlag(argv[i], "--trace-out", &value)) {
+      trace_out = value;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seeds=N] [--first-seed=K] [--protocol=NAME]\n"
@@ -169,18 +182,35 @@ int main(int argc, char** argv) {
                    "          [--weighted-placements] [--harsh] [--reliable]\n"
                    "          [--no-shrink] [--max-shrinks=N]\n"
                    "          [--shrink-budget=N] [--out-dir=DIR]\n"
-                   "          [--replay=FILE] [--dump-seed=K]\n",
+                   "          [--replay=FILE] [--dump-seed=K]\n"
+                   "          [--trace-out=FILE]\n",
                    argv[0]);
       return 2;
     }
   }
 
-  if (!replay_path.empty()) return Replay(replay_path);
+  vp::nemesis::RunOptions run_opts;
+  run_opts.trace_out = trace_out;
+
+  if (!replay_path.empty()) return Replay(replay_path, run_opts);
   if (have_dump_seed) {
     FaultPlan plan = vp::nemesis::GeneratePlan(dump_seed, config.generator);
     plan.protocol = config.protocol;
     std::fputs(plan.ToText().c_str(), stdout);
     return 0;
+  }
+  if (!trace_out.empty()) {
+    // Single traced run of the plan generated from --first-seed.
+    FaultPlan plan = vp::nemesis::GeneratePlan(config.first_seed,
+                                               config.generator);
+    plan.protocol = config.protocol;
+    std::printf("traced run of seed %llu (protocol=%s)\n",
+                static_cast<unsigned long long>(config.first_seed),
+                vp::harness::ProtocolName(config.protocol).c_str());
+    RunOutcome outcome = vp::nemesis::RunPlan(plan, run_opts);
+    PrintOutcome(outcome);
+    std::printf("wrote trace to %s\n", trace_out.c_str());
+    return outcome.violation() ? 1 : 0;
   }
 
   uint32_t done = 0;

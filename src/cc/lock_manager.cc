@@ -27,7 +27,11 @@ void LockManager::Grant(ObjectId obj, Lock& lock, TxnId txn, LockMode mode) {
   if (mode == LockMode::kExclusive) lock.exclusive = true;
   txn_objects_[txn].insert(obj);
   ++stats_.grants;
-  if (upgrade) ++stats_.upgrades;
+  ctr_grants_->Increment();
+  if (upgrade) {
+    ++stats_.upgrades;
+    ctr_upgrades_->Increment();
+  }
 }
 
 void LockManager::Acquire(TxnId txn, ObjectId obj, LockMode mode,
@@ -56,11 +60,13 @@ void LockManager::Acquire(TxnId txn, ObjectId obj, LockMode mode,
 
   // Queue the request with a timeout.
   ++stats_.waits;
+  ctr_waits_->Increment();
   Request req;
   req.id = next_request_id_++;
   req.txn = txn;
   req.mode = mode;
   req.cb = std::move(cb);
+  if (clock_ != nullptr) req.enqueued_at = clock_->Now();
   const uint64_t req_id = req.id;
   req.timeout_task =
       executor_->ScheduleAfter(timeout, [this, obj, req_id]() {
@@ -73,6 +79,7 @@ void LockManager::Acquire(TxnId txn, ObjectId obj, LockMode mode,
         LockCallback cb2 = std::move(it->cb);
         queue.erase(it);
         ++stats_.timeouts;
+        ctr_timeouts_->Increment();
         PumpQueue(obj);
         cb2(Status::Timeout("lock wait timeout"));
       });
@@ -89,6 +96,10 @@ void LockManager::PumpQueue(ObjectId obj) {
     Request granted = std::move(head);
     lock.queue.pop_front();
     CancelTimeout(granted);
+    if (clock_ != nullptr) {
+      hist_wait_us_->Observe(
+          static_cast<uint64_t>(clock_->Now() - granted.enqueued_at));
+    }
     Grant(obj, lock, granted.txn, granted.mode);
     granted.cb(Status::Ok());
     // Granting may have changed the lock state (or the callback may have

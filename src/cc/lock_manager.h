@@ -19,6 +19,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "runtime/runtime.h"
 
 namespace vp::cc {
@@ -38,9 +39,24 @@ struct LockStats {
 };
 
 /// Lock table for the copies stored at one processor.
+///
+/// `clock` and `metrics` are optional observability hooks: with a clock the
+/// manager records each queued request's enqueue→grant latency into the
+/// "lock.wait_us" histogram; without one, wait times are simply not
+/// measured (counters still mirror into the process-global registry).
 class LockManager {
  public:
-  explicit LockManager(runtime::Executor* executor) : executor_(executor) {}
+  explicit LockManager(runtime::Executor* executor,
+                       runtime::Clock* clock = nullptr,
+                       obs::MetricsRegistry* metrics = nullptr)
+      : executor_(executor), clock_(clock) {
+    if (metrics == nullptr) metrics = obs::MetricsRegistry::Default();
+    ctr_grants_ = metrics->counter("lock.grants");
+    ctr_waits_ = metrics->counter("lock.waits");
+    ctr_timeouts_ = metrics->counter("lock.timeouts");
+    ctr_upgrades_ = metrics->counter("lock.upgrades");
+    hist_wait_us_ = metrics->histogram("lock.wait_us");
+  }
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
@@ -80,6 +96,7 @@ class LockManager {
     LockMode mode;
     LockCallback cb;
     runtime::TaskId timeout_task = runtime::kInvalidTask;
+    runtime::TimePoint enqueued_at = 0;  // meaningful only with clock_
   };
   struct Lock {
     // Invariant: holders is empty, one exclusive holder, or >=1 shared
@@ -98,6 +115,12 @@ class LockManager {
   void CancelTimeout(Request& req);
 
   runtime::Executor* executor_;
+  runtime::Clock* clock_;
+  obs::Counter* ctr_grants_;
+  obs::Counter* ctr_waits_;
+  obs::Counter* ctr_timeouts_;
+  obs::Counter* ctr_upgrades_;
+  obs::Histogram* hist_wait_us_;
   std::unordered_map<ObjectId, Lock> locks_;
   std::unordered_map<TxnId, std::set<ObjectId>, TxnIdHash> txn_objects_;
   LockStats stats_;

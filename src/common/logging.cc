@@ -17,16 +17,36 @@ void Logger::InitFromEnv() {
   else if (std::strcmp(env, "off") == 0) level_ = LogLevel::kOff;
 }
 
+namespace {
+thread_local int tl_processor = -1;
+}  // namespace
+
+void Logger::SetThreadProcessor(int processor) { tl_processor = processor; }
+
 void Logger::Write(LogLevel level, int64_t sim_us, const std::string& msg) {
   static const char* const kNames[] = {"TRACE", "DEBUG", "INFO",
                                        "WARN",  "ERROR", "OFF"};
-  if (sim_us >= 0) {
-    std::fprintf(stderr, "[%s] [t=%lld] %s\n", kNames[static_cast<int>(level)],
-                 static_cast<long long>(sim_us), msg.c_str());
-  } else {
-    std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)],
-                 msg.c_str());
+  // Format the whole line first and emit it with a single fwrite: stdio
+  // locks per call, so one call per line is what keeps concurrent strands
+  // from interleaving their output mid-line.
+  char prefix[64];
+  int n = std::snprintf(prefix, sizeof(prefix), "[%s]",
+                        kNames[static_cast<int>(level)]);
+  if (tl_processor >= 0) {
+    n += std::snprintf(prefix + n, sizeof(prefix) - static_cast<size_t>(n),
+                       " [p%d]", tl_processor);
   }
+  if (sim_us >= 0) {
+    n += std::snprintf(prefix + n, sizeof(prefix) - static_cast<size_t>(n),
+                       " [t=%lld]", static_cast<long long>(sim_us));
+  }
+  std::string line;
+  line.reserve(static_cast<size_t>(n) + msg.size() + 2);
+  line.append(prefix, static_cast<size_t>(n));
+  line += ' ';
+  line += msg;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace vp

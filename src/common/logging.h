@@ -28,8 +28,17 @@ class Logger {
   /// Reads VPART_LOG (trace|debug|info|warn|error|off) once at startup.
   static void InitFromEnv();
 
-  /// Emits one line: "[lvl] [t=<sim_us>] <msg>". sim_us < 0 omits the clock.
+  /// Emits one line: "[lvl] [p<proc>] [t=<sim_us>] <msg>". sim_us < 0 omits
+  /// the clock; the processor tag appears only on threads that declared one
+  /// (see SetThreadProcessor). The line is formatted into a single buffer
+  /// and emitted with one fwrite, so concurrent ThreadRuntime strands never
+  /// interleave mid-line.
   static void Write(LogLevel level, int64_t sim_us, const std::string& msg);
+
+  /// Tags the calling thread's log lines with a processor id (< 0 clears
+  /// the tag). ThreadRuntime workers set this per task to the strand they
+  /// are executing; the single-threaded sim backend leaves it unset.
+  static void SetThreadProcessor(int processor);
 
  private:
   static LogLevel level_;

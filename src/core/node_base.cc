@@ -15,6 +15,14 @@ NodeBase::NodeBase(ProcessorId id, NodeEnv env,
       outcome_retry_period_(outcome_retry_period) {
   VP_CHECK(env_.clock && env_.executor && env_.transport &&
            env_.placement && env_.store && env_.locks && env_.recorder);
+  metrics_ = env_.metrics != nullptr ? env_.metrics
+                                     : obs::MetricsRegistry::Default();
+  tracer_ = env_.tracer != nullptr ? env_.tracer : obs::Tracer::Disabled();
+  ctr_phys_reads_served_ = metrics_->counter("node.phys_reads_served");
+  ctr_phys_writes_served_ = metrics_->counter("node.phys_writes_served");
+  ctr_phys_nacks_ = metrics_->counter("node.phys_nacks");
+  hist_txn_us_ = metrics_->histogram("txn.duration_us");
+  hist_outcome_ack_us_ = metrics_->histogram("txn.outcome_ack_us");
   if (env_.stable != nullptr) {
     // Salt all local sequence counters with the incarnation so a rebooted
     // processor never reissues a transaction or op id from a previous life
@@ -30,7 +38,8 @@ NodeBase::NodeBase(ProcessorId id, NodeEnv env,
                              ? static_cast<uint32_t>(env_.stable->incarnation())
                              : 0;
     rel_ = std::make_unique<net::ReliableChannel>(
-        env_.clock, env_.executor, env_.transport, id_, inc, env_.reliable);
+        env_.clock, env_.executor, env_.transport, id_, inc, env_.reliable,
+        metrics_, tracer_);
   }
 }
 
@@ -123,10 +132,14 @@ NodeBase::TxnRec* NodeBase::FindTxn(TxnId txn) {
 
 void NodeBase::Begin(TxnId txn) {
   VP_CHECK_MSG(txns_.count(txn) == 0, "duplicate transaction id");
-  txns_[txn] = TxnRec{};
+  TxnRec& rec = txns_[txn];
+  rec.trace = tracer_->NewTraceId();
+  rec.begun_at = env_.clock->Now();
   decisions_.MarkActive(txn);
-  env_.recorder->TxnBegin(txn, id_, env_.clock->Now());
+  env_.recorder->TxnBegin(txn, id_, rec.begun_at);
   ++stats_.txns_begun;
+  tracer_->AsyncBegin(rec.trace, id_, rec.begun_at, "txn", "txn",
+                      {{"txn", txn.ToString()}});
 }
 
 void NodeBase::Abort(TxnId txn) { InternalAbort(txn); }
@@ -172,14 +185,25 @@ void NodeBase::Decide(TxnId txn, TxnRec* rec, bool committed) {
     env_.stable->AppendWal(
         storage::WalRecord{storage::WalRecord::Type::kDecision, txn});
   }
+  rec->decided_at = env_.clock->Now();
   if (committed) {
-    env_.recorder->TxnCommit(txn, env_.clock->Now());
+    env_.recorder->TxnCommit(txn, rec->decided_at);
     ++stats_.txns_committed;
   } else {
-    env_.recorder->TxnAbort(txn, env_.clock->Now());
+    env_.recorder->TxnAbort(txn, rec->decided_at);
     ++stats_.txns_aborted;
   }
+  hist_txn_us_->Observe(static_cast<uint64_t>(rec->decided_at -
+                                              rec->begun_at));
+  tracer_->AsyncEnd(rec->trace, id_, rec->decided_at, "txn", "txn",
+                    {{"outcome", committed ? "commit" : "abort"}});
   rec->outcome_unacked = rec->participants;
+  if (!rec->outcome_unacked.empty()) {
+    // The 2PC outcome phase: broadcast until the last participant acks.
+    tracer_->AsyncBegin(rec->trace, id_, rec->decided_at, "2pc.outcome",
+                        "txn", {{"participants",
+                                 std::to_string(rec->participants.size())}});
+  }
   BroadcastOutcome(txn);
 }
 
@@ -188,7 +212,8 @@ void NodeBase::BroadcastOutcome(TxnId txn) {
   if (rec == nullptr || rec->outcome_unacked.empty()) return;
   const bool committed = rec->st == cc::TxnOutcome::kCommitted;
   for (ProcessorId p : rec->outcome_unacked) {
-    SendPhys(p, msg::kTxnOutcome, msg::TxnOutcomeMsg{txn, committed});
+    SendPhys(p, msg::kTxnOutcome, msg::TxnOutcomeMsg{txn, committed},
+             /*on_timeout=*/nullptr, rec->trace);
   }
   ScheduleOutcomeRetry(txn);
 }
@@ -232,24 +257,31 @@ void NodeBase::HandlePhysRead(const net::Message& m) {
   const auto& req = net::BodyAs<msg::PhysRead>(m);
   if (MaybeDefer(m)) return;
   const ProcessorId reply_to = m.src;
+  const uint64_t trace = m.trace;
   if (!req.recovery && remote_outcomes_.count(req.txn) > 0) {
     // Duplicate/reordered request for an already-decided transaction.
+    ctr_phys_nacks_->Increment();
     SendPhys(reply_to, msg::kPhysReadReply,
          msg::PhysReadReply{req.op_id, false, "stale-txn", Value(),
-                            kEpochDate});
+                            kEpochDate},
+         nullptr, trace);
     return;
   }
   Status admit = ValidateAccess(req.txn, req.v, req.obj, req.footprint,
                                 req.recovery, /*is_write=*/false);
   if (!admit.ok()) {
+    ctr_phys_nacks_->Increment();
     SendPhys(reply_to, msg::kPhysReadReply,
          msg::PhysReadReply{req.op_id, false, std::string(admit.message()),
-                            Value(), kEpochDate});
+                            Value(), kEpochDate},
+         nullptr, trace);
     return;
   }
   if (!env_.store->HasCopy(req.obj)) {
+    ctr_phys_nacks_->Increment();
     SendPhys(reply_to, msg::kPhysReadReply,
-         msg::PhysReadReply{req.op_id, false, "no-copy", Value(), kEpochDate});
+         msg::PhysReadReply{req.op_id, false, "no-copy", Value(), kEpochDate},
+         nullptr, trace);
     return;
   }
   const TxnId locker = req.recovery ? SyntheticTxnId() : req.txn;
@@ -261,19 +293,23 @@ void NodeBase::HandlePhysRead(const net::Message& m) {
       req.for_update ? cc::LockMode::kExclusive : cc::LockMode::kShared;
   env_.locks->Acquire(
       locker, obj, mode, lock_timeout_,
-      [this, locker, obj, op_id, txn, recovery, reply_to](Status s) {
+      [this, locker, obj, op_id, txn, recovery, reply_to, trace](Status s) {
         if (!s.ok()) {
+          ctr_phys_nacks_->Increment();
           SendPhys(reply_to, msg::kPhysReadReply,
                msg::PhysReadReply{op_id, false, "lock-timeout", Value(),
-                                  kEpochDate});
+                                  kEpochDate},
+               nullptr, trace);
           return;
         }
         if (!recovery && remote_outcomes_.count(txn) > 0) {
           // The outcome landed while this request waited for the lock.
           env_.locks->ReleaseAll(locker);
+          ctr_phys_nacks_->Increment();
           SendPhys(reply_to, msg::kPhysReadReply,
                msg::PhysReadReply{op_id, false, "stale-txn", Value(),
-                                  kEpochDate});
+                                  kEpochDate},
+               nullptr, trace);
           return;
         }
         auto version = env_.store->Read(obj);
@@ -297,9 +333,11 @@ void NodeBase::HandlePhysRead(const net::Message& m) {
           env_.recorder->PhysicalOp(id_, txn, obj, /*is_write=*/false,
                                     env_.clock->Now());
         }
+        ctr_phys_reads_served_->Increment();
         SendPhys(reply_to, msg::kPhysReadReply,
              msg::PhysReadReply{op_id, true, "", version.value().value,
-                                version.value().date});
+                                version.value().date},
+             nullptr, trace);
       });
 }
 
@@ -307,22 +345,27 @@ void NodeBase::HandlePhysWrite(const net::Message& m) {
   const auto& req = net::BodyAs<msg::PhysWrite>(m);
   if (MaybeDefer(m)) return;
   const ProcessorId reply_to = m.src;
+  const uint64_t trace = m.trace;
   if (remote_outcomes_.count(req.txn) > 0) {
     // Duplicate/reordered request for an already-decided transaction.
+    ctr_phys_nacks_->Increment();
     SendPhys(reply_to, msg::kPhysWriteReply,
-         msg::PhysWriteReply{req.op_id, false, "stale-txn"});
+         msg::PhysWriteReply{req.op_id, false, "stale-txn"}, nullptr, trace);
     return;
   }
   Status admit = ValidateAccess(req.txn, req.v, req.obj, req.footprint,
                                 /*is_recovery=*/false, /*is_write=*/true);
   if (!admit.ok()) {
+    ctr_phys_nacks_->Increment();
     SendPhys(reply_to, msg::kPhysWriteReply,
-         msg::PhysWriteReply{req.op_id, false, std::string(admit.message())});
+         msg::PhysWriteReply{req.op_id, false, std::string(admit.message())},
+         nullptr, trace);
     return;
   }
   if (!env_.store->HasCopy(req.obj)) {
+    ctr_phys_nacks_->Increment();
     SendPhys(reply_to, msg::kPhysWriteReply,
-         msg::PhysWriteReply{req.op_id, false, "no-copy"});
+         msg::PhysWriteReply{req.op_id, false, "no-copy"}, nullptr, trace);
     return;
   }
   const TxnId txn = req.txn;
@@ -332,23 +375,29 @@ void NodeBase::HandlePhysWrite(const net::Message& m) {
   const VpId date = req.v;
   env_.locks->Acquire(
       txn, obj, cc::LockMode::kExclusive, lock_timeout_,
-      [this, txn, obj, op_id, value, date, reply_to](Status s) {
+      [this, txn, obj, op_id, value, date, reply_to, trace](Status s) {
         if (!s.ok()) {
+          ctr_phys_nacks_->Increment();
           SendPhys(reply_to, msg::kPhysWriteReply,
-               msg::PhysWriteReply{op_id, false, "lock-timeout"});
+               msg::PhysWriteReply{op_id, false, "lock-timeout"}, nullptr,
+               trace);
           return;
         }
         if (remote_outcomes_.count(txn) > 0) {
           // The outcome landed while this request waited for the lock.
           env_.locks->ReleaseAll(txn);
+          ctr_phys_nacks_->Increment();
           SendPhys(reply_to, msg::kPhysWriteReply,
-               msg::PhysWriteReply{op_id, false, "stale-txn"});
+               msg::PhysWriteReply{op_id, false, "stale-txn"}, nullptr,
+               trace);
           return;
         }
         Status st = env_.store->StageWrite(txn, obj, value, date);
         if (!st.ok()) {
+          ctr_phys_nacks_->Increment();
           SendPhys(reply_to, msg::kPhysWriteReply,
-               msg::PhysWriteReply{op_id, false, std::string(st.message())});
+               msg::PhysWriteReply{op_id, false, std::string(st.message())},
+               nullptr, trace);
           return;
         }
         RemoteTxn& rt = remote_txns_[txn];
@@ -357,8 +406,9 @@ void NodeBase::HandlePhysWrite(const net::Message& m) {
         rt.last_activity = env_.clock->Now();
         env_.recorder->PhysicalOp(id_, txn, obj, /*is_write=*/true,
                                   env_.clock->Now());
+        ctr_phys_writes_served_->Increment();
         SendPhys(reply_to, msg::kPhysWriteReply,
-             msg::PhysWriteReply{op_id, true, ""});
+             msg::PhysWriteReply{op_id, true, ""}, nullptr, trace);
       });
 }
 
@@ -419,14 +469,22 @@ void NodeBase::ApplyOutcomeLocally(TxnId txn, bool committed) {
 void NodeBase::HandleTxnOutcome(const net::Message& m) {
   const auto& body = net::BodyAs<msg::TxnOutcomeMsg>(m);
   ApplyOutcomeLocally(body.txn, body.committed);
-  SendPhys(m.src, msg::kTxnOutcomeAck, msg::TxnOutcomeAck{body.txn, id_});
+  SendPhys(m.src, msg::kTxnOutcomeAck, msg::TxnOutcomeAck{body.txn, id_},
+           nullptr, m.trace);
 }
 
 void NodeBase::HandleTxnOutcomeAck(const net::Message& m) {
   const auto& body = net::BodyAs<msg::TxnOutcomeAck>(m);
   TxnRec* rec = FindTxn(body.txn);
   if (rec == nullptr) return;
+  const bool had_unacked = !rec->outcome_unacked.empty();
   rec->outcome_unacked.erase(body.from);
+  if (rec->outcome_unacked.empty() && had_unacked) {
+    const runtime::TimePoint now = env_.clock->Now();
+    hist_outcome_ack_us_->Observe(
+        static_cast<uint64_t>(now - rec->decided_at));
+    tracer_->AsyncEnd(rec->trace, id_, now, "2pc.outcome", "txn");
+  }
   if (rec->outcome_unacked.empty() &&
       rec->retry_event != runtime::kInvalidTask) {
     env_.executor->Cancel(rec->retry_event);
@@ -437,7 +495,8 @@ void NodeBase::HandleTxnOutcomeAck(const net::Message& m) {
 void NodeBase::HandleTxnStatusQuery(const net::Message& m) {
   const auto& body = net::BodyAs<msg::TxnStatusQuery>(m);
   SendPhys(m.src, msg::kTxnStatusReply,
-       msg::TxnStatusReply{body.txn, decisions_.Query(body.txn)});
+       msg::TxnStatusReply{body.txn, decisions_.Query(body.txn)}, nullptr,
+       m.trace);
 }
 
 void NodeBase::HandleTxnStatusReply(const net::Message& m) {

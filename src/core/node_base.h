@@ -30,6 +30,8 @@
 #include "history/recorder.h"
 #include "net/network.h"
 #include "net/reliable_channel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/runtime.h"
 #include "storage/placement.h"
 #include "storage/replica_store.h"
@@ -58,6 +60,11 @@ struct NodeEnv {
   /// (sends go straight to the lossy network, the pre-reliability
   /// behavior); the harness enables it per run.
   net::ReliableConfig reliable;
+  /// Metrics registry and tracer shared by the cluster. Null = the
+  /// process-global default registry / a disabled tracer, so node code
+  /// never null-checks either.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 
   /// Builder for unit tests: wires every field except `stable` from a
   /// TestEnv (defined in core/test_env.h, where this is implemented).
@@ -121,6 +128,11 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
     /// Participants that have not yet acknowledged the outcome.
     std::set<ProcessorId> outcome_unacked;
     runtime::TaskId retry_event = runtime::kInvalidTask;
+    /// Causal trace id stamped on every message this transaction emits
+    /// (0 when tracing is disabled — carried but never recorded).
+    uint64_t trace = 0;
+    runtime::TimePoint begun_at = 0;
+    runtime::TimePoint decided_at = 0;
   };
 
   /// Participant-side record of a transaction that touched local copies.
@@ -176,8 +188,15 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
   /// the in-doubt sweep to resolve against their coordinators.
   void ReplayWal();
 
-  void Send(ProcessorId dst, const char* type, std::any body) {
-    env_.transport->Send(id_, dst, type, std::move(body));
+  void Send(ProcessorId dst, const char* type, std::any body,
+            uint64_t trace = 0) {
+    net::Message m;
+    m.src = id_;
+    m.dst = dst;
+    m.type = type;
+    m.body = std::move(body);
+    m.trace = trace;
+    env_.transport->Send(std::move(m));
   }
 
   /// Sends a physical-operation message (request, reply, 2PC outcome)
@@ -190,12 +209,14 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
   /// cancellation); pass it to CancelPhys when the reply becomes
   /// irrelevant before it arrives.
   uint64_t SendPhys(ProcessorId dst, const char* type, std::any body,
-                    net::ReliableChannel::TimeoutFn on_timeout = nullptr) {
+                    net::ReliableChannel::TimeoutFn on_timeout = nullptr,
+                    uint64_t trace = 0) {
     if (rel_ == nullptr || dst == id_) {
-      env_.transport->Send(id_, dst, type, std::move(body));
+      Send(dst, type, std::move(body), trace);
       return 0;
     }
-    return rel_->Send(dst, type, std::move(body), std::move(on_timeout));
+    return rel_->Send(dst, type, std::move(body), std::move(on_timeout),
+                      trace);
   }
 
   /// Stops retransmitting a SendPhys whose reply no longer matters (e.g.
@@ -220,6 +241,15 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
 
   /// Reliable-delivery endpoint; null when env_.reliable.enabled is false.
   std::unique_ptr<net::ReliableChannel> rel_;
+
+  /// Observability (resolved from env_ in the constructor; never null).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* ctr_phys_reads_served_ = nullptr;
+  obs::Counter* ctr_phys_writes_served_ = nullptr;
+  obs::Counter* ctr_phys_nacks_ = nullptr;
+  obs::Histogram* hist_txn_us_ = nullptr;
+  obs::Histogram* hist_outcome_ack_us_ = nullptr;
 
   /// Mutable: stats() refreshes the rel_* counters from the channel.
   mutable ProtocolStats stats_;

@@ -13,7 +13,50 @@ VpNode::VpNode(ProcessorId id, NodeEnv env, VpConfig config)
       cur_id_{0, id},
       max_id_{0, id},
       lview_{id},
-      monitor_timer_(env.executor) {}
+      monitor_timer_(env.executor) {
+  ctr_phys_reads_issued_ = metrics_->counter("phys.reads_issued");
+  ctr_phys_reads_completed_ = metrics_->counter("phys.reads_completed");
+  ctr_phys_writes_issued_ = metrics_->counter("phys.writes_issued");
+  ctr_phys_writes_completed_ = metrics_->counter("phys.writes_completed");
+  ctr_view_changes_ = metrics_->counter("vp.view_changes");
+  ctr_conv_within_delta_ = metrics_->counter("vp.convergence_within_delta");
+  ctr_conv_exceeded_delta_ =
+      metrics_->counter("vp.convergence_exceeded_delta");
+  hist_phys_read_us_ = metrics_->histogram("phys.read_us");
+  hist_phys_write_us_ = metrics_->histogram("phys.write_us");
+  hist_view_conv_us_ = metrics_->histogram("vp.view_convergence_us");
+}
+
+void VpNode::BeginViewChangeSpan(const char* reason) {
+  if (view_span_open_) return;  // Same formation episode; keep the span.
+  view_span_open_ = true;
+  view_trace_ = tracer_->NewTraceId();
+  view_change_start_ = env_.clock->Now();
+  ctr_view_changes_->Increment();
+  tracer_->AsyncBegin(view_trace_, id_, view_change_start_, "vp.view_change",
+                      "vp", {{"reason", reason}});
+}
+
+void VpNode::MaybeEndViewChangeSpan() {
+  if (!view_span_open_ || !assigned_ || !locked_.empty()) return;
+  view_span_open_ = false;
+  const runtime::TimePoint now = env_.clock->Now();
+  const uint64_t dur = static_cast<uint64_t>(now - view_change_start_);
+  hist_view_conv_us_->Observe(dur);
+  // L1's convergence bound: views stabilize within Δ = π + 8δ of the last
+  // topology change. One node's formation episode should fit well inside.
+  const runtime::Duration delta_bound =
+      config_.probe_period + 8 * config_.delta;
+  if (dur <= static_cast<uint64_t>(delta_bound)) {
+    ctr_conv_within_delta_->Increment();
+  } else {
+    ctr_conv_exceeded_delta_->Increment();
+  }
+  tracer_->AsyncEnd(view_trace_, id_, now, "vp.view_change", "vp",
+                    {{"vp", cur_id_.ToString()},
+                     {"view_size", std::to_string(lview_.size())}});
+  view_trace_ = 0;
+}
 
 void VpNode::PersistViewMeta() {
   if (env_.stable != nullptr) env_.stable->PersistViewMeta(max_id_, cur_id_);
@@ -57,6 +100,7 @@ void VpNode::CreateNewVp() {
   // Fig. 4: only an assigned processor initiates; an unassigned one already
   // has a creation in progress (or a monitor timer pending).
   if (!assigned_) return;
+  BeginViewChangeSpan("initiate");
   Depart();
   max_id_ = VpId{max_id_.n + 1, id_};
   PersistViewMeta();
@@ -110,7 +154,7 @@ void VpNode::StartCreateVp(VpId new_id) {
   const uint32_t n = env_.transport->size();
   for (ProcessorId p = 0; p < n; ++p) {
     if (p == id_) continue;
-    Send(p, msg::kNewVp, msg::NewVp{new_id});
+    Send(p, msg::kNewVp, msg::NewVp{new_id}, view_trace_);
   }
   const uint64_t gen = create_generation_;
   env_.executor->ScheduleAfter(2 * config_.delta,
@@ -142,7 +186,8 @@ void VpNode::FinishCreateVp(uint64_t generation) {
     for (ProcessorId p = 0; p < n; ++p) {
       if (p == id_) continue;
       if (config_.commit_to_acceptors_only && view.count(p) == 0) continue;
-      Send(p, msg::kVpCommit, msg::VpCommit{create_id_, view, previous});
+      Send(p, msg::kVpCommit, msg::VpCommit{create_id_, view, previous},
+           view_trace_);
     }
     monitor_timer_.Reset();
     CommitToVp(create_id_, std::move(view), std::move(previous));
@@ -163,8 +208,9 @@ void VpNode::HandleNewVp(const net::Message& m) {
   if (!(max_id_ < v)) return;
   max_id_ = v;
   PersistViewMeta();
+  BeginViewChangeSpan("invited");
   Depart();
-  Send(v.p, msg::kVpOk, msg::VpOk{v, id_, cur_id_});
+  Send(v.p, msg::kVpOk, msg::VpOk{v, id_, cur_id_}, view_trace_);
   monitor_timer_.Set(3 * config_.delta, [this]() { OnMonitorTimeout(); });
   // max-id moved: parked accesses tagged with lower vp-ids are now dead.
   ReprocessDeferred();
@@ -203,6 +249,7 @@ void VpNode::OnMonitorTimeout() {
     monitor_timer_.Set(3 * config_.delta, [this]() { OnMonitorTimeout(); });
     return;
   }
+  BeginViewChangeSpan("monitor-timeout");
   max_id_ = VpId{max_id_.n + 1, id_};
   PersistViewMeta();
   StartCreateVp(max_id_);
@@ -219,6 +266,9 @@ void VpNode::CommitToVp(VpId v, std::set<ProcessorId> view,
   PersistViewMeta();
   ++stats_.vp_joins;
   env_.recorder->JoinVp(id_, v, lview_, env_.clock->Now());
+  tracer_->Instant(view_trace_, id_, env_.clock->Now(), "vp.join", "vp",
+                   {{"vp", v.ToString()},
+                    {"view_size", std::to_string(lview_.size())}});
   VP_LOG(kInfo, env_.clock->Now())
       << "p" << id_ << " joined vp " << v.ToString() << " (|view|="
       << lview_.size() << ")";
@@ -258,6 +308,7 @@ void VpNode::CommitToVp(VpId v, std::set<ProcessorId> view,
     }
   }
   StartUpdateCopies(was_dirty);
+  MaybeEndViewChangeSpan();
   ReprocessDeferred();
 }
 
@@ -426,7 +477,8 @@ void VpNode::RecoverObjectFullRead(ObjectId obj) {
       ++stats_.recovery_reads_sent;
       SendPhys(q, msg::kPhysRead,
                msg::PhysRead{SyntheticTxnId(), obj, cur_id_, /*recovery=*/true,
-                             /*for_update=*/false, op_id, {}});
+                             /*for_update=*/false, op_id, {}},
+               nullptr, view_trace_);
     }
   }
 }
@@ -458,7 +510,8 @@ void VpNode::RecoverObjectLogCatchup(ObjectId obj) {
 
   for (ProcessorId q : targets) {
     ++stats_.recovery_reads_sent;
-    SendPhys(q, msg::kLogQuery, msg::LogQuery{obj, after, cur_id_, op_id});
+    SendPhys(q, msg::kLogQuery, msg::LogQuery{obj, after, cur_id_, op_id},
+             nullptr, view_trace_);
   }
 }
 
@@ -489,7 +542,8 @@ void VpNode::RecoverObjectDatePoll(ObjectId obj) {
 
   for (ProcessorId q : targets) {
     ++stats_.recovery_date_polls;
-    SendPhys(q, msg::kDateQuery, msg::DateQuery{obj, cur_id_, op_id});
+    SendPhys(q, msg::kDateQuery, msg::DateQuery{obj, cur_id_, op_id},
+             nullptr, view_trace_);
   }
 }
 
@@ -499,9 +553,11 @@ void VpNode::HandleDateQuery(const net::Message& m) {
   Status admit = ValidateAccess(TxnId{}, req.v, req.obj, {},
                                 /*is_recovery=*/true, /*is_write=*/false);
   const ProcessorId reply_to = m.src;
+  const uint64_t trace = m.trace;
   if (!admit.ok() || !env_.store->HasCopy(req.obj)) {
     SendPhys(reply_to, msg::kDateReply,
-             msg::DateReply{req.op_id, false, req.obj, kEpochDate});
+             msg::DateReply{req.op_id, false, req.obj, kEpochDate}, nullptr,
+             trace);
     return;
   }
   // The §6 condition (3) lock discipline applies to date reads too: a
@@ -512,17 +568,19 @@ void VpNode::HandleDateQuery(const net::Message& m) {
   const uint64_t op_id = req.op_id;
   env_.locks->Acquire(
       locker, obj, cc::LockMode::kShared, lock_timeout_,
-      [this, locker, obj, op_id, reply_to](Status s) {
+      [this, locker, obj, op_id, reply_to, trace](Status s) {
         if (!s.ok()) {
           SendPhys(reply_to, msg::kDateReply,
-                   msg::DateReply{op_id, false, obj, kEpochDate});
+                   msg::DateReply{op_id, false, obj, kEpochDate}, nullptr,
+                   trace);
           return;
         }
         auto v = env_.store->Read(obj);
         env_.locks->ReleaseAll(locker);
         VP_CHECK(v.ok());
         SendPhys(reply_to, msg::kDateReply,
-                 msg::DateReply{op_id, true, obj, v.value().date});
+                 msg::DateReply{op_id, true, obj, v.value().date}, nullptr,
+                 trace);
       });
 }
 
@@ -571,7 +629,8 @@ void VpNode::HandleDateReply(const net::Message& m) {
   ++stats_.recovery_reads_sent;
   SendPhys(rec.best_holder, msg::kPhysRead,
            msg::PhysRead{SyntheticTxnId(), rec.obj, cur_id_, /*recovery=*/true,
-                         /*for_update=*/false, body.op_id, {}});
+                         /*for_update=*/false, body.op_id, {}},
+           nullptr, view_trace_);
 }
 
 void VpNode::HandleRecoveryReadReply(uint64_t op_id, bool ok,
@@ -693,6 +752,7 @@ void VpNode::RecoveryFailed(ObjectId obj, uint64_t join_gen) {
 void VpNode::Unlock(ObjectId obj) {
   locked_.erase(obj);
   dirty_.erase(obj);  // Recovery completed; the copy is known fresh.
+  MaybeEndViewChangeSpan();
   ReprocessDeferred();
 }
 
@@ -762,6 +822,8 @@ void VpNode::LogicalRead(TxnId txn, ObjectId obj, ReadCallback cb) {
   pr.txn = txn;
   pr.obj = obj;
   pr.cb = std::move(cb);
+  pr.issued_at = env_.clock->Now();
+  pr.trace = rec->trace;
   pr.target = Nearest(obj);
   VP_CHECK(pr.target != kInvalidProcessor);
   if (config_.read_retry) {
@@ -792,9 +854,11 @@ void VpNode::LogicalRead(TxnId txn, ObjectId obj, ReadCallback cb) {
       });
 
   ++stats_.phys_reads_sent;
+  ctr_phys_reads_issued_->Increment();
   SendPhys(pr.target, msg::kPhysRead,
            msg::PhysRead{txn, obj, cur_id_, /*recovery=*/false,
-                         /*for_update=*/false, op_id, rec->participants});
+                         /*for_update=*/false, op_id, rec->participants},
+           nullptr, pr.trace);
   pending_reads_[op_id] = std::move(pr);
 }
 
@@ -816,6 +880,8 @@ void VpNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
   pw.obj = obj;
   pw.value = value;
   pw.cb = std::move(cb);
+  pw.issued_at = env_.clock->Now();
+  pw.trace = rec->trace;
   for (ProcessorId q : env_.placement->CopyHolders(obj)) {
     if (lview_.count(q) > 0) pw.awaiting.insert(q);
   }
@@ -841,10 +907,12 @@ void VpNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
   // broadcast must reach them.
   const std::set<ProcessorId> footprint = rec->participants;
   for (ProcessorId q : targets) rec->participants.insert(q);
+  ctr_phys_writes_issued_->Increment();
   for (ProcessorId q : targets) {
     ++stats_.phys_writes_sent;
     SendPhys(q, msg::kPhysWrite,
-             msg::PhysWrite{txn, obj, value, cur_id_, op_id, footprint});
+             msg::PhysWrite{txn, obj, value, cur_id_, op_id, footprint},
+             nullptr, rec->trace);
   }
 }
 
@@ -975,8 +1043,16 @@ bool VpNode::HandleProtocolMessage(const net::Message& m) {
       if (body.ok) {
         ++stats_.reads_ok;
         rec->participants.insert(m.src);
-        env_.recorder->TxnRead(pr.txn, pr.obj, body.value, body.date,
-                               env_.clock->Now());
+        const runtime::TimePoint now = env_.clock->Now();
+        env_.recorder->TxnRead(pr.txn, pr.obj, body.value, body.date, now);
+        ctr_phys_reads_completed_->Increment();
+        hist_phys_read_us_->Observe(
+            static_cast<uint64_t>(now - pr.issued_at));
+        tracer_->Complete(pr.trace, id_, pr.issued_at,
+                          static_cast<uint64_t>(now - pr.issued_at),
+                          "phys.read", "phys",
+                          {{"obj", std::to_string(pr.obj)},
+                           {"holder", std::to_string(m.src)}});
         pr.cb(ReadResult{body.value, body.date, m.src});
       } else if (config_.read_retry && !pr.fallbacks.empty() &&
                  body.error != "wrong-vp") {
@@ -999,7 +1075,8 @@ bool VpNode::HandleProtocolMessage(const net::Message& m) {
         SendPhys(pr.target, msg::kPhysRead,
                  msg::PhysRead{pr.txn, pr.obj, cur_id_, /*recovery=*/false,
                                /*for_update=*/false, op_id,
-                               rec->participants});
+                               rec->participants},
+                 nullptr, pr.trace);
         pending_reads_[op_id] = std::move(pr);
       } else {
         ++stats_.reads_failed;
@@ -1041,8 +1118,15 @@ bool VpNode::HandleProtocolMessage(const net::Message& m) {
       PendingWrite done = std::move(it->second);
       pending_writes_.erase(it);
       ++stats_.writes_ok;
-      env_.recorder->TxnWrite(done.txn, done.obj, done.value,
-                              env_.clock->Now());
+      const runtime::TimePoint now = env_.clock->Now();
+      env_.recorder->TxnWrite(done.txn, done.obj, done.value, now);
+      ctr_phys_writes_completed_->Increment();
+      hist_phys_write_us_->Observe(
+          static_cast<uint64_t>(now - done.issued_at));
+      tracer_->Complete(done.trace, id_, done.issued_at,
+                        static_cast<uint64_t>(now - done.issued_at),
+                        "phys.write", "phys",
+                        {{"obj", std::to_string(done.obj)}});
       done.cb(Status::Ok());
     }
   } else if (m.type == msg::kLogReply) {

@@ -85,6 +85,14 @@ class VpNode : public NodeBase {
   void OnMonitorTimeout();
   void CommitToVp(VpId v, std::set<ProcessorId> view,
                   std::map<ProcessorId, VpId> previous);
+  /// Opens the view-change span (one per formation episode, from the first
+  /// departure/invitation until every locked copy is re-initialized).
+  /// Idempotent while a span is open: competing invitations and failed
+  /// Create-VP attempts extend the same episode.
+  void BeginViewChangeSpan(const char* reason);
+  /// Closes the span once this node is assigned and `locked_` has drained;
+  /// records the observed convergence time against Δ = π + 8δ.
+  void MaybeEndViewChangeSpan();
   /// Persists (max_id_, cur_id_) to the stable device, if any. Called at
   /// every max-id movement and every join so a reboot can generate a vp id
   /// above anything this processor ever saw or accepted.
@@ -165,6 +173,10 @@ class VpNode : public NodeBase {
     ProcessorId target = kInvalidProcessor;
     std::vector<ProcessorId> fallbacks;  // For config_.read_retry.
     runtime::TaskId timeout_event = runtime::kInvalidTask;
+    /// Issue time of the FIRST attempt (retries keep it), so the latency
+    /// histogram covers the whole logical read.
+    runtime::TimePoint issued_at = 0;
+    uint64_t trace = 0;
   };
   struct PendingWrite {
     TxnId txn;
@@ -174,6 +186,8 @@ class VpNode : public NodeBase {
     std::set<ProcessorId> awaiting;
     runtime::TaskId timeout_event = runtime::kInvalidTask;
     bool failed = false;
+    runtime::TimePoint issued_at = 0;
+    uint64_t trace = 0;
   };
   std::map<uint64_t, PendingRead> pending_reads_;
   std::map<uint64_t, PendingWrite> pending_writes_;
@@ -209,6 +223,25 @@ class VpNode : public NodeBase {
   // max-id movement.
   std::vector<net::Message> deferred_;
   bool reprocessing_ = false;
+
+  // View-change span state (open from first departure/invitation until the
+  // new view's copies finish initializing). Independent of whether the
+  // tracer is enabled: the convergence histogram always fills.
+  bool view_span_open_ = false;
+  uint64_t view_trace_ = 0;
+  runtime::TimePoint view_change_start_ = 0;
+
+  // Cached metric handles (registry owns them; see ctor).
+  obs::Counter* ctr_phys_reads_issued_ = nullptr;
+  obs::Counter* ctr_phys_reads_completed_ = nullptr;
+  obs::Counter* ctr_phys_writes_issued_ = nullptr;
+  obs::Counter* ctr_phys_writes_completed_ = nullptr;
+  obs::Counter* ctr_view_changes_ = nullptr;
+  obs::Counter* ctr_conv_within_delta_ = nullptr;
+  obs::Counter* ctr_conv_exceeded_delta_ = nullptr;
+  obs::Histogram* hist_phys_read_us_ = nullptr;
+  obs::Histogram* hist_phys_write_us_ = nullptr;
+  obs::Histogram* hist_view_conv_us_ = nullptr;
 };
 
 }  // namespace vp::core

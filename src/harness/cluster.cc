@@ -44,6 +44,8 @@ Cluster::Cluster(ClusterConfig config)
                      ? config_.placement
                      : storage::CopyPlacement::FullReplication(
                            config_.n_processors, config_.n_objects)) {
+  tracer_.set_enabled(config_.tracing);
+  network_.AttachMetrics(&metrics_);
   const uint32_t n = config_.n_processors;
   stores_.reserve(n);
   locks_.reserve(n);
@@ -52,10 +54,11 @@ Cluster::Cluster(ClusterConfig config)
   reboot_pending_.assign(n, false);
   for (ProcessorId p = 0; p < n; ++p) {
     stores_.push_back(std::make_unique<storage::ReplicaStore>());
-    locks_.push_back(
-        std::make_unique<cc::LockManager>(runtime_.executor()));
+    locks_.push_back(std::make_unique<cc::LockManager>(
+        runtime_.executor(), runtime_.clock(), &metrics_));
     stables_.push_back(
         std::make_unique<storage::StableStore>(config_.durability));
+    stables_[p]->AttachMetrics(&metrics_);
     for (ObjectId obj : placement_.LocalObjects(p)) {
       auto it = config_.initial_values.find(obj);
       const Value& init =
@@ -95,6 +98,8 @@ std::unique_ptr<core::NodeBase> Cluster::MakeNode(ProcessorId p) {
   env.stable = stables_[p].get();
   env.reliable = config_.reliable;
   env.reliable.jitter_seed ^= config_.seed;
+  env.metrics = &metrics_;
+  env.tracer = &tracer_;
   switch (config_.protocol) {
     case Protocol::kVirtualPartition:
       return std::make_unique<core::VpNode>(p, env, config_.vp);
@@ -126,7 +131,8 @@ void Cluster::Reboot(ProcessorId p) {
   retired_locks_.push_back(std::move(locks_[p]));
   retired_stores_.push_back(std::move(stores_[p]));
   stores_[p] = std::make_unique<storage::ReplicaStore>();
-  locks_[p] = std::make_unique<cc::LockManager>(runtime_.executor());
+  locks_[p] = std::make_unique<cc::LockManager>(
+      runtime_.executor(), runtime_.clock(), &metrics_);
   for (ObjectId obj : placement_.LocalObjects(p)) {
     auto it = config_.initial_values.find(obj);
     const Value& init = it != config_.initial_values.end()

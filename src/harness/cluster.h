@@ -20,6 +20,8 @@
 #include "net/failure_injector.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "protocols/naive_view_node.h"
 #include "protocols/quorum_node.h"
 #include "runtime/sim_runtime.h"
@@ -75,6 +77,11 @@ struct ClusterConfig {
   /// and kRowa build their QuorumConfig from factories. The channel's jitter
   /// stream is decorrelated per cluster by xor-ing `seed` into jitter_seed.
   core::ReliableConfig reliable;
+
+  /// Enables causal tracing: transactions and view changes get trace ids
+  /// and the cluster's tracer records spans (see obs/trace.h). Metrics are
+  /// always on — the serial registry is free on the sim backend.
+  bool tracing = false;
 };
 
 class Cluster {
@@ -98,6 +105,11 @@ class Cluster {
   storage::StableStore& stable(ProcessorId p) { return *stables_[p]; }
   const ClusterConfig& config() const { return config_; }
   uint32_t size() const { return config_.n_processors; }
+  /// Cluster-wide metrics registry (serial mode: the sim runs everything
+  /// on one thread, and plain-int counters keep snapshots deterministic).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
 
   core::NodeBase& node(ProcessorId p) { return *nodes_[p]; }
   /// Typed access; aborts if the cluster runs a different protocol.
@@ -149,6 +161,9 @@ class Cluster {
   std::unique_ptr<core::NodeBase> MakeNode(ProcessorId p);
 
   ClusterConfig config_;
+  /// Declared before every component that caches counter handles.
+  obs::MetricsRegistry metrics_{obs::RegistryMode::kSerial};
+  obs::Tracer tracer_;
   sim::Scheduler scheduler_;
   net::CommGraph graph_;
   net::Network network_;

@@ -10,11 +10,21 @@
 
 namespace vp::harness {
 
+namespace {
+runtime::ThreadRuntime::Config WithMetrics(runtime::ThreadRuntime::Config c,
+                                           obs::MetricsRegistry* registry) {
+  if (c.metrics == nullptr) c.metrics = registry;
+  return c;
+}
+}  // namespace
+
 ThreadCluster::ThreadCluster(ThreadClusterConfig config)
     : config_(std::move(config)),
-      runtime_(config_.n_processors, config_.runtime),
+      runtime_(config_.n_processors,
+               WithMetrics(config_.runtime, &metrics_)),
       placement_(storage::CopyPlacement::FullReplication(
           config_.n_processors, config_.n_objects)) {
+  tracer_.set_enabled(config_.tracing);
   const uint32_t n = config_.n_processors;
   stores_.reserve(n);
   locks_.reserve(n);
@@ -23,8 +33,8 @@ ThreadCluster::ThreadCluster(ThreadClusterConfig config)
     stores_.push_back(std::make_unique<storage::ReplicaStore>());
     // Each lock manager schedules its timeout tasks on its own node's
     // strand, so its state is strand-serialized like the node itself.
-    locks_.push_back(
-        std::make_unique<cc::LockManager>(runtime_.executor(p)));
+    locks_.push_back(std::make_unique<cc::LockManager>(
+        runtime_.executor(p), runtime_.clock(), &metrics_));
     for (ObjectId obj : placement_.LocalObjects(p)) {
       stores_[p]->CreateCopy(obj, config_.initial_value, kEpochDate);
     }
@@ -49,6 +59,8 @@ std::unique_ptr<core::NodeBase> ThreadCluster::MakeNode(ProcessorId p) {
   env.locks = locks_[p].get();
   env.recorder = &recorder_;
   env.reliable = config_.reliable;
+  env.metrics = &metrics_;
+  env.tracer = &tracer_;
   switch (config_.protocol) {
     case Protocol::kVirtualPartition:
       return std::make_unique<core::VpNode>(p, env, config_.vp);

@@ -38,6 +38,10 @@ struct ThreadClusterConfig {
   /// drops messages between live processors.
   net::ReliableConfig reliable;
   runtime::ThreadRuntime::Config runtime;
+  /// Enables causal tracing (span recording + trace-id assignment).
+  /// Metrics are always on: the concurrent registry's sharded counters are
+  /// a few relaxed atomic adds per event.
+  bool tracing = false;
 };
 
 class ThreadCluster {
@@ -51,6 +55,12 @@ class ThreadCluster {
 
   uint32_t size() const { return config_.n_processors; }
   runtime::ThreadRuntime& runtime() { return runtime_; }
+  /// Cluster-wide registry (concurrent mode: sharded counters, safe from
+  /// every worker and client thread). The runtime's own wheel/queue metrics
+  /// land here too.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
   core::NodeBase& node(ProcessorId p) { return *nodes_[p]; }
   history::Recorder& recorder() { return recorder_; }
   /// Inspect only while quiesced (before clients start or after Stop).
@@ -99,6 +109,10 @@ class ThreadCluster {
   std::unique_ptr<core::NodeBase> MakeNode(ProcessorId p);
 
   const ThreadClusterConfig config_;
+  /// Declared before runtime_: the runtime caches counter handles from this
+  /// registry in its constructor.
+  obs::MetricsRegistry metrics_{obs::RegistryMode::kConcurrent};
+  obs::Tracer tracer_;
   runtime::ThreadRuntime runtime_;
   storage::CopyPlacement placement_;
   std::vector<std::unique_ptr<storage::ReplicaStore>> stores_;

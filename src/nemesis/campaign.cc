@@ -54,6 +54,9 @@ CampaignResult RunCampaign(const CampaignConfig& config,
     result.stable.copy_persist_bytes += outcome.stable.copy_persist_bytes;
     result.stable.wal_replay_records += outcome.stable.wal_replay_records;
     result.stable.reboots += outcome.stable.reboots;
+    for (const auto& [name, value] : outcome.metrics.counters) {
+      result.metrics[name] += value;
+    }
     for (const std::string& kind : PlanCoverage(plan)) {
       ++result.fault_mix[kind];
     }
@@ -114,6 +117,15 @@ std::string FormatCampaign(const CampaignConfig& config,
     out << "  copy bytes  " << result.stable.copy_persist_bytes << "\n";
     out << "  replayed    " << result.stable.wal_replay_records << "\n";
     out << "  reboots     " << result.stable.reboots << "\n";
+  }
+  if (!result.metrics.empty()) {
+    out << "metrics (counters summed over runs):\n";
+    for (const auto& [name, value] : result.metrics) {
+      if (value == 0) continue;
+      out << "  " << name;
+      for (size_t pad = name.size(); pad < 32; ++pad) out << ' ';
+      out << value << "\n";
+    }
   }
   out << "fault-mix coverage (plans containing each fault kind):\n";
   for (const auto& [kind, count] : result.fault_mix) {

@@ -59,6 +59,11 @@ struct CampaignResult {
   /// generator enables amnesia or plans set a WAL durability mode).
   storage::StableStats stable;
 
+  /// Every registry counter summed over all runs (name → total). The
+  /// per-run snapshots come from RunOutcome::metrics; FormatCampaign
+  /// prints this as the campaign's metrics block.
+  std::map<std::string, uint64_t> metrics;
+
   /// Fault-mix coverage: kind name → number of plans containing it, plus
   /// pseudo-kinds "dup_prob"/"reorder_prob"/"drop_prob"/"slow_prob" for
   /// plans with the knob enabled.

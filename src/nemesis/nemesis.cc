@@ -463,7 +463,9 @@ FaultPlan GeneratePlan(uint64_t seed, const GeneratorConfig& cfg) {
   return plan;
 }
 
-RunOutcome RunPlan(const FaultPlan& plan) {
+RunOutcome RunPlan(const FaultPlan& plan) { return RunPlan(plan, {}); }
+
+RunOutcome RunPlan(const FaultPlan& plan, const RunOptions& opts) {
   harness::ClusterConfig cfg;
   cfg.n_processors = plan.n_processors;
   cfg.n_objects = plan.n_objects;
@@ -471,6 +473,7 @@ RunOutcome RunPlan(const FaultPlan& plan) {
   cfg.protocol = plan.protocol;
   cfg.durability = plan.durability;
   cfg.reliable.enabled = plan.reliable;
+  cfg.tracing = opts.tracing || !opts.trace_out.empty();
   cfg.net.drop_prob = plan.drop_prob;
   cfg.net.slow_prob = plan.slow_prob;
   cfg.net.dup_prob = plan.dup_prob;
@@ -554,10 +557,13 @@ RunOutcome RunPlan(const FaultPlan& plan) {
   out.progress = out.committed > 0;
   out.duplicated = cluster.network().stats().duplicated;
   out.reordered = cluster.network().stats().reordered;
-  const core::ProtocolStats agg = cluster.AggregateStats();
-  out.retransmits = agg.rel_retransmits;
-  out.delivery_timeouts = agg.rel_timeouts;
-  out.dups_suppressed = agg.rel_dups_suppressed;
+  // The registry outlives amnesia reboots (retired node objects shared it),
+  // so these totals cover every incarnation — unlike AggregateStats, which
+  // only sees the surviving node objects.
+  out.metrics = cluster.metrics().Snapshot();
+  out.retransmits = out.metrics.CounterValue("rel.retransmits");
+  out.delivery_timeouts = out.metrics.CounterValue("rel.timed_out");
+  out.dups_suppressed = out.metrics.CounterValue("rel.dups_suppressed");
   out.converged = converged;
 
   out.safety_ok = rec.safety_violations().empty();
@@ -652,6 +658,7 @@ RunOutcome RunPlan(const FaultPlan& plan) {
   trace_opts.include_aborted = true;
   out.trace = history::FormatTransactions(rec, trace_opts) + "--- views ---\n" +
               history::FormatViewEvents(rec);
+  if (!opts.trace_out.empty()) cluster.tracer().WriteFile(opts.trace_out);
   return out;
 }
 

@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "harness/cluster.h"
 #include "net/failure_injector.h"
+#include "obs/metrics.h"
 #include "sim/time.h"
 #include "storage/stable_store.h"
 
@@ -154,11 +155,17 @@ struct RunOutcome {
   uint64_t duplicated = 0;
   uint64_t reordered = 0;
 
-  /// Reliable-channel accounting (all zeros when the plan ran without the
-  /// reliable-delivery layer).
+  /// Reliable-channel accounting, sourced from `metrics` (all zeros when
+  /// the plan ran without the reliable-delivery layer). Kept as plain
+  /// fields because the shrinker and campaign tables key on them.
   uint64_t retransmits = 0;
   uint64_t delivery_timeouts = 0;
   uint64_t dups_suppressed = 0;
+
+  /// Full metrics snapshot of the run's cluster registry (counters, gauge
+  /// maxima, histogram percentiles). Serial-mode registry: two runs of the
+  /// same plan produce byte-identical `metrics.Format()` output.
+  obs::MetricsSnapshot metrics;
 
   /// Stable-device accounting (all zeros under kRetainMemory).
   storage::StableStats stable;
@@ -173,8 +180,19 @@ struct RunOutcome {
   bool violation() const { return !failure.empty(); }
 };
 
+/// Per-run observability knobs (orthogonal to the plan, so they are not
+/// part of the serialized .plan format or the determinism contract).
+struct RunOptions {
+  /// Record causal trace spans during the run (enabled implicitly when
+  /// trace_out is set).
+  bool tracing = false;
+  /// If nonempty, write the run's Chrome trace_event JSON here.
+  std::string trace_out;
+};
+
 /// Deterministically executes `plan` under `plan.protocol`.
 RunOutcome RunPlan(const FaultPlan& plan);
+RunOutcome RunPlan(const FaultPlan& plan, const RunOptions& opts);
 
 }  // namespace vp::nemesis
 

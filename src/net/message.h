@@ -27,6 +27,11 @@ struct Message {
   std::any body;
   /// Simulated time at which Send was called (set by the network).
   sim::SimTime sent_at = 0;
+  /// Causal trace id (obs/trace.h): assigned per logical transaction (or
+  /// view-change attempt) and propagated through physical ops, 2PC
+  /// messages, and reliable-channel retransmits. 0 = untraced. Carried
+  /// verbatim by the network; never affects routing or delivery.
+  uint64_t trace = 0;
 };
 
 /// Extracts a typed payload. Aborts the process on a type mismatch, which

@@ -14,7 +14,15 @@ Network::Network(sim::Scheduler* scheduler, CommGraph* graph,
       graph_(graph),
       config_(config),
       rng_(seed),
-      nodes_(graph->size(), nullptr) {}
+      nodes_(graph->size(), nullptr) {
+  AttachMetrics(obs::MetricsRegistry::Default());
+}
+
+void Network::AttachMetrics(obs::MetricsRegistry* registry) {
+  ctr_sent_ = registry->counter("net.msgs_sent");
+  ctr_remote_ = registry->counter("net.msgs_remote");
+  ctr_delivered_ = registry->counter("net.msgs_delivered");
+}
 
 void Network::Register(ProcessorId p, NodeInterface* node) {
   VP_CHECK(p < nodes_.size());
@@ -59,7 +67,11 @@ void Network::Send(Message msg) {
   VP_CHECK(msg.src < nodes_.size() && msg.dst < nodes_.size());
   msg.sent_at = scheduler_->Now();
   ++stats_.sent;
-  if (msg.src != msg.dst) ++stats_.sent_remote;
+  ctr_sent_->Increment();
+  if (msg.src != msg.dst) {
+    ++stats_.sent_remote;
+    ctr_remote_->Increment();
+  }
   ++stats_.sent_by_type[msg.type];
 
   // Route check at send time: the can-communicate relation of the moment.
@@ -105,6 +117,7 @@ void Network::ScheduleDelivery(Message msg, sim::Duration delay) {
     NodeInterface* node = nodes_[m.dst];
     VP_CHECK_MSG(node != nullptr, "message to unregistered processor");
     ++stats_.delivered;
+    ctr_delivered_->Increment();
     ++stats_.delivered_by_type[m.type];
     node->HandleMessage(m);
   });

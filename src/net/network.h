@@ -26,6 +26,7 @@
 #include "common/types.h"
 #include "net/message.h"
 #include "net/topology.h"
+#include "obs/metrics.h"
 #include "sim/scheduler.h"
 
 namespace vp::net {
@@ -107,6 +108,12 @@ class Network {
   const NetworkStats& stats() const { return stats_; }
   NetworkStats* mutable_stats() { return &stats_; }
 
+  /// Mirrors message counts into `registry` ("net.msgs_sent",
+  /// "net.msgs_remote", "net.msgs_delivered") from this call on. The
+  /// harness attaches its per-cluster registry right after construction;
+  /// unattached networks fall back to the process-global default.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
   CommGraph* graph() { return graph_; }
   const CommGraph* graph() const { return graph_; }
   sim::Scheduler* scheduler() { return scheduler_; }
@@ -128,6 +135,9 @@ class Network {
   Rng rng_;
   std::vector<NodeInterface*> nodes_;
   NetworkStats stats_;
+  obs::Counter* ctr_sent_;
+  obs::Counter* ctr_remote_;
+  obs::Counter* ctr_delivered_;
 };
 
 }  // namespace vp::net

@@ -10,7 +10,9 @@ ReliableChannel::ReliableChannel(runtime::Clock* clock,
                                  runtime::Executor* executor,
                                  runtime::Transport* transport,
                                  ProcessorId self, uint32_t incarnation,
-                                 ReliableConfig config)
+                                 ReliableConfig config,
+                                 obs::MetricsRegistry* metrics,
+                                 obs::Tracer* tracer)
     : clock_(clock),
       executor_(executor),
       transport_(transport),
@@ -29,6 +31,15 @@ ReliableChannel::ReliableChannel(runtime::Clock* clock,
       next_rel_id_(1 + (uint64_t{incarnation} << 40)) {
   VP_CHECK(clock_ != nullptr && executor_ != nullptr &&
            transport_ != nullptr);
+  if (metrics == nullptr) metrics = obs::MetricsRegistry::Default();
+  tracer_ = tracer != nullptr ? tracer : obs::Tracer::Disabled();
+  ctr_sends_ = metrics->counter("rel.sends");
+  ctr_retransmits_ = metrics->counter("rel.retransmits");
+  ctr_acks_ = metrics->counter("rel.acks");
+  ctr_stale_acks_ = metrics->counter("rel.stale_acks");
+  ctr_delivered_ = metrics->counter("rel.delivered");
+  ctr_dups_ = metrics->counter("rel.dups_suppressed");
+  ctr_timed_out_ = metrics->counter("rel.timed_out");
   VP_CHECK_MSG(config_.delivery_deadline > 0,
                "delivery deadline must be finite: the simulation runs to "
                "idle and cannot host unbounded retransmission loops");
@@ -45,7 +56,8 @@ runtime::Duration ReliableChannel::Jittered(runtime::Duration d) {
 }
 
 uint64_t ReliableChannel::Send(ProcessorId dst, std::string type,
-                               std::any body, TimeoutFn on_timeout) {
+                               std::any body, TimeoutFn on_timeout,
+                               uint64_t trace) {
   const uint64_t rel_id = next_rel_id_++;
   Pending p;
   p.dst = dst;
@@ -54,17 +66,24 @@ uint64_t ReliableChannel::Send(ProcessorId dst, std::string type,
   p.deadline = clock_->Now() + config_.delivery_deadline;
   p.next_delay = config_.retransmit_initial;
   p.on_timeout = std::move(on_timeout);
+  p.trace = trace;
   auto [it, inserted] = pending_.emplace(rel_id, std::move(p));
   VP_CHECK(inserted);
   ++stats_.sends;
+  ctr_sends_->Increment();
   Transmit(rel_id, it->second);
   ArmTimer(rel_id);
   return rel_id;
 }
 
 void ReliableChannel::Transmit(uint64_t rel_id, const Pending& p) {
-  transport_->Send(self_, p.dst, kRelPrefix + p.type,
-                 RelEnvelope{rel_id, incarnation_, p.body});
+  Message m;
+  m.src = self_;
+  m.dst = p.dst;
+  m.type = kRelPrefix + p.type;
+  m.body = RelEnvelope{rel_id, incarnation_, p.body};
+  m.trace = p.trace;
+  transport_->Send(std::move(m));
 }
 
 void ReliableChannel::ArmTimer(uint64_t rel_id) {
@@ -87,10 +106,14 @@ void ReliableChannel::OnTimer(uint64_t rel_id) {
     TimeoutFn on_timeout = std::move(p.on_timeout);
     pending_.erase(it);
     ++stats_.timed_out;
+    ctr_timed_out_->Increment();
     if (on_timeout) on_timeout();
     return;
   }
   ++stats_.retransmits;
+  ctr_retransmits_->Increment();
+  tracer_->Instant(p.trace, self_, static_cast<uint64_t>(clock_->Now()),
+                   "rel.retransmit", "rel", {{"type", p.type}});
   Transmit(rel_id, p);
   p.next_delay = std::min<runtime::Duration>(
       static_cast<runtime::Duration>(static_cast<double>(p.next_delay) *
@@ -107,15 +130,18 @@ bool ReliableChannel::HandleMessage(const Message& m,
       // Ack addressed to a previous life of this processor; the pending
       // send it settles died with that incarnation's volatile state.
       ++stats_.stale_acks;
+      ctr_stale_acks_->Increment();
       return true;
     }
     auto it = pending_.find(ack.rel_id);
     if (it == pending_.end()) {
       // Duplicate ack, or an ack racing a just-expired deadline.
       ++stats_.stale_acks;
+      ctr_stale_acks_->Increment();
       return true;
     }
     ++stats_.acks_received;
+    ctr_acks_->Increment();
     executor_->Cancel(it->second.timer);
     pending_.erase(it);
     return true;
@@ -126,19 +152,27 @@ bool ReliableChannel::HandleMessage(const Message& m,
   // Ack every copy (the first transmission's ack may have been lost; the
   // retransmission that follows must still be acknowledged or the sender
   // retries forever-until-deadline).
-  transport_->Send(self_, m.src, kRelAck,
-                 RelAckBody{env.rel_id, env.incarnation});
+  Message ack;
+  ack.src = m.dst;
+  ack.dst = m.src;
+  ack.type = kRelAck;
+  ack.body = RelAckBody{env.rel_id, env.incarnation};
+  ack.trace = m.trace;
+  transport_->Send(std::move(ack));
   if (!seen_[m.src].insert(env.rel_id).second) {
     ++stats_.dup_suppressed;
+    ctr_dups_->Increment();
     return true;
   }
   ++stats_.delivered;
+  ctr_delivered_->Increment();
   Message inner;
   inner.src = m.src;
   inner.dst = m.dst;
   inner.type = m.type.substr(std::string(kRelPrefix).size());
   inner.body = env.body;
   inner.sent_at = m.sent_at;
+  inner.trace = m.trace;
   deliver(inner);
   return true;
 }

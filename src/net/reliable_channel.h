@@ -41,6 +41,8 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/message.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/runtime.h"
 
 namespace vp::net {
@@ -121,15 +123,24 @@ class ReliableChannel {
   /// Receives the reconstructed inner message of a fresh envelope.
   using DeliverFn = std::function<void(const Message&)>;
 
+  /// `metrics`/`tracer` may be null (process-global fallbacks are used):
+  /// the channel mirrors its counters into the registry and, when tracing,
+  /// emits an instant event per retransmission carrying the payload's
+  /// trace id.
   ReliableChannel(runtime::Clock* clock, runtime::Executor* executor,
                   runtime::Transport* transport, ProcessorId self,
-                  uint32_t incarnation, ReliableConfig config);
+                  uint32_t incarnation, ReliableConfig config,
+                  obs::MetricsRegistry* metrics = nullptr,
+                  obs::Tracer* tracer = nullptr);
 
   /// Sends `type`/`body` to `dst` with at-most-once delivery and
   /// retransmission until acked or `delivery_deadline` passes (then
-  /// `on_timeout`, if given, fires once). Returns the message id.
+  /// `on_timeout`, if given, fires once). Returns the message id. `trace`
+  /// is the causal trace id stamped on every transmission of this message
+  /// — retransmissions included — and restored on the delivered inner
+  /// message at the receiver.
   uint64_t Send(ProcessorId dst, std::string type, std::any body,
-                TimeoutFn on_timeout = nullptr);
+                TimeoutFn on_timeout = nullptr, uint64_t trace = 0);
 
   /// Consumes channel traffic. For a "rel:*" envelope: acks it, drops
   /// duplicates, and hands first deliveries to `deliver` with the inner
@@ -170,6 +181,7 @@ class ReliableChannel {
     runtime::Duration next_delay = 0;
     runtime::TaskId timer = runtime::kInvalidTask;
     TimeoutFn on_timeout;
+    uint64_t trace = 0;  // rides on every (re)transmission
   };
 
   void Transmit(uint64_t rel_id, const Pending& p);
@@ -192,6 +204,15 @@ class ReliableChannel {
   /// never collide with its next one.
   std::unordered_map<ProcessorId, std::unordered_set<uint64_t>> seen_;
   ReliableStats stats_;
+
+  obs::Tracer* tracer_;
+  obs::Counter* ctr_sends_;
+  obs::Counter* ctr_retransmits_;
+  obs::Counter* ctr_acks_;
+  obs::Counter* ctr_stale_acks_;
+  obs::Counter* ctr_delivered_;
+  obs::Counter* ctr_dups_;
+  obs::Counter* ctr_timed_out_;
 };
 
 }  // namespace vp::net

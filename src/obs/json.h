@@ -1,0 +1,202 @@
+// A minimal streaming JSON writer shared by the observability layer (trace
+// and metrics emission) and the bench drivers (BENCH_*.json files).
+//
+// The repo previously hand-rolled JSON with snprintf in each bench, which
+// meant each writer re-invented escaping (badly: none of them escaped at
+// all). This writer is deliberately tiny — objects, arrays, scalar fields,
+// correct string escaping — because every consumer emits flat report
+// documents, not arbitrary object graphs. Output is compact except for an
+// optional two-space indent, so committed BENCH_*.json files stay readable
+// in diffs.
+#ifndef VPART_OBS_JSON_H_
+#define VPART_OBS_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vp::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included). Control characters become \uXXXX.
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Streaming writer. Usage:
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Field("bench", "throughput");
+///   w.BeginArray("results");
+///   w.BeginObject();  // array element
+///   w.Field("committed", uint64_t{12});
+///   w.EndObject();
+///   w.EndArray();
+///   w.EndObject();
+///   std::string doc = w.TakeString();
+///
+/// The writer tracks comma placement; callers never emit separators. With
+/// `pretty` (the default) each container member starts on its own indented
+/// line, which keeps committed report files diffable.
+class JsonWriter {
+ public:
+  explicit JsonWriter(bool pretty = true) : pretty_(pretty) {}
+
+  void BeginObject() { Open('{'); }
+  void BeginObject(std::string_view key) { KeyPrefix(key); OpenNested('{'); }
+  void EndObject() { Close('}'); }
+
+  void BeginArray() { Open('['); }
+  void BeginArray(std::string_view key) { KeyPrefix(key); OpenNested('['); }
+  void EndArray() { Close(']'); }
+
+  void Field(std::string_view key, std::string_view value) {
+    KeyPrefix(key);
+    out_ += '"';
+    out_ += JsonEscape(value);
+    out_ += '"';
+  }
+  void Field(std::string_view key, const char* value) {
+    Field(key, std::string_view(value));
+  }
+  void Field(std::string_view key, bool value) {
+    KeyPrefix(key);
+    out_ += value ? "true" : "false";
+  }
+  void Field(std::string_view key, uint64_t value) {
+    KeyPrefix(key);
+    AppendNum("%llu", static_cast<unsigned long long>(value));
+  }
+  void Field(std::string_view key, int64_t value) {
+    KeyPrefix(key);
+    AppendNum("%lld", static_cast<long long>(value));
+  }
+  void Field(std::string_view key, uint32_t value) {
+    Field(key, static_cast<uint64_t>(value));
+  }
+  void Field(std::string_view key, int value) {
+    Field(key, static_cast<int64_t>(value));
+  }
+  /// Doubles print with a fixed number of decimals (report files want
+  /// stable widths, not shortest-round-trip).
+  void Field(std::string_view key, double value, int decimals = 3) {
+    KeyPrefix(key);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    out_ += buf;
+  }
+
+  /// Scalar array elements.
+  void Value(std::string_view value) {
+    ElemPrefix();
+    out_ += '"';
+    out_ += JsonEscape(value);
+    out_ += '"';
+  }
+  void Value(uint64_t value) {
+    ElemPrefix();
+    AppendNum("%llu", static_cast<unsigned long long>(value));
+  }
+  void Value(int64_t value) {
+    ElemPrefix();
+    AppendNum("%lld", static_cast<long long>(value));
+  }
+  void Value(double value, int decimals = 3) {
+    ElemPrefix();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    out_ += buf;
+  }
+
+  /// Finishes the document and returns it. The writer is spent afterwards.
+  std::string TakeString() {
+    if (pretty_ && !out_.empty()) out_ += '\n';
+    return std::move(out_);
+  }
+
+  /// Writes the finished document to `path`. Returns false on I/O error.
+  bool WriteFile(const std::string& path) {
+    const std::string doc = TakeString();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    const bool ok = (n == doc.size()) && std::fclose(f) == 0;
+    if (n != doc.size()) std::fclose(f);
+    return ok;
+  }
+
+ private:
+  // Container bookkeeping: one bool per open container — has it emitted a
+  // member yet (i.e. does the next member need a comma)?
+  void Open(char c) {
+    ElemPrefix();
+    out_ += c;
+    stack_.push_back(false);
+  }
+  // Open as the value of a key already emitted by KeyPrefix.
+  void OpenNested(char c) {
+    out_ += c;
+    stack_.push_back(false);
+  }
+  void Close(char c) {
+    const bool had_members = !stack_.empty() && stack_.back();
+    if (!stack_.empty()) stack_.pop_back();
+    if (pretty_ && had_members) {
+      out_ += '\n';
+      Indent();
+    }
+    out_ += c;
+  }
+  void ElemPrefix() {
+    if (stack_.empty()) return;
+    if (stack_.back()) out_ += ',';
+    stack_.back() = true;
+    if (pretty_) {
+      out_ += '\n';
+      Indent();
+    }
+  }
+  void KeyPrefix(std::string_view key) {
+    ElemPrefix();
+    out_ += '"';
+    out_ += JsonEscape(key);
+    out_ += pretty_ ? "\": " : "\":";
+  }
+  void Indent() { out_.append(2 * stack_.size(), ' '); }
+  template <typename T>
+  void AppendNum(const char* fmt, T v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    out_ += buf;
+  }
+
+  const bool pretty_;
+  std::string out_;
+  std::vector<bool> stack_;
+};
+
+}  // namespace vp::obs
+
+#endif  // VPART_OBS_JSON_H_

@@ -1,0 +1,188 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "obs/json.h"
+
+namespace vp::obs {
+
+namespace internal {
+
+size_t ThreadShard() {
+  static thread_local const size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kCounterShards;
+  return shard;
+}
+
+}  // namespace internal
+
+Counter::Counter(RegistryMode mode) {
+  if (mode == RegistryMode::kConcurrent) {
+    cells_ = std::make_unique<internal::CounterCell[]>(
+        internal::kCounterShards);
+  }
+}
+
+size_t Histogram::BucketIndex(uint64_t v) {
+  if (v == 0) return 0;
+  const size_t width = static_cast<size_t>(std::bit_width(v));
+  return width < kBuckets ? width : kBuckets - 1;
+}
+
+uint64_t Histogram::BucketUpper(size_t i) {
+  if (i == 0) return 1;
+  if (i >= kBuckets - 1) return uint64_t{1} << (kBuckets - 2);
+  return uint64_t{1} << i;
+}
+
+double Histogram::Percentile(double q) const {
+  // Load a consistent-enough view once; concurrent writers may race past
+  // us, which only skews percentiles by the in-flight samples.
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  const double target = q * static_cast<double>(total);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t prev = cum;
+    cum += counts[i];
+    if (static_cast<double>(cum) < target) continue;
+    // Interpolate within [lo, hi) by the rank's position in this bucket.
+    const double lo = i == 0 ? 0 : static_cast<double>(uint64_t{1} << (i - 1));
+    const double hi = static_cast<double>(BucketUpper(i));
+    const double frac =
+        (target - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+    return lo + frac * (hi - lo);
+  }
+  return static_cast<double>(BucketUpper(kBuckets - 1));
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  return 0;
+}
+
+const MetricsSnapshot::HistogramEntry* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramEntry& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+std::string MetricsSnapshot::Format() const {
+  std::string out;
+  char buf[160];
+  for (const auto& [name, v] : counters) {
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, v] : gauge_maxes) {
+    std::snprintf(buf, sizeof(buf), "%s.max %" PRId64 "\n", name.c_str(), v);
+    out += buf;
+  }
+  for (const HistogramEntry& h : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s count=%" PRIu64 " sum=%" PRIu64 " p50=%.1f p99=%.1f\n",
+                  h.name.c_str(), h.count, h.sum, h.p50, h.p99);
+    out += buf;
+  }
+  return out;
+}
+
+void MetricsSnapshot::WriteJson(JsonWriter& w, std::string_view key) const {
+  w.BeginObject(key);
+  w.BeginObject("counters");
+  for (const auto& [name, v] : counters) w.Field(name, v);
+  w.EndObject();
+  w.BeginObject("gauge_maxes");
+  for (const auto& [name, v] : gauge_maxes) w.Field(name, v);
+  w.EndObject();
+  w.BeginArray("histograms");
+  for (const HistogramEntry& h : histograms) {
+    w.BeginObject();
+    w.Field("name", h.name);
+    w.Field("count", h.count);
+    w.Field("sum", h.sum);
+    w.Field("p50", h.p50, 1);
+    w.Field("p99", h.p99, 1);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(mode_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram()))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    snap.counters.emplace_back(name, c->Value());
+  snap.gauge_maxes.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    snap.gauge_maxes.emplace_back(name, g->Max());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramEntry e;
+    e.name = name;
+    e.count = h->Count();
+    e.sum = h->Sum();
+    e.p50 = h->Percentile(0.50);
+    e.p99 = h->Percentile(0.99);
+    snap.histograms.push_back(std::move(e));
+  }
+  return snap;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* const global =
+      new MetricsRegistry(RegistryMode::kConcurrent);
+  return global;
+}
+
+}  // namespace vp::obs

@@ -1,0 +1,216 @@
+// Process-wide metrics registry: monotonic counters, gauges with high-water
+// marks, and fixed-bucket latency histograms with percentile extraction.
+//
+// One registry class serves both runtimes by switching representation, not
+// interface:
+//
+//   * RegistryMode::kSerial — counters are plain integers, zero
+//     synchronization. This is the SimRuntime backend: the simulator is
+//     single-threaded, so plain ints are race-free, and — crucially —
+//     snapshots are a pure function of the event sequence. Two runs of the
+//     same nemesis seed produce byte-identical Format() output, which
+//     tests/obs_test.cc pins.
+//   * RegistryMode::kConcurrent — counters become sharded cache-line-padded
+//     std::atomic cells (threads pick a shard by thread id, Value() sums
+//     the shards). This is the ThreadRuntime backend; TSan runs it clean by
+//     construction, at the cost of snapshot values being merely
+//     eventually-exact.
+//
+// Gauges and histograms use relaxed atomics in both modes: relaxed atomic
+// ops on a single thread are exactly as deterministic as plain ints, so one
+// representation covers both backends without a race.
+//
+// Instrumented components cache Metric pointers at construction (registry
+// lookup takes a mutex; the hot-path Add()/Observe() never does). Handles
+// returned by the registry are stable for the registry's lifetime.
+//
+// Components that may be built without an owner (hand-rolled NodeEnvs in
+// tests) fall back to MetricsRegistry::Default(), a process-global
+// concurrent-mode registry, so instrumentation sites never null-check.
+#ifndef VPART_OBS_METRICS_H_
+#define VPART_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vp::obs {
+
+class JsonWriter;
+
+enum class RegistryMode {
+  kSerial,      // plain-int counters; deterministic snapshots (SimRuntime)
+  kConcurrent,  // sharded atomic counters; thread-safe (ThreadRuntime)
+};
+
+namespace internal {
+/// One cache line per shard so concurrent writers don't false-share.
+struct alignas(64) CounterCell {
+  std::atomic<uint64_t> v{0};
+};
+/// Shard index for the calling thread (stable per thread).
+size_t ThreadShard();
+inline constexpr size_t kCounterShards = 8;
+}  // namespace internal
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void Add(uint64_t n) {
+    if (cells_ == nullptr) {
+      plain_ += n;
+    } else {
+      cells_[internal::ThreadShard()].v.fetch_add(n,
+                                                  std::memory_order_relaxed);
+    }
+  }
+  void Increment() { Add(1); }
+  uint64_t Value() const {
+    if (cells_ == nullptr) return plain_;
+    uint64_t sum = 0;
+    for (size_t i = 0; i < internal::kCounterShards; ++i)
+      sum += cells_[i].v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(RegistryMode mode);
+
+  uint64_t plain_ = 0;
+  std::unique_ptr<internal::CounterCell[]> cells_;  // non-null iff concurrent
+};
+
+/// Instantaneous value plus a high-water mark (queue depths, buffer sizes).
+/// The snapshot reports the high-water mark: by the time anyone looks, the
+/// instantaneous value of a queue-depth gauge is back to zero.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    RaiseMax(v);
+  }
+  void Add(int64_t delta) {
+    const int64_t now =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    RaiseMax(now);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  void RaiseMax(int64_t v) {
+    int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Latency histogram over fixed exponential buckets.
+///
+/// Bucket 0 holds value 0; bucket i (i >= 1) holds [2^(i-1), 2^i). With 40
+/// buckets the top bucket starts at 2^38 us (~76 hours), far beyond any
+/// run; it is unbounded and absorbs everything above. Values are
+/// microseconds by convention (names end in `_us`), but the histogram
+/// itself is unit-agnostic.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+  /// Exponential bucket index for `v` (exposed for the boundary tests).
+  static size_t BucketIndex(uint64_t v);
+  /// Exclusive upper bound of bucket `i` (2^i); for the unbounded top
+  /// bucket, its lower bound.
+  static uint64_t BucketUpper(size_t i);
+
+  void Observe(uint64_t v) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Quantile in [0,1], linearly interpolated within the containing
+  /// bucket. Returns 0 for an empty histogram.
+  double Percentile(double q) const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram() = default;
+
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Point-in-time, name-ordered view of a registry. Under kSerial this is a
+/// pure function of the run (byte-identical across same-seed runs).
+struct MetricsSnapshot {
+  struct HistogramEntry {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    double p50 = 0;
+    double p99 = 0;
+  };
+
+  std::vector<std::pair<std::string, uint64_t>> counters;    // name-ordered
+  std::vector<std::pair<std::string, int64_t>> gauge_maxes;  // name-ordered
+  std::vector<HistogramEntry> histograms;                    // name-ordered
+
+  /// Value of a counter, 0 if absent.
+  uint64_t CounterValue(std::string_view name) const;
+  const HistogramEntry* FindHistogram(std::string_view name) const;
+
+  /// Deterministic plain-text block, one metric per line. Zero-valued
+  /// counters are included (presence is part of the determinism contract).
+  std::string Format() const;
+  /// Emits {"counters": {...}, "gauges": {...}, "histograms": [...]} as the
+  /// value of `key` in an open JSON object.
+  void WriteJson(JsonWriter& w, std::string_view key) const;
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(RegistryMode mode) : mode_(mode) {}
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  RegistryMode mode() const { return mode_; }
+
+  /// Finds or creates a metric. Returned pointers are stable for the
+  /// registry's lifetime; callers cache them at construction time.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Process-global concurrent-mode registry: the fallback sink for
+  /// components constructed without an explicit registry.
+  static MetricsRegistry* Default();
+
+ private:
+  const RegistryMode mode_;
+  mutable std::mutex mu_;  // guards the maps, never the metric values
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace vp::obs
+
+#endif  // VPART_OBS_METRICS_H_

@@ -65,6 +65,8 @@ class ThreadRuntime::ThreadTransport final : public Transport {
   void Send(net::Message msg) override {
     VP_CHECK_MSG(msg.src < n_ && msg.dst < n_, "Send: bad endpoint");
     msg.sent_at = rt_->NowUs();
+    rt_->ctr_msgs_sent_->Increment();
+    if (msg.src != msg.dst) rt_->ctr_msgs_remote_->Increment();
     if (!Alive(msg.src) || !Alive(msg.dst)) return;
     const ProcessorId dst = msg.dst;
     const size_t link = size_t{msg.src} * n_ + dst;
@@ -145,6 +147,17 @@ ThreadRuntime::ThreadRuntime(uint32_t n_processors, Config config)
       config_(config),
       start_(std::chrono::steady_clock::now()) {
   VP_CHECK_MSG(n_ > 0, "ThreadRuntime needs at least one processor");
+  obs::MetricsRegistry* metrics = config_.metrics != nullptr
+                                      ? config_.metrics
+                                      : obs::MetricsRegistry::Default();
+  ctr_wheel_lock_ = metrics->counter("runtime.wheel_lock_acquisitions");
+  ctr_msgs_sent_ = metrics->counter("net.msgs_sent");
+  ctr_msgs_remote_ = metrics->counter("net.msgs_remote");
+  hist_wheel_depth_ = metrics->histogram("runtime.wheel_queue_depth");
+  hist_strand_depth_ = metrics->histogram("runtime.strand_queue_depth");
+  strand_depth_ = std::make_unique<std::atomic<uint32_t>[]>(n_);
+  for (uint32_t p = 0; p < n_; ++p)
+    strand_depth_[p].store(0, std::memory_order_relaxed);
   clock_ = std::make_unique<SteadyClock>(this);
   transport_ = std::make_unique<ThreadTransport>(this, n_, config_.delta);
   strand_mu_.reserve(n_);
@@ -221,11 +234,15 @@ TaskId ThreadRuntime::ScheduleTask(uint32_t strand, TimePoint when,
                                    std::function<void()> fn) {
   VP_CHECK_MSG(strand < n_, "ScheduleTask: bad strand");
   std::unique_lock<std::mutex> lk(mu_);
+  ctr_wheel_lock_->Increment();
   const TaskId id = next_id_++;
   if (stop_) return id;  // Dropped; id stays unique and inert.
   heap_.push_back(Task{when, id, strand, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), TaskLater{});
   pending_.insert(id);
+  hist_wheel_depth_->Observe(heap_.size());
+  hist_strand_depth_->Observe(
+      strand_depth_[strand].fetch_add(1, std::memory_order_relaxed) + 1);
   const bool is_front = heap_.front().id == id;
   lk.unlock();
   // A new earliest deadline shortens every sleeper's wait; otherwise one
@@ -241,6 +258,7 @@ TaskId ThreadRuntime::ScheduleTask(uint32_t strand, TimePoint when,
 void ThreadRuntime::CancelTask(TaskId id) {
   if (id == kInvalidTask) return;
   std::lock_guard<std::mutex> lk(mu_);
+  ctr_wheel_lock_->Increment();
   // Mark only ids still queued, so cancelled_ never accumulates ids that
   // no pop will ever reclaim (same discipline as sim::Scheduler).
   if (pending_.count(id) > 0) cancelled_.insert(id);
@@ -248,6 +266,7 @@ void ThreadRuntime::CancelTask(TaskId id) {
 
 void ThreadRuntime::WorkerLoop() {
   std::unique_lock<std::mutex> lk(mu_);
+  ctr_wheel_lock_->Increment();
   while (true) {
     if (stop_) return;
     if (heap_.empty()) {
@@ -264,15 +283,21 @@ void ThreadRuntime::WorkerLoop() {
     Task task = std::move(heap_.back());
     heap_.pop_back();
     pending_.erase(task.id);
+    strand_depth_[task.strand].fetch_sub(1, std::memory_order_relaxed);
     if (cancelled_.erase(task.id) > 0) continue;
     lk.unlock();
     {
       std::lock_guard<std::mutex> strand_lk(*strand_mu_[task.strand]);
+      // Tag this thread's log lines with the strand (= processor) whose
+      // task it is running, so interleaved worker output stays readable.
+      Logger::SetThreadProcessor(static_cast<int>(task.strand));
       task.fn();
+      Logger::SetThreadProcessor(-1);
     }
     task.fn = nullptr;  // Destroy captures outside the wheel lock.
     tasks_run_.fetch_add(1, std::memory_order_relaxed);
     lk.lock();
+    ctr_wheel_lock_->Increment();
   }
 }
 

@@ -34,6 +34,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runtime/runtime.h"
 
 namespace vp::runtime {
@@ -48,6 +49,13 @@ class ThreadRuntime {
     /// from it. In-process delivery is far faster, so this is a safety
     /// margin, not a model.
     Duration delta = sim::Millis(1);
+    /// Registry for runtime-internal metrics (wheel-lock acquisitions,
+    /// queue depths, message counts). Null = process-global default. This
+    /// is the measurement layer ROADMAP's "profile the central wheel lock"
+    /// item asks for: runtime.wheel_lock_acquisitions counts every
+    /// mu_ acquisition, and the queue-depth histograms show how much work
+    /// each acquisition shepherds.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit ThreadRuntime(uint32_t n_processors);
@@ -128,6 +136,15 @@ class ThreadRuntime {
   std::unique_ptr<ThreadTransport> transport_;
   std::vector<std::thread> threads_;
   std::atomic<uint64_t> tasks_run_{0};
+
+  /// Observability (counters are sharded atomics; safe from any thread).
+  obs::Counter* ctr_wheel_lock_ = nullptr;
+  obs::Counter* ctr_msgs_sent_ = nullptr;
+  obs::Counter* ctr_msgs_remote_ = nullptr;
+  obs::Histogram* hist_wheel_depth_ = nullptr;
+  obs::Histogram* hist_strand_depth_ = nullptr;
+  /// Tasks queued per strand, for the strand-depth histogram.
+  std::unique_ptr<std::atomic<uint32_t>[]> strand_depth_;
 };
 
 }  // namespace vp::runtime

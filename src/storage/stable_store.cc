@@ -24,6 +24,7 @@ void StableStore::PersistCopy(ObjectId obj, const Value& value, VpId date,
   for (const LogRecord& rec : log) bytes += rec.value.size() + 20;
   stats_.copy_persist_bytes += bytes;
   ++stats_.fsyncs;
+  ctr_fsyncs_->Increment();
 }
 
 void StableStore::PersistViewMeta(VpId max_id, VpId cur_id) {
@@ -31,14 +32,19 @@ void StableStore::PersistViewMeta(VpId max_id, VpId cur_id) {
   cur_view_ = cur_id;
   has_view_meta_ = true;
   ++stats_.fsyncs;
+  ctr_fsyncs_->Increment();
 }
 
 void StableStore::AppendWal(WalRecord rec) {
   if (mode_ == DurabilityMode::kNoWal) return;  // Strawman: records lost.
   if (replaying_) return;  // Re-staging during replay must not re-log.
-  stats_.wal_bytes += WriteAheadLog::RecordBytes(rec);
+  const uint64_t bytes = WriteAheadLog::RecordBytes(rec);
+  stats_.wal_bytes += bytes;
   ++stats_.wal_appends;
   ++stats_.fsyncs;
+  ctr_wal_bytes_->Add(bytes);
+  ctr_wal_appends_->Increment();
+  ctr_fsyncs_->Increment();
   wal_.Append(std::move(rec));
 }
 

@@ -37,6 +37,7 @@
 
 #include "common/types.h"
 #include "common/vp_id.h"
+#include "obs/metrics.h"
 #include "storage/replica_store.h"
 #include "storage/wal.h"
 
@@ -62,7 +63,19 @@ struct StableStats {
 
 class StableStore {
  public:
-  explicit StableStore(DurabilityMode mode) : mode_(mode) {}
+  explicit StableStore(DurabilityMode mode) : mode_(mode) {
+    AttachMetrics(obs::MetricsRegistry::Default());
+  }
+
+  /// Mirrors fsync/WAL counters into `registry` ("wal.fsyncs",
+  /// "wal.appends", "wal.bytes", "wal.replay_records") from this call on;
+  /// the harness attaches its per-cluster registry at node construction.
+  void AttachMetrics(obs::MetricsRegistry* registry) {
+    ctr_fsyncs_ = registry->counter("wal.fsyncs");
+    ctr_wal_appends_ = registry->counter("wal.appends");
+    ctr_wal_bytes_ = registry->counter("wal.bytes");
+    ctr_replayed_ = registry->counter("wal.replay_records");
+  }
 
   DurabilityMode mode() const { return mode_; }
   /// True when crashes destroy volatile state (kWal and kNoWal).
@@ -103,7 +116,10 @@ class StableStore {
   void BeginReplay();
   void EndReplay();
   bool replaying() const { return replaying_; }
-  void CountReplayedRecord() { ++stats_.wal_replay_records; }
+  void CountReplayedRecord() {
+    ++stats_.wal_replay_records;
+    ctr_replayed_->Increment();
+  }
 
   const StableStats& stats() const { return stats_; }
 
@@ -117,6 +133,10 @@ class StableStore {
   uint32_t incarnation_ = 0;
   bool replaying_ = false;
   StableStats stats_;
+  obs::Counter* ctr_fsyncs_ = nullptr;
+  obs::Counter* ctr_wal_appends_ = nullptr;
+  obs::Counter* ctr_wal_bytes_ = nullptr;
+  obs::Counter* ctr_replayed_ = nullptr;
 };
 
 }  // namespace vp::storage
