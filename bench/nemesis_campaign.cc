@@ -9,6 +9,8 @@
 //   nemesis_campaign --weighted-placements ...         # a²b copy geometries
 //   nemesis_campaign --protocol=quorum --harsh ...     # harsher knob menus
 //   nemesis_campaign --reliable ...                    # ack/retry delivery
+//   nemesis_campaign --reconfig --seeds=500            # reconfig storms
+//   nemesis_campaign --reconfig --no-epoch-gating ...  # ungated negative ctl
 //   nemesis_campaign --first-seed=7 --trace-out=t.json # trace one run
 //   nemesis_campaign --replay=f.plan --trace-out=t.json
 //
@@ -71,6 +73,11 @@ void PrintOutcome(const RunOutcome& outcome) {
   std::printf("  state-durable %s\n",
               outcome.state_durable ? "ok" : "VIOLATED");
   std::printf("  convergence   %s\n", outcome.converged ? "ok" : "VIOLATED");
+  if (outcome.reconfigs_committed > 0 || outcome.final_epoch > 0) {
+    std::printf("  reconfigs     %llu (final epoch %u)\n",
+                static_cast<unsigned long long>(outcome.reconfigs_committed),
+                outcome.final_epoch);
+  }
   if (outcome.stable.fsyncs > 0 || outcome.stable.reboots > 0) {
     std::printf("  fsyncs        %llu\n",
                 static_cast<unsigned long long>(outcome.stable.fsyncs));
@@ -137,6 +144,14 @@ int main(int argc, char** argv) {
       config.generator.harsh = true;
     } else if (std::strcmp(argv[i], "--reliable") == 0) {
       config.generator.reliable = true;
+    } else if (std::strcmp(argv[i], "--reconfig") == 0) {
+      config.generator.enable_reconfig = true;
+    } else if (std::strcmp(argv[i], "--no-epoch-gating") == 0) {
+      // Negative control: reconfig storms with the epoch gate off. Implies
+      // --reconfig (an ungated campaign without reconfig events is just the
+      // baseline campaign).
+      config.generator.enable_reconfig = true;
+      config.generator.epoch_gating = false;
     } else if (ParseFlag(argv[i], "--durability", &value)) {
       bool found = false;
       for (vp::storage::DurabilityMode m :
@@ -180,6 +195,7 @@ int main(int argc, char** argv) {
                    "usage: %s [--seeds=N] [--first-seed=K] [--protocol=NAME]\n"
                    "          [--amnesia] [--durability=retain|wal|nowal]\n"
                    "          [--weighted-placements] [--harsh] [--reliable]\n"
+                   "          [--reconfig] [--no-epoch-gating]\n"
                    "          [--no-shrink] [--max-shrinks=N]\n"
                    "          [--shrink-budget=N] [--out-dir=DIR]\n"
                    "          [--replay=FILE] [--dump-seed=K]\n"

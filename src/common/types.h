@@ -23,6 +23,32 @@ inline constexpr ObjectId kInvalidObject =
 /// majority"). Most placements use weight 1 for every copy.
 using Weight = uint32_t;
 
+/// Configuration epoch. The paper fixes `copies` and weights at t=0; online
+/// reconfiguration versions them: epoch 0 is the initial placement and each
+/// committed ReconfigOp batch advances the epoch by one. Every transaction,
+/// physical operation, and WAL record is attributable to exactly one epoch.
+using EpochId = uint32_t;
+
+/// One primitive placement change. A reconfiguration is an ordered batch of
+/// these, applied to the previous epoch's placement. Semantics are
+/// tolerant so randomly generated batches are always valid:
+///   kAddCopy    — add a copy of `obj` at `proc` with weight `weight`; if
+///                 `proc` already holds a copy this re-weights it.
+///   kRemoveCopy — drop `proc`'s copy of `obj`; no-op if `proc` holds no
+///                 copy or if it is the last copy (an object must always
+///                 keep at least one copy).
+///   kSetWeight  — re-weight `proc`'s copy of `obj`; no-op if absent.
+struct ReconfigOp {
+  enum class Kind : uint8_t { kAddCopy, kRemoveCopy, kSetWeight };
+
+  Kind kind = Kind::kAddCopy;
+  ObjectId obj = kInvalidObject;
+  ProcessorId proc = kInvalidProcessor;
+  Weight weight = 1;
+
+  friend bool operator==(const ReconfigOp&, const ReconfigOp&) = default;
+};
+
 /// The value stored by a copy of a logical object. Opaque bytes; workloads
 /// typically store decimal integers or tagged tokens used by the
 /// serializability certifier.

@@ -79,6 +79,7 @@ void NodeBase::ReplayWal() {
   struct PendingWrite {
     Value value;
     VpId date;
+    EpochId epoch;
   };
   std::map<TxnId, std::map<ObjectId, PendingWrite>> pending;
   stable->BeginReplay();
@@ -86,7 +87,8 @@ void NodeBase::ReplayWal() {
     stable->CountReplayedRecord();
     switch (rec.type) {
       case storage::WalRecord::Type::kPrepare:
-        pending[rec.txn][rec.obj] = PendingWrite{rec.value, rec.date};
+        pending[rec.txn][rec.obj] = PendingWrite{rec.value, rec.date,
+                                                 rec.epoch};
         break;
       case storage::WalRecord::Type::kOutcome:
         remote_outcomes_[rec.txn] = rec.committed;
@@ -113,7 +115,7 @@ void NodeBase::ReplayWal() {
       env_.locks->Acquire(txn, obj, cc::LockMode::kExclusive, lock_timeout_,
                           [&granted](Status s) { granted = s.ok(); });
       VP_CHECK_MSG(granted, "replay lock must grant on an empty table");
-      Status st = env_.store->StageWrite(txn, obj, w.value, w.date);
+      Status st = env_.store->StageWrite(txn, obj, w.value, w.date, w.epoch);
       VP_CHECK(st.ok());
       rt.staged.insert(obj);
     }
@@ -134,6 +136,7 @@ void NodeBase::Begin(TxnId txn) {
   VP_CHECK_MSG(txns_.count(txn) == 0, "duplicate transaction id");
   TxnRec& rec = txns_[txn];
   rec.trace = tracer_->NewTraceId();
+  rec.epoch = CurrentEpoch();
   rec.begun_at = env_.clock->Now();
   decisions_.MarkActive(txn);
   env_.recorder->TxnBegin(txn, id_, rec.begun_at);
@@ -182,8 +185,8 @@ void NodeBase::Decide(TxnId txn, TxnRec* rec, bool committed) {
     // Commit decisions must survive a coordinator crash: participants in
     // doubt will query us, and presumed-abort turns a forgotten commit
     // into a lost write. Aborts need no record.
-    env_.stable->AppendWal(
-        storage::WalRecord{storage::WalRecord::Type::kDecision, txn});
+    env_.stable->AppendWal(storage::WalRecord{
+        storage::WalRecord::Type::kDecision, txn, rec->epoch});
   }
   rec->decided_at = env_.clock->Now();
   if (committed) {
@@ -264,6 +267,21 @@ void NodeBase::HandlePhysRead(const net::Message& m) {
     SendPhys(reply_to, msg::kPhysReadReply,
          msg::PhysReadReply{req.op_id, false, "stale-txn", Value(),
                             kEpochDate},
+         nullptr, trace);
+    return;
+  }
+  if (!req.recovery && EpochGated() && req.epoch != CurrentEpoch()) {
+    // Deterministic cross-epoch rejection: a transactional access from an
+    // epoch this replica is not serving must never touch its copies.
+    // (Recovery reads are exempt — they are how a new epoch's copies are
+    // brought current — and 2PC outcome traffic never passes through here,
+    // so in-flight transactions still resolve across the boundary.)
+    ctr_phys_nacks_->Increment();
+    SendPhys(reply_to, msg::kPhysReadReply,
+         msg::PhysReadReply{req.op_id, false,
+                            req.epoch < CurrentEpoch() ? "stale-epoch"
+                                                       : "future-epoch",
+                            Value(), kEpochDate},
          nullptr, trace);
     return;
   }
@@ -353,6 +371,15 @@ void NodeBase::HandlePhysWrite(const net::Message& m) {
          msg::PhysWriteReply{req.op_id, false, "stale-txn"}, nullptr, trace);
     return;
   }
+  if (EpochGated() && req.epoch != CurrentEpoch()) {
+    ctr_phys_nacks_->Increment();
+    SendPhys(reply_to, msg::kPhysWriteReply,
+         msg::PhysWriteReply{req.op_id, false,
+                             req.epoch < CurrentEpoch() ? "stale-epoch"
+                                                        : "future-epoch"},
+         nullptr, trace);
+    return;
+  }
   Status admit = ValidateAccess(req.txn, req.v, req.obj, req.footprint,
                                 /*is_recovery=*/false, /*is_write=*/true);
   if (!admit.ok()) {
@@ -373,9 +400,10 @@ void NodeBase::HandlePhysWrite(const net::Message& m) {
   const uint64_t op_id = req.op_id;
   const Value value = req.value;
   const VpId date = req.v;
+  const EpochId epoch = req.epoch;
   env_.locks->Acquire(
       txn, obj, cc::LockMode::kExclusive, lock_timeout_,
-      [this, txn, obj, op_id, value, date, reply_to, trace](Status s) {
+      [this, txn, obj, op_id, value, date, epoch, reply_to, trace](Status s) {
         if (!s.ok()) {
           ctr_phys_nacks_->Increment();
           SendPhys(reply_to, msg::kPhysWriteReply,
@@ -392,7 +420,7 @@ void NodeBase::HandlePhysWrite(const net::Message& m) {
                trace);
           return;
         }
-        Status st = env_.store->StageWrite(txn, obj, value, date);
+        Status st = env_.store->StageWrite(txn, obj, value, date, epoch);
         if (!st.ok()) {
           ctr_phys_nacks_->Increment();
           SendPhys(reply_to, msg::kPhysWriteReply,
@@ -446,9 +474,9 @@ void NodeBase::ApplyOutcomeLocally(TxnId txn, bool committed) {
   if (env_.stable != nullptr && remote_outcomes_.count(txn) == 0) {
     // Participant outcome memory (the stale-txn guard) must survive a
     // crash, and resolved prepares must not be re-staged on replay.
-    env_.stable->AppendWal(storage::WalRecord{storage::WalRecord::Type::kOutcome,
-                                              txn, kInvalidObject, Value(),
-                                              kEpochDate, committed});
+    env_.stable->AppendWal(storage::WalRecord{
+        storage::WalRecord::Type::kOutcome, txn, CurrentEpoch(),
+        kInvalidObject, Value(), kEpochDate, committed});
   }
   remote_outcomes_[txn] = committed;
   auto it = remote_txns_.find(txn);

@@ -49,6 +49,11 @@ struct NodeEnv {
   runtime::Executor* executor = nullptr;
   runtime::Transport* transport = nullptr;
   const storage::CopyPlacement* placement = nullptr;
+  /// Per-epoch placement chain for online reconfiguration. May be null
+  /// (legacy single-epoch setups); then `placement` is the only epoch.
+  /// When set, slot 0 must equal `*placement`, and protocols that commit
+  /// reconfigurations (VpNode) register new epochs here.
+  storage::PlacementDirectory* placements = nullptr;
   storage::ReplicaStore* store = nullptr;
   cc::LockManager* locks = nullptr;
   history::Recorder* recorder = nullptr;
@@ -123,6 +128,9 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
     /// without partitions leave vp_set false.
     VpId vp;
     bool vp_set = false;
+    /// Configuration epoch the transaction runs under, fixed at Begin.
+    /// Every physical op and WAL record it produces carries this epoch.
+    EpochId epoch = 0;
     /// Processors whose copies this transaction physically touched.
     std::set<ProcessorId> participants;
     /// Participants that have not yet acknowledged the outcome.
@@ -154,6 +162,15 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
   virtual bool MaybeDefer(const net::Message& m);
   /// Commit-time admission check (e.g. R4: still in the transaction's vp).
   virtual Status ValidateCommit(const TxnRec& rec);
+  /// Configuration epoch this node currently serves under. Protocols
+  /// without reconfiguration stay at epoch 0 forever.
+  virtual EpochId CurrentEpoch() const { return 0; }
+  /// When true (default), transactional physical accesses whose epoch
+  /// differs from CurrentEpoch() are nacked deterministically
+  /// ("stale-epoch"/"future-epoch"). VpNode wires this to
+  /// VpConfig::epoch_gating so the nemesis negative control can turn the
+  /// gate off.
+  virtual bool EpochGated() const { return true; }
   /// Dispatch for protocol-specific message types. Return false if the
   /// type is unknown.
   virtual bool HandleProtocolMessage(const net::Message& m) = 0;

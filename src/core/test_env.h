@@ -43,7 +43,8 @@ class TestEnv {
         network_(&scheduler_, &graph_, opts.net, opts.seed ^ 0x9e37),
         runtime_(&scheduler_, &network_),
         placement_(storage::CopyPlacement::FullReplication(
-            opts.n_processors, opts.n_objects)) {
+            opts.n_processors, opts.n_objects)),
+        placements_(placement_) {
     stores_.reserve(opts.n_processors);
     locks_.reserve(opts.n_processors);
     for (ProcessorId p = 0; p < opts.n_processors; ++p) {
@@ -67,6 +68,7 @@ class TestEnv {
     env.executor = runtime_.executor();
     env.transport = runtime_.transport();
     env.placement = &placement_;
+    env.placements = &placements_;
     env.store = stores_[p].get();
     env.locks = locks_[p].get();
     env.recorder = &recorder_;
@@ -81,6 +83,7 @@ class TestEnv {
   storage::ReplicaStore& store(ProcessorId p) { return *stores_[p]; }
   cc::LockManager& locks(ProcessorId p) { return *locks_[p]; }
   const storage::CopyPlacement& placement() const { return placement_; }
+  storage::PlacementDirectory& placements() { return placements_; }
   uint32_t size() const { return opts_.n_processors; }
 
   void RunFor(sim::Duration d) { scheduler_.RunUntil(scheduler_.Now() + d); }
@@ -93,6 +96,7 @@ class TestEnv {
   net::Network network_;
   runtime::SimRuntime runtime_;
   storage::CopyPlacement placement_;
+  storage::PlacementDirectory placements_;
   std::vector<std::unique_ptr<storage::ReplicaStore>> stores_;
   std::vector<std::unique_ptr<cc::LockManager>> locks_;
   history::Recorder recorder_;

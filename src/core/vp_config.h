@@ -81,6 +81,17 @@ struct VpConfig {
   /// partition is broadcast to every processor; when true, only to the
   /// acceptors in the new view (a pure message-count optimization).
   bool commit_to_acceptors_only = false;
+
+  /// Epoch safety for online reconfiguration (DESIGN.md §12). When true
+  /// (default): a reconfiguration only commits from a view holding a
+  /// strict weighted majority of every object under the CURRENT epoch's
+  /// placement (the authoritativeness gate), transactional physical
+  /// accesses carrying a different epoch are rejected deterministically,
+  /// and committing to a higher-epoch view aborts every transaction of the
+  /// older epoch first (the drain rule). False disables all three — the
+  /// nemesis negative control, which demonstrably loses updates when a
+  /// minority partition shrinks a placement out from under the majority.
+  bool epoch_gating = true;
 };
 
 }  // namespace vp::core

@@ -25,20 +25,27 @@ inline constexpr const char* kNewVp = "newvp";
 
 /// Acceptance of an invitation. `previous` is the last virtual partition
 /// the acceptor was assigned to (§6: previous_v(q)), collected at no extra
-/// message cost.
+/// message cost; `epoch` is the acceptor's configuration epoch, so the
+/// initiator commits the view under the newest epoch any member occupies.
 struct VpOk {
   VpId v;
   ProcessorId r = kInvalidProcessor;
   VpId previous;
+  EpochId epoch = 0;
 };
 inline constexpr const char* kVpOk = "vp-ok";
 
-/// Phase-2 commit: the initiator's computed view for partition `v`.
+/// Phase-2 commit: the initiator's computed view for partition `v`, plus
+/// the configuration epoch the view serves under. When the commit advances
+/// the receiver's epoch past epochs it has not yet learned, `reconfig`
+/// carries the op batch that produced `epoch` from its predecessor.
 struct VpCommit {
   VpId v;
   std::set<ProcessorId> view;
   /// previous_v(q) for each q in view (§6 optimization 1).
   std::map<ProcessorId, VpId> previous;
+  EpochId epoch = 0;
+  std::vector<ReconfigOp> reconfig;
 };
 inline constexpr const char* kVpCommit = "vp-commit";
 
@@ -67,6 +74,12 @@ struct PhysRead {
   TxnId txn;
   ObjectId obj = kInvalidObject;
   VpId v;
+  /// Configuration epoch the issuing transaction runs under. Transactional
+  /// accesses from a different epoch are rejected deterministically
+  /// ("stale-epoch"/"future-epoch"); recovery reads are exempt — they are
+  /// the mechanism by which a new epoch's copies are brought current, and
+  /// they are already guarded by `v` and by copy dates.
+  EpochId epoch = 0;
   bool recovery = false;
   /// Acquire an exclusive (not shared) lock: used by quorum consensus's
   /// version poll, which precedes an intent to write.
@@ -81,7 +94,8 @@ inline constexpr const char* kPhysRead = "read";
 struct PhysReadReply {
   uint64_t op_id = 0;
   bool ok = false;
-  /// Failure reason when !ok: "wrong-vp", "lock-timeout", "no-copy".
+  /// Failure reason when !ok: "wrong-vp", "lock-timeout", "no-copy",
+  /// "stale-epoch", "future-epoch".
   std::string error;
   Value value;
   VpId date;
@@ -93,6 +107,7 @@ struct PhysWrite {
   ObjectId obj = kInvalidObject;
   Value value;
   VpId v;
+  EpochId epoch = 0;
   uint64_t op_id = 0;
   std::set<ProcessorId> footprint;
 };
@@ -111,6 +126,8 @@ inline constexpr const char* kPhysWriteReply = "write-reply";
 struct DateQuery {
   ObjectId obj = kInvalidObject;
   VpId v;
+  /// Informational (formation traffic is vp-id-gated, not epoch-gated).
+  EpochId epoch = 0;
   uint64_t op_id = 0;
 };
 inline constexpr const char* kDateQuery = "date-query";
@@ -128,6 +145,8 @@ struct LogQuery {
   ObjectId obj = kInvalidObject;
   VpId after;
   VpId v;
+  /// Informational (formation traffic is vp-id-gated, not epoch-gated).
+  EpochId epoch = 0;
   uint64_t op_id = 0;
 };
 inline constexpr const char* kLogQuery = "log-query";

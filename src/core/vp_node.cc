@@ -22,9 +22,14 @@ VpNode::VpNode(ProcessorId id, NodeEnv env, VpConfig config)
   ctr_conv_within_delta_ = metrics_->counter("vp.convergence_within_delta");
   ctr_conv_exceeded_delta_ =
       metrics_->counter("vp.convergence_exceeded_delta");
+  ctr_reconfigs_proposed_ = metrics_->counter("vp.reconfigs_proposed");
+  ctr_reconfigs_committed_ = metrics_->counter("vp.reconfigs_committed");
+  ctr_reconfigs_deferred_ = metrics_->counter("vp.reconfigs_deferred");
+  gauge_epoch_ = metrics_->gauge("vp.epoch");
   hist_phys_read_us_ = metrics_->histogram("phys.read_us");
   hist_phys_write_us_ = metrics_->histogram("phys.write_us");
   hist_view_conv_us_ = metrics_->histogram("vp.view_convergence_us");
+  hist_reconfig_us_ = metrics_->histogram("vp.reconfig_us");
 }
 
 void VpNode::BeginViewChangeSpan(const char* reason) {
@@ -59,10 +64,25 @@ void VpNode::MaybeEndViewChangeSpan() {
 }
 
 void VpNode::PersistViewMeta() {
-  if (env_.stable != nullptr) env_.stable->PersistViewMeta(max_id_, cur_id_);
+  if (env_.stable != nullptr) {
+    env_.stable->PersistViewMeta(max_id_, cur_id_, epoch_);
+  }
 }
 
 void VpNode::Start() {
+  if (env_.stable != nullptr && env_.stable->incarnation() > 0) {
+    // Any reboot (amnesia or not) resumes the persisted configuration epoch:
+    // the decision to serve under a placement is durable, so an in-doubt
+    // transaction left in the WAL resolves against the placement it ran
+    // under, never an older one.
+    epoch_ = env_.stable->epoch();
+    if (env_.placements != nullptr) {
+      for (const auto& [e, ops] : env_.stable->reconfigs()) {
+        if (!env_.placements->Has(e)) env_.placements->Register(e, ops);
+      }
+    }
+    gauge_epoch_->Set(epoch_);
+  }
   if (env_.stable != nullptr && env_.stable->amnesia() &&
       env_.stable->incarnation() > 0 && env_.stable->has_view_meta()) {
     // Crash-amnesia reboot: resume as a singleton partition whose id is
@@ -151,6 +171,7 @@ void VpNode::StartCreateVp(VpId new_id) {
   create_id_ = new_id;
   accepting_ = {id_};
   accept_previous_ = {{id_, cur_id_}};
+  accept_epochs_ = {{id_, epoch_}};
   const uint32_t n = env_.transport->size();
   for (ProcessorId p = 0; p < n; ++p) {
     if (p == id_) continue;
@@ -180,17 +201,70 @@ void VpNode::FinishCreateVp(uint64_t generation) {
   if (create_id_ == max_id_) {
     std::set<ProcessorId> view = accepting_;
     std::map<ProcessorId, VpId> previous = accept_previous_;
+    // The committed view adopts the newest epoch any member occupies
+    // (epochs never regress; a behind member catches up at commit).
+    EpochId epoch = epoch_;
+    for (const auto& [p, e] : accept_epochs_) {
+      if (epoch < e) epoch = e;
+    }
+    std::vector<ReconfigOp> reconfig;
+    if (env_.placements != nullptr && epoch > 0 &&
+        env_.placements->Has(epoch)) {
+      // Carry the adopted epoch's ops so behind members can cross-check the
+      // directory entry they committed under.
+      reconfig = env_.placements->OpsFor(epoch);
+    }
+    if (!pending_reconfig_.empty() && env_.placements != nullptr &&
+        env_.placements->Has(epoch) &&
+        epoch + 1 < storage::PlacementDirectory::kMaxEpochs) {
+      const storage::CopyPlacement& cur = env_.placements->At(epoch);
+      const storage::CopyPlacement next = cur.Apply(pending_reconfig_);
+      if (!config_.epoch_gating ||
+          AuthoritativeForReconfig(cur, next, view)) {
+        // The batch rides this formation: the new epoch takes effect at the
+        // vp boundary, and R5 brings every in-view copy of the new
+        // placement current before the view serves.
+        std::vector<ReconfigOp> ops = std::move(pending_reconfig_);
+        pending_reconfig_.clear();
+        env_.placements->Register(epoch + 1, ops);
+        ++epoch;
+        // Under the gated protocol the slot is ours (the gate serializes
+        // introducers through a common majority); ungated races may lose
+        // first-wins registration, in which case the directory's ops — not
+        // ours — define the epoch. Either way the directory is the truth.
+        reconfig = env_.placements->OpsFor(epoch);
+        ctr_reconfigs_committed_->Increment();
+        const runtime::TimePoint now = env_.clock->Now();
+        hist_reconfig_us_->Observe(
+            static_cast<uint64_t>(now - reconfig_proposed_at_));
+        tracer_->AsyncEnd(reconfig_trace_, id_, now, "vp.reconfig", "vp",
+                          {{"epoch", std::to_string(epoch)},
+                           {"ops", std::to_string(reconfig.size())}});
+        reconfig_trace_ = 0;
+      } else {
+        // Not authoritative for the change from this view; the batch stays
+        // pending and ArmReconfigRetry (below, via CommitToVp) retries.
+        ctr_reconfigs_deferred_->Increment();
+      }
+    } else if (!pending_reconfig_.empty() && env_.placements != nullptr &&
+               epoch + 1 >= storage::PlacementDirectory::kMaxEpochs) {
+      // Directory exhausted: the batch can never commit; drop it so the
+      // retry timer stops churning formations.
+      pending_reconfig_.clear();
+    }
     // Phase 2: distribute the view. The paper broadcasts to all of P;
     // commit_to_acceptors_only narrows this to the acceptors.
     const uint32_t n = env_.transport->size();
     for (ProcessorId p = 0; p < n; ++p) {
       if (p == id_) continue;
       if (config_.commit_to_acceptors_only && view.count(p) == 0) continue;
-      Send(p, msg::kVpCommit, msg::VpCommit{create_id_, view, previous},
+      Send(p, msg::kVpCommit,
+           msg::VpCommit{create_id_, view, previous, epoch, reconfig},
            view_trace_);
     }
     monitor_timer_.Reset();
-    CommitToVp(create_id_, std::move(view), std::move(previous));
+    CommitToVp(create_id_, std::move(view), std::move(previous), epoch,
+               reconfig);
     return;
   }
   // The attempt failed (a higher invitation arrived). Progress guarantee:
@@ -210,7 +284,7 @@ void VpNode::HandleNewVp(const net::Message& m) {
   PersistViewMeta();
   BeginViewChangeSpan("invited");
   Depart();
-  Send(v.p, msg::kVpOk, msg::VpOk{v, id_, cur_id_}, view_trace_);
+  Send(v.p, msg::kVpOk, msg::VpOk{v, id_, cur_id_, epoch_}, view_trace_);
   monitor_timer_.Set(3 * config_.delta, [this]() { OnMonitorTimeout(); });
   // max-id moved: parked accesses tagged with lower vp-ids are now dead.
   ReprocessDeferred();
@@ -221,6 +295,7 @@ void VpNode::HandleVpOk(const net::Message& m) {
   if (!create_open_ || !(body.v == create_id_)) return;
   accepting_.insert(body.r);
   accept_previous_[body.r] = body.previous;
+  accept_epochs_[body.r] = body.epoch;
 }
 
 void VpNode::HandleVpCommit(const net::Message& m) {
@@ -236,7 +311,7 @@ void VpNode::HandleVpCommit(const net::Message& m) {
     return;
   }
   monitor_timer_.Reset();
-  CommitToVp(body.v, body.view, body.previous);
+  CommitToVp(body.v, body.view, body.previous, body.epoch, body.reconfig);
 }
 
 void VpNode::OnMonitorTimeout() {
@@ -256,13 +331,39 @@ void VpNode::OnMonitorTimeout() {
 }
 
 void VpNode::CommitToVp(VpId v, std::set<ProcessorId> view,
-                        std::map<ProcessorId, VpId> previous) {
+                        std::map<ProcessorId, VpId> previous, EpochId epoch,
+                        const std::vector<ReconfigOp>& reconfig) {
   ++join_generation_;
   cur_id_ = v;
   if (max_id_ < v) max_id_ = v;
   lview_ = std::move(view);
   previous_ = std::move(previous);
   assigned_ = true;
+  const EpochId prev_epoch = epoch_;
+  if (epoch_ < epoch) {
+    // Epochs move only here, at the vp boundary; the directory (shared)
+    // already holds the new placement — the ops on the commit message are
+    // redundant cross-checking material for a receiver whose directory
+    // somehow lags (cannot happen in-process, defensive for fidelity).
+    if (env_.placements != nullptr && !env_.placements->Has(epoch) &&
+        env_.placements->LatestEpoch() + 1 == epoch) {
+      env_.placements->Register(epoch, reconfig);
+    }
+    epoch_ = epoch;
+    gauge_epoch_->Set(epoch_);
+    tracer_->Instant(view_trace_, id_, env_.clock->Now(), "vp.epoch_switch",
+                     "vp", {{"epoch", std::to_string(epoch_)}});
+    if (env_.stable != nullptr && env_.placements != nullptr) {
+      // Durable before the view serves: a reboot must resolve in-doubt
+      // transactions against this placement, not an older one. A member
+      // that skipped epochs persists the whole chain it jumped over.
+      for (EpochId e = prev_epoch + 1; e <= epoch_; ++e) {
+        if (env_.placements->Has(e)) {
+          env_.stable->PersistReconfig(e, env_.placements->OpsFor(e));
+        }
+      }
+    }
+  }
   PersistViewMeta();
   ++stats_.vp_joins;
   env_.recorder->JoinVp(id_, v, lview_, env_.clock->Now());
@@ -280,6 +381,14 @@ void VpNode::CommitToVp(VpId v, std::set<ProcessorId> view,
   std::vector<TxnId> doomed;
   for (auto& [txn, rec] : txns_) {
     if (rec.st != cc::TxnOutcome::kActive || !rec.vp_set) continue;
+    // Drain rule: a transaction begun under an older epoch never commits in
+    // a newer one, even when the weakened R4 would let it survive the view
+    // change — its footprint was planned against a placement that no longer
+    // governs votes.
+    if (config_.epoch_gating && rec.epoch != epoch_) {
+      doomed.push_back(txn);
+      continue;
+    }
     if (rec.vp == v) continue;
     if (config_.weakened_r4) {
       bool contained = true;
@@ -295,6 +404,18 @@ void VpNode::CommitToVp(VpId v, std::set<ProcessorId> view,
   }
   for (TxnId txn : doomed) InternalAbort(txn);
 
+  // Copy bring-up: placement gained under the new epoch materializes as an
+  // empty copy (date ⊥) that R5 fills before it can serve. Departing
+  // holders keep their copies — vote-less, read-only — as recovery sources.
+  if (env_.placements != nullptr) {
+    for (ObjectId obj : CurrentPlacement().LocalObjects(id_)) {
+      if (!env_.store->HasCopy(obj)) {
+        env_.store->CreateCopy(obj);
+        dirty_.insert(obj);  // Never initialized; recovery is mandatory.
+      }
+    }
+  }
+
   // R5: lock accessible local copies until initialized (Fig. 5 line 18).
   recovery_retries_.clear();
   locked_.clear();
@@ -302,7 +423,7 @@ void VpNode::CommitToVp(VpId v, std::set<ProcessorId> view,
   // never completed, so the same-previous skip must not trust them.
   const std::set<ObjectId> was_dirty = dirty_;
   for (ObjectId obj : env_.store->LocalObjects()) {
-    if (env_.placement->Accessible(obj, lview_)) {
+    if (CurrentPlacement().Accessible(obj, lview_)) {
       locked_.insert(obj);
       dirty_.insert(obj);  // Pending until Unlock.
     }
@@ -310,6 +431,59 @@ void VpNode::CommitToVp(VpId v, std::set<ProcessorId> view,
   StartUpdateCopies(was_dirty);
   MaybeEndViewChangeSpan();
   ReprocessDeferred();
+  ArmReconfigRetry();
+}
+
+bool VpNode::AuthoritativeForReconfig(const storage::CopyPlacement& cur,
+                                      const storage::CopyPlacement& next,
+                                      const std::set<ProcessorId>& view) const {
+  // Majority under `cur`: the forming view can still read every object's
+  // latest committed value. Majority under `next`: R5 initializes a
+  // majority of each object's NEW copies before the new epoch serves, so
+  // any later view with a new-placement majority intersects an initialized
+  // copy (the usual quorum-intersection argument, carried across the
+  // boundary).
+  for (ObjectId obj = 0; obj < cur.object_count(); ++obj) {
+    if (!cur.Accessible(obj, view)) return false;
+  }
+  for (ObjectId obj = 0; obj < next.object_count(); ++obj) {
+    if (!next.Accessible(obj, view)) return false;
+  }
+  return true;
+}
+
+void VpNode::ArmReconfigRetry() {
+  if (pending_reconfig_.empty() || reconfig_retry_armed_) return;
+  reconfig_retry_armed_ = true;
+  // Probe-period pacing: frequent enough for liveness once the topology
+  // admits the change, slow enough not to storm formations while it
+  // cannot commit (e.g. mid-partition).
+  env_.executor->ScheduleAfter(config_.probe_period, [this]() {
+    reconfig_retry_armed_ = false;
+    if (retired_ || Crashed() || pending_reconfig_.empty()) return;
+    CreateNewVp();
+    ArmReconfigRetry();
+  });
+}
+
+void VpNode::ProposeReconfig(std::vector<ReconfigOp> ops) {
+  if (retired_ || Crashed() || ops.empty()) return;
+  if (env_.placements == nullptr) return;  // No directory: unsupported.
+  ctr_reconfigs_proposed_->Increment();
+  const bool had_pending = !pending_reconfig_.empty();
+  for (ReconfigOp& op : ops) pending_reconfig_.push_back(op);
+  if (!had_pending) {
+    reconfig_proposed_at_ = env_.clock->Now();
+    reconfig_trace_ = tracer_->NewTraceId();
+    tracer_->AsyncBegin(reconfig_trace_, id_, reconfig_proposed_at_,
+                        "vp.reconfig", "vp",
+                        {{"ops", std::to_string(pending_reconfig_.size())}});
+  }
+  // Reconfiguration rides a partition creation; if this node is currently
+  // unassigned (a formation is already in flight) the retry timer carries
+  // the batch to the next boundary.
+  CreateNewVp();
+  ArmReconfigRetry();
 }
 
 // ---------------------------------------------------------------------------
@@ -375,6 +549,19 @@ void VpNode::HandleProbe(const net::Message& m) {
     Send(body.q, msg::kProbeAck, msg::ProbeAck{id_, body.seq});
   } else if (cur_id_ < body.v) {
     // Communication across partitions demonstrated; merge (Fig. 8 line 7).
+    // Epoch-aware runs fold the demonstrated id into max_id_ first: max_id
+    // must be the largest id *seen*, and the probe's id counts. Proposing
+    // the successor of a stale local max loses the creation race against
+    // the probing side (which ignores the lower id as stale) and costs a
+    // full extra probe period before the next merge attempt — breaking the
+    // Δ = π + 8δ convergence bound after a heal. Applied only once a
+    // reconfiguration has happened so legacy epoch-0 plans keep their
+    // pinned golden traces byte-for-byte; promoting the fold to
+    // unconditional (with a digest re-pin) is a ROADMAP item.
+    if (env_.placements != nullptr && env_.placements->LatestEpoch() > 0 &&
+        max_id_ < body.v) {
+      max_id_ = body.v;
+    }
     CreateNewVp();
   }
   // body.v < cur_id_: stale probe; ignore.
@@ -426,6 +613,26 @@ void VpNode::StartUpdateCopies(const std::set<ObjectId>& was_dirty) {
 }
 
 void VpNode::StartObjectRecovery(ObjectId obj) {
+  if (env_.placements != nullptr && env_.placements->LatestEpoch() > 0 &&
+      config_.recovery != RecoveryMode::kFullRead) {
+    // Once a reconfiguration has happened, the log/date shortcuts are only
+    // sound against sources that saw every committed write of the object —
+    // at an epoch boundary the freshest in-view copy may belong to a
+    // departing holder the current placement no longer lists, and a
+    // freshly materialized copy (date ⊥) has no log to catch up from at
+    // its new-placement peers. Fall back to a max-date full read over the
+    // all-epochs holder union whenever either condition can hold.
+    auto local = env_.store->Read(obj);
+    const bool fresh = !local.ok() || local.value().date == kEpochDate;
+    std::set<ProcessorId> cur_in_view;
+    for (ProcessorId q : CurrentPlacement().CopyHolders(obj)) {
+      if (lview_.count(q) > 0) cur_in_view.insert(q);
+    }
+    if (fresh || RecoverySources(obj) != cur_in_view) {
+      RecoverObjectFullRead(obj);
+      return;
+    }
+  }
   switch (config_.recovery) {
     case RecoveryMode::kLogCatchup:
       RecoverObjectLogCatchup(obj);
@@ -440,14 +647,34 @@ void VpNode::StartObjectRecovery(ObjectId obj) {
   }
 }
 
+std::set<ProcessorId> VpNode::RecoverySources(ObjectId obj) const {
+  std::set<ProcessorId> out;
+  if (env_.placements != nullptr) {
+    for (EpochId e = 0; e <= epoch_; ++e) {
+      if (!env_.placements->Has(e) ||
+          !env_.placements->At(e).HasObject(obj)) {
+        continue;
+      }
+      for (ProcessorId q : env_.placements->At(e).CopyHolders(obj)) {
+        if (lview_.count(q) > 0) out.insert(q);
+      }
+    }
+  } else {
+    for (ProcessorId q : env_.placement->CopyHolders(obj)) {
+      if (lview_.count(q) > 0) out.insert(q);
+    }
+  }
+  return out;
+}
+
 void VpNode::RecoverObjectFullRead(ObjectId obj) {
   const uint64_t op_id = next_op_id_++;
   PendingRecovery rec;
   rec.obj = obj;
   rec.join_gen = join_generation_;
-  for (ProcessorId q : env_.placement->CopyHolders(obj)) {
-    if (lview_.count(q) > 0) rec.awaiting.insert(q);
-  }
+  rec.awaiting = RecoverySources(obj);
+  // Self always qualifies: `obj` is locked, hence local, and a copy exists
+  // only because some epoch <= epoch_ placed it here.
   VP_CHECK(!rec.awaiting.empty());
   recovery_by_object_[obj] = op_id;
   const std::set<ProcessorId> targets = rec.awaiting;
@@ -464,19 +691,21 @@ void VpNode::RecoverObjectFullRead(ObjectId obj) {
           locker, obj, cc::LockMode::kShared, lock_timeout_,
           [this, locker, obj, op_id](Status s) {
             if (!s.ok()) {
-              HandleRecoveryReadReply(op_id, false, Value(), kEpochDate, id_);
+              HandleRecoveryReadReply(op_id, false, Value(), kEpochDate, id_,
+                                      s.message());
               return;
             }
             auto v = env_.store->Read(obj);
             env_.locks->ReleaseAll(locker);
             VP_CHECK(v.ok());
             HandleRecoveryReadReply(op_id, true, v.value().value,
-                                    v.value().date, id_);
+                                    v.value().date, id_, "");
           });
     } else {
       ++stats_.recovery_reads_sent;
       SendPhys(q, msg::kPhysRead,
-               msg::PhysRead{SyntheticTxnId(), obj, cur_id_, /*recovery=*/true,
+               msg::PhysRead{SyntheticTxnId(), obj, cur_id_, epoch_,
+                             /*recovery=*/true,
                              /*for_update=*/false, op_id, {}},
                nullptr, view_trace_);
     }
@@ -493,7 +722,7 @@ void VpNode::RecoverObjectLogCatchup(ObjectId obj) {
   rec.obj = obj;
   rec.join_gen = join_generation_;
   rec.log_mode = true;
-  for (ProcessorId q : env_.placement->CopyHolders(obj)) {
+  for (ProcessorId q : CurrentPlacement().CopyHolders(obj)) {
     if (q != id_ && lview_.count(q) > 0) rec.awaiting.insert(q);
   }
   if (rec.awaiting.empty()) {
@@ -510,8 +739,9 @@ void VpNode::RecoverObjectLogCatchup(ObjectId obj) {
 
   for (ProcessorId q : targets) {
     ++stats_.recovery_reads_sent;
-    SendPhys(q, msg::kLogQuery, msg::LogQuery{obj, after, cur_id_, op_id},
-             nullptr, view_trace_);
+    SendPhys(q, msg::kLogQuery,
+             msg::LogQuery{obj, after, cur_id_, epoch_, op_id}, nullptr,
+             view_trace_);
   }
 }
 
@@ -526,7 +756,7 @@ void VpNode::RecoverObjectDatePoll(ObjectId obj) {
   rec.date_mode = true;
   rec.best_date = local.value().date;
   rec.best_holder = id_;
-  for (ProcessorId q : env_.placement->CopyHolders(obj)) {
+  for (ProcessorId q : CurrentPlacement().CopyHolders(obj)) {
     if (q != id_ && lview_.count(q) > 0) rec.awaiting.insert(q);
   }
   if (rec.awaiting.empty()) {
@@ -542,7 +772,7 @@ void VpNode::RecoverObjectDatePoll(ObjectId obj) {
 
   for (ProcessorId q : targets) {
     ++stats_.recovery_date_polls;
-    SendPhys(q, msg::kDateQuery, msg::DateQuery{obj, cur_id_, op_id},
+    SendPhys(q, msg::kDateQuery, msg::DateQuery{obj, cur_id_, epoch_, op_id},
              nullptr, view_trace_);
   }
 }
@@ -628,14 +858,16 @@ void VpNode::HandleDateReply(const net::Message& m) {
   ++stats_.recovery_value_fetches;
   ++stats_.recovery_reads_sent;
   SendPhys(rec.best_holder, msg::kPhysRead,
-           msg::PhysRead{SyntheticTxnId(), rec.obj, cur_id_, /*recovery=*/true,
+           msg::PhysRead{SyntheticTxnId(), rec.obj, cur_id_, epoch_,
+                         /*recovery=*/true,
                          /*for_update=*/false, body.op_id, {}},
            nullptr, view_trace_);
 }
 
 void VpNode::HandleRecoveryReadReply(uint64_t op_id, bool ok,
                                      const Value& value, VpId date,
-                                     ProcessorId from) {
+                                     ProcessorId from,
+                                     const std::string& error) {
   auto it = pending_recoveries_.find(op_id);
   if (it == pending_recoveries_.end()) return;
   PendingRecovery& rec = it->second;
@@ -647,6 +879,20 @@ void VpNode::HandleRecoveryReadReply(uint64_t op_id, bool ok,
     return;
   }
   if (!ok) {
+    if (error == "no-copy" && !rec.fetching_value) {
+      // A holder listed by a past epoch that never materialized its copy
+      // (added, then removed, without ever joining a view in between). Its
+      // miss is benign as long as some source delivers a value; every
+      // source missing means the view really is wrong.
+      rec.awaiting.erase(from);
+      if (!rec.awaiting.empty()) return;
+      if (rec.have_value) {
+        FinishRecovery(rec.obj, rec.join_gen);
+      } else {
+        RecoveryFailed(rec.obj, rec.join_gen);
+      }
+      return;
+    }
     const ObjectId obj = rec.obj;
     const uint64_t gen = rec.join_gen;
     RecoveryFailed(obj, gen);
@@ -767,7 +1013,7 @@ Status VpNode::AdmitLogicalOp(TxnId txn, ObjectId obj, TxnRec** rec_out) {
   if (rec->st != cc::TxnOutcome::kActive || rec->doomed) {
     return Status::Aborted("transaction already doomed");
   }
-  if (!assigned_ || !env_.placement->Accessible(obj, lview_)) {
+  if (!assigned_ || !CurrentPlacement().Accessible(obj, lview_)) {
     rec->doomed = true;
     InternalAbort(txn);
     return Status::Unavailable("object inaccessible (R1)");
@@ -795,7 +1041,7 @@ Status VpNode::AdmitLogicalOp(TxnId txn, ObjectId obj, TxnRec** rec_out) {
 ProcessorId VpNode::Nearest(ObjectId obj) const {
   ProcessorId best = kInvalidProcessor;
   double best_cost = 0;
-  for (ProcessorId q : env_.placement->CopyHolders(obj)) {
+  for (ProcessorId q : CurrentPlacement().CopyHolders(obj)) {
     if (lview_.count(q) == 0) continue;
     const double cost = q == id_ ? 0.0 : env_.transport->Cost(id_, q);
     if (best == kInvalidProcessor || cost < best_cost) {
@@ -829,7 +1075,7 @@ void VpNode::LogicalRead(TxnId txn, ObjectId obj, ReadCallback cb) {
   if (config_.read_retry) {
     // Remaining in-view copies, by ascending cost, as fallbacks.
     std::vector<std::pair<double, ProcessorId>> rest;
-    for (ProcessorId q : env_.placement->CopyHolders(obj)) {
+    for (ProcessorId q : CurrentPlacement().CopyHolders(obj)) {
       if (q == pr.target || lview_.count(q) == 0) continue;
       rest.emplace_back(q == id_ ? 0.0 : env_.transport->Cost(id_, q),
                         q);
@@ -856,7 +1102,7 @@ void VpNode::LogicalRead(TxnId txn, ObjectId obj, ReadCallback cb) {
   ++stats_.phys_reads_sent;
   ctr_phys_reads_issued_->Increment();
   SendPhys(pr.target, msg::kPhysRead,
-           msg::PhysRead{txn, obj, cur_id_, /*recovery=*/false,
+           msg::PhysRead{txn, obj, cur_id_, epoch_, /*recovery=*/false,
                          /*for_update=*/false, op_id, rec->participants},
            nullptr, pr.trace);
   pending_reads_[op_id] = std::move(pr);
@@ -882,7 +1128,7 @@ void VpNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
   pw.cb = std::move(cb);
   pw.issued_at = env_.clock->Now();
   pw.trace = rec->trace;
-  for (ProcessorId q : env_.placement->CopyHolders(obj)) {
+  for (ProcessorId q : CurrentPlacement().CopyHolders(obj)) {
     if (lview_.count(q) > 0) pw.awaiting.insert(q);
   }
   VP_CHECK(!pw.awaiting.empty());
@@ -911,7 +1157,8 @@ void VpNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
   for (ProcessorId q : targets) {
     ++stats_.phys_writes_sent;
     SendPhys(q, msg::kPhysWrite,
-             msg::PhysWrite{txn, obj, value, cur_id_, op_id, footprint},
+             msg::PhysWrite{txn, obj, value, cur_id_, epoch_, op_id,
+                            footprint},
              nullptr, rec->trace);
   }
 }
@@ -929,7 +1176,7 @@ Status VpNode::ValidateAccess(const TxnId& txn, VpId v, ObjectId obj,
   if (v == cur_id_) return Status::Ok();
   if (config_.weakened_r4 && !is_recovery) {
     // §6 conditions (1) and (2), evaluated against the server's view.
-    bool contained = env_.placement->Accessible(obj, lview_);
+    bool contained = CurrentPlacement().Accessible(obj, lview_);
     for (ProcessorId p : footprint) {
       if (lview_.count(p) == 0) {
         contained = false;
@@ -947,16 +1194,19 @@ bool VpNode::MaybeDefer(const net::Message& m) {
   VpId v;
   ObjectId obj = kInvalidObject;
   bool transactional = false;
+  EpochId msg_epoch = epoch_;
   if (m.type == msg::kPhysRead) {
     const auto& r = net::BodyAs<msg::PhysRead>(m);
     v = r.v;
     obj = r.obj;
     transactional = !r.recovery;
+    if (transactional) msg_epoch = r.epoch;
   } else if (m.type == msg::kPhysWrite) {
     const auto& w = net::BodyAs<msg::PhysWrite>(m);
     v = w.v;
     obj = w.obj;
     transactional = true;
+    msg_epoch = w.epoch;
   } else if (m.type == msg::kLogQuery) {
     const auto& q = net::BodyAs<msg::LogQuery>(m);
     v = q.v;
@@ -969,6 +1219,15 @@ bool VpNode::MaybeDefer(const net::Message& m) {
     return false;
   }
   if (!assigned_ && v == max_id_) {
+    deferred_.push_back(m);
+    return true;
+  }
+  // An access stamped with a FUTURE epoch comes from a coordinator whose
+  // commit beat ours here: our VpCommit for that epoch is in flight (or its
+  // loss will surface as a monitor timeout). Park rather than nack — the
+  // reprocess on join serves it, and if the epoch never arrives the
+  // coordinator's own timeout cleans up.
+  if (transactional && config_.epoch_gating && epoch_ < msg_epoch) {
     deferred_.push_back(m);
     return true;
   }
@@ -1003,6 +1262,11 @@ void VpNode::ReprocessDeferred() {
 Status VpNode::ValidateCommit(const TxnRec& rec) {
   if (!rec.vp_set) return Status::Ok();  // Pure begin/commit, no ops.
   if (!assigned_) return Status::Aborted("R4: not assigned at commit");
+  if (config_.epoch_gating && rec.epoch != epoch_) {
+    // Drain rule, commit-time edge: the epoch moved between this
+    // transaction's operations and its commit request.
+    return Status::Aborted("epoch changed before commit");
+  }
   if (config_.weakened_r4) return Status::Ok();
   if (!(rec.vp == cur_id_)) {
     return Status::Aborted("R4: partition changed before commit");
@@ -1073,7 +1337,8 @@ bool VpNode::HandleProtocolMessage(const net::Message& m) {
             });
         ++stats_.phys_reads_sent;
         SendPhys(pr.target, msg::kPhysRead,
-                 msg::PhysRead{pr.txn, pr.obj, cur_id_, /*recovery=*/false,
+                 msg::PhysRead{pr.txn, pr.obj, cur_id_, epoch_,
+                               /*recovery=*/false,
                                /*for_update=*/false, op_id,
                                rec->participants},
                  nullptr, pr.trace);
@@ -1087,7 +1352,7 @@ bool VpNode::HandleProtocolMessage(const net::Message& m) {
       return true;
     }
     HandleRecoveryReadReply(body.op_id, body.ok, body.value, body.date,
-                            m.src);
+                            m.src, body.error);
   } else if (m.type == msg::kPhysWriteReply) {
     const auto& body = net::BodyAs<msg::PhysWriteReply>(m);
     auto it = pending_writes_.find(body.op_id);

@@ -52,14 +52,33 @@ class VpNode : public NodeBase {
   bool assigned() const { return assigned_; }
   VpId cur_id() const { return cur_id_; }
   VpId max_id() const { return max_id_; }
+  EpochId epoch() const { return epoch_; }
   const std::set<ProcessorId>& view() const { return lview_; }
   const std::set<ObjectId>& locked_objects() const { return locked_; }
   const VpConfig& config() const { return config_; }
 
+  /// Placement in force under this node's current epoch.
+  const storage::CopyPlacement& CurrentPlacement() const {
+    if (env_.placements != nullptr && env_.placements->Has(epoch_)) {
+      return env_.placements->At(epoch_);
+    }
+    return *env_.placement;
+  }
+
   /// The paper's accessible(l, view) from this node's perspective.
   bool Accessible(ObjectId obj) const {
-    return assigned_ && env_.placement->Accessible(obj, lview_);
+    return assigned_ && CurrentPlacement().Accessible(obj, lview_);
   }
+
+  /// Queues a reconfiguration batch and triggers a partition creation to
+  /// carry it. The batch takes effect only at the vp boundary whose view
+  /// passes the authoritativeness gate (a strict weighted majority of
+  /// every object under BOTH the current and the candidate placement — the
+  /// second half guarantees a majority of each object's new copies is
+  /// brought current before the new epoch serves). Until then it stays
+  /// pending and is retried at probe-period pace. Requires
+  /// NodeEnv::placements; a directory-less node ignores the call.
+  void ProposeReconfig(std::vector<ReconfigOp> ops);
 
   /// Forces an immediate partition-creation attempt (tests).
   void ForceCreateNewVp() { CreateNewVp(); }
@@ -72,6 +91,8 @@ class VpNode : public NodeBase {
   bool MaybeDefer(const net::Message& m) override;
   Status ValidateCommit(const TxnRec& rec) override;
   bool HandleProtocolMessage(const net::Message& m) override;
+  EpochId CurrentEpoch() const override { return epoch_; }
+  bool EpochGated() const override { return config_.epoch_gating; }
 
  private:
   // --- Virtual partition management ---
@@ -84,7 +105,16 @@ class VpNode : public NodeBase {
   void HandleVpCommit(const net::Message& m);
   void OnMonitorTimeout();
   void CommitToVp(VpId v, std::set<ProcessorId> view,
-                  std::map<ProcessorId, VpId> previous);
+                  std::map<ProcessorId, VpId> previous, EpochId epoch,
+                  const std::vector<ReconfigOp>& reconfig);
+  /// True iff `view` holds a strict weighted majority of every object under
+  /// both `cur` and `next` (the reconfig authoritativeness gate).
+  bool AuthoritativeForReconfig(const storage::CopyPlacement& cur,
+                                const storage::CopyPlacement& next,
+                                const std::set<ProcessorId>& view) const;
+  /// Arms a probe-period retry formation while a reconfig batch is pending
+  /// (covers deferred batches and batches queued on non-initiators).
+  void ArmReconfigRetry();
   /// Opens the view-change span (one per formation episode, from the first
   /// departure/invitation until every locked copy is re-initialized).
   /// Idempotent while a span is open: competing invitations and failed
@@ -113,8 +143,15 @@ class VpNode : public NodeBase {
   void HandleDateReply(const net::Message& m);
   /// Dispatches to the per-mode recovery start for `obj`.
   void StartObjectRecovery(ObjectId obj);
+  /// In-view processors a full-read recovery of `obj` polls. With an epoch
+  /// directory this is the union of `obj`'s holders over every epoch up to
+  /// the current one: at an epoch boundary a freshly created copy has no
+  /// current-epoch source that is up to date yet, and departing holders keep
+  /// their (read-only) data precisely to serve these reads.
+  std::set<ProcessorId> RecoverySources(ObjectId obj) const;
   void HandleRecoveryReadReply(uint64_t op_id, bool ok, const Value& value,
-                               VpId date, ProcessorId from);
+                               VpId date, ProcessorId from,
+                               const std::string& error);
   void HandleLogReply(const net::Message& m);
   void FinishRecovery(ObjectId obj, uint64_t join_gen);
   void RecoveryFailed(ObjectId obj, uint64_t join_gen);
@@ -150,12 +187,25 @@ class VpNode : public NodeBase {
   /// generation it started under and dies quietly when superseded.
   uint64_t join_generation_ = 0;
 
+  // Configuration-epoch state. `epoch_` names the placement this node serves
+  // under; it only moves forward, and only at a vp boundary (CommitToVp).
+  EpochId epoch_ = 0;
+  /// Reconfig batch queued by ProposeReconfig, awaiting a formation whose
+  /// view passes the authoritativeness gate.
+  std::vector<ReconfigOp> pending_reconfig_;
+  bool reconfig_retry_armed_ = false;
+  runtime::TimePoint reconfig_proposed_at_ = 0;
+  uint64_t reconfig_trace_ = 0;
+
   // Create-VP (initiator) state.
   bool create_open_ = false;
   uint64_t create_generation_ = 0;
   VpId create_id_;
   std::set<ProcessorId> accepting_;
   std::map<ProcessorId, VpId> accept_previous_;
+  /// Epoch each acceptor reported in its VpOk; the committed view adopts
+  /// the max (nobody's epoch ever regresses).
+  std::map<ProcessorId, EpochId> accept_epochs_;
 
   runtime::Timer monitor_timer_;  // Fig. 6's T (3δ).
 
@@ -239,9 +289,14 @@ class VpNode : public NodeBase {
   obs::Counter* ctr_view_changes_ = nullptr;
   obs::Counter* ctr_conv_within_delta_ = nullptr;
   obs::Counter* ctr_conv_exceeded_delta_ = nullptr;
+  obs::Counter* ctr_reconfigs_proposed_ = nullptr;
+  obs::Counter* ctr_reconfigs_committed_ = nullptr;
+  obs::Counter* ctr_reconfigs_deferred_ = nullptr;
+  obs::Gauge* gauge_epoch_ = nullptr;
   obs::Histogram* hist_phys_read_us_ = nullptr;
   obs::Histogram* hist_phys_write_us_ = nullptr;
   obs::Histogram* hist_view_conv_us_ = nullptr;
+  obs::Histogram* hist_reconfig_us_ = nullptr;
 };
 
 }  // namespace vp::core

@@ -43,7 +43,8 @@ Cluster::Cluster(ClusterConfig config)
       placement_(config_.has_custom_placement
                      ? config_.placement
                      : storage::CopyPlacement::FullReplication(
-                           config_.n_processors, config_.n_objects)) {
+                           config_.n_processors, config_.n_objects)),
+      placements_(placement_) {
   tracer_.set_enabled(config_.tracing);
   network_.AttachMetrics(&metrics_);
   const uint32_t n = config_.n_processors;
@@ -92,6 +93,7 @@ std::unique_ptr<core::NodeBase> Cluster::MakeNode(ProcessorId p) {
   env.executor = runtime_.executor();
   env.transport = runtime_.transport();
   env.placement = &placement_;
+  env.placements = &placements_;
   env.store = stores_[p].get();
   env.locks = locks_[p].get();
   env.recorder = &recorder_;
@@ -165,6 +167,11 @@ core::VpNode& Cluster::vp_node(ProcessorId p) {
 protocols::NaiveViewNode& Cluster::naive_node(ProcessorId p) {
   VP_CHECK(config_.protocol == Protocol::kNaiveView);
   return static_cast<protocols::NaiveViewNode&>(*nodes_[p]);
+}
+
+void Cluster::ProposeReconfig(ProcessorId p, std::vector<ReconfigOp> ops) {
+  VP_CHECK(config_.protocol == Protocol::kVirtualPartition);
+  vp_node(p).ProposeReconfig(std::move(ops));
 }
 
 history::InitialDb Cluster::initial_db() const {

@@ -100,6 +100,16 @@ class Cluster {
   runtime::RuntimeView runtime_view() { return runtime_.view(); }
   history::Recorder& recorder() { return recorder_; }
   const storage::CopyPlacement& placement() const { return placement_; }
+  /// Epoch chain shared by every node (slot 0 = `placement()`).
+  storage::PlacementDirectory& placements() { return placements_; }
+  const storage::PlacementDirectory& placements() const { return placements_; }
+  /// Highest epoch any committed view has introduced so far.
+  EpochId LatestEpoch() const { return placements_.LatestEpoch(); }
+  /// Placement of the latest epoch — what durability checks must use: a
+  /// reconfigured-away copy is legitimately stale.
+  const storage::CopyPlacement& FinalPlacement() const {
+    return placements_.At(placements_.LatestEpoch());
+  }
   storage::ReplicaStore& store(ProcessorId p) { return *stores_[p]; }
   cc::LockManager& locks(ProcessorId p) { return *locks_[p]; }
   storage::StableStore& stable(ProcessorId p) { return *stables_[p]; }
@@ -115,6 +125,11 @@ class Cluster {
   /// Typed access; aborts if the cluster runs a different protocol.
   core::VpNode& vp_node(ProcessorId p);
   protocols::NaiveViewNode& naive_node(ProcessorId p);
+
+  /// Queues a reconfiguration batch at processor `p` (VP protocol only).
+  /// The batch commits at the next vp boundary whose view passes the
+  /// authoritativeness gate; see VpNode::ProposeReconfig.
+  void ProposeReconfig(ProcessorId p, std::vector<ReconfigOp> ops);
 
   // --- Running ---
   void RunFor(sim::Duration d) { scheduler_.RunUntil(scheduler_.Now() + d); }
@@ -170,6 +185,7 @@ class Cluster {
   net::FailureInjector injector_;
   runtime::SimRuntime runtime_;
   storage::CopyPlacement placement_;
+  storage::PlacementDirectory placements_;
   history::Recorder recorder_;
   std::vector<std::unique_ptr<storage::ReplicaStore>> stores_;
   std::vector<std::unique_ptr<cc::LockManager>> locks_;

@@ -23,7 +23,8 @@ ThreadCluster::ThreadCluster(ThreadClusterConfig config)
       runtime_(config_.n_processors,
                WithMetrics(config_.runtime, &metrics_)),
       placement_(storage::CopyPlacement::FullReplication(
-          config_.n_processors, config_.n_objects)) {
+          config_.n_processors, config_.n_objects)),
+      placements_(placement_) {
   tracer_.set_enabled(config_.tracing);
   const uint32_t n = config_.n_processors;
   stores_.reserve(n);
@@ -55,6 +56,7 @@ std::unique_ptr<core::NodeBase> ThreadCluster::MakeNode(ProcessorId p) {
   env.executor = runtime_.executor(p);
   env.transport = runtime_.transport();
   env.placement = &placement_;
+  env.placements = &placements_;
   env.store = stores_[p].get();
   env.locks = locks_[p].get();
   env.recorder = &recorder_;
@@ -78,6 +80,15 @@ std::unique_ptr<core::NodeBase> ThreadCluster::MakeNode(ProcessorId p) {
   }
   VP_CHECK(false);
   return nullptr;
+}
+
+void ThreadCluster::ProposeReconfig(ProcessorId p,
+                                    std::vector<ReconfigOp> ops) {
+  VP_CHECK(config_.protocol == Protocol::kVirtualPartition);
+  core::NodeBase* node = nodes_[p].get();
+  runtime_.RunOn(p, [node, ops = std::move(ops)]() mutable {
+    static_cast<core::VpNode*>(node)->ProposeReconfig(std::move(ops));
+  });
 }
 
 ThreadCluster::TxnResult ThreadCluster::RunTxn(ProcessorId at,

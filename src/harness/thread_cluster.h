@@ -63,6 +63,13 @@ class ThreadCluster {
   obs::Tracer& tracer() { return tracer_; }
   core::NodeBase& node(ProcessorId p) { return *nodes_[p]; }
   history::Recorder& recorder() { return recorder_; }
+  /// Epoch chain shared by every node (slot 0 = the initial placement).
+  storage::PlacementDirectory& placements() { return placements_; }
+
+  /// Queues a reconfiguration batch at processor `p` (VP protocol only),
+  /// on p's strand; returns once it is queued, not once it commits. Watch
+  /// the `vp.epoch` gauge or the directory's LatestEpoch for the commit.
+  void ProposeReconfig(ProcessorId p, std::vector<ReconfigOp> ops);
   /// Inspect only while quiesced (before clients start or after Stop).
   storage::ReplicaStore& store(ProcessorId p) { return *stores_[p]; }
   const ThreadClusterConfig& config() const { return config_; }
@@ -115,6 +122,7 @@ class ThreadCluster {
   obs::Tracer tracer_;
   runtime::ThreadRuntime runtime_;
   storage::CopyPlacement placement_;
+  storage::PlacementDirectory placements_;
   std::vector<std::unique_ptr<storage::ReplicaStore>> stores_;
   std::vector<std::unique_ptr<cc::LockManager>> locks_;
   history::Recorder recorder_;

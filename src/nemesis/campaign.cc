@@ -26,6 +26,9 @@ std::set<std::string> PlanCoverage(const FaultPlan& plan) {
   }
   if (!plan.placement.empty()) kinds.insert("weighted_placement");
   if (plan.reliable) kinds.insert("reliable_delivery");
+  // "reconfig" itself lands in `kinds` via FaultKindName above; the gating
+  // pseudo-kind tells negative-control campaigns apart in the table.
+  if (!plan.epoch_gating) kinds.insert("gating_disabled");
   return kinds;
 }
 

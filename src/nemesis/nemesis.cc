@@ -64,6 +64,65 @@ Status ParseGroups(const std::string& text,
   return Status::Ok();
 }
 
+/// One reconfig op as a single whitespace-free token, so it slots into the
+/// plan format's space-separated action lines:
+///   add:obj:proc:weight | rm:obj:proc | w:obj:proc:weight
+std::string FmtReconfigOp(const ReconfigOp& op) {
+  std::string out;
+  switch (op.kind) {
+    case ReconfigOp::Kind::kAddCopy:
+      out = "add:" + std::to_string(op.obj) + ":" + std::to_string(op.proc) +
+            ":" + std::to_string(op.weight);
+      break;
+    case ReconfigOp::Kind::kRemoveCopy:
+      out = "rm:" + std::to_string(op.obj) + ":" + std::to_string(op.proc);
+      break;
+    case ReconfigOp::Kind::kSetWeight:
+      out = "w:" + std::to_string(op.obj) + ":" + std::to_string(op.proc) +
+            ":" + std::to_string(op.weight);
+      break;
+  }
+  return out;
+}
+
+Status ParseReconfigOp(const std::string& token, ReconfigOp* out) {
+  std::stringstream parts(token);
+  std::string kind, field;
+  if (!std::getline(parts, kind, ':')) {
+    return Status::InvalidArgument("empty reconfig op");
+  }
+  uint64_t nums[3] = {0, 0, 0};
+  int n = 0;
+  while (n < 3 && std::getline(parts, field, ':')) {
+    try {
+      nums[n++] = std::stoull(field);
+    } catch (...) {
+      return Status::InvalidArgument("bad number in reconfig op '" + token +
+                                     "'");
+    }
+  }
+  const bool has_weight = kind != "rm";
+  if ((has_weight && n != 3) || (!has_weight && n != 2)) {
+    return Status::InvalidArgument("malformed reconfig op '" + token + "'");
+  }
+  out->kind = kind == "add"  ? ReconfigOp::Kind::kAddCopy
+              : kind == "rm" ? ReconfigOp::Kind::kRemoveCopy
+              : kind == "w"  ? ReconfigOp::Kind::kSetWeight
+                             : ReconfigOp::Kind::kAddCopy;
+  if (kind != "add" && kind != "rm" && kind != "w") {
+    return Status::InvalidArgument("unknown reconfig op kind '" + kind + "'");
+  }
+  out->obj = static_cast<ObjectId>(nums[0]);
+  out->proc = static_cast<ProcessorId>(nums[1]);
+  if (has_weight) {
+    if (nums[2] < 1 || nums[2] > 64) {
+      return Status::InvalidArgument("reconfig weight must be in [1, 64]");
+    }
+    out->weight = static_cast<Weight>(nums[2]);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 std::string FaultPlan::ToText() const {
@@ -84,6 +143,8 @@ std::string FaultPlan::ToText() const {
   out << "durability " << storage::DurabilityModeName(durability) << "\n";
   // Only emitted when set, so pre-existing plan files stay byte-identical.
   if (reliable) out << "reliable 1\n";
+  // Only emitted when disabled (the non-default), for the same reason.
+  if (!epoch_gating) out << "epoch_gating 0\n";
   for (const CopySpec& c : placement) {
     out << "copy " << c.obj << " " << c.proc << " " << c.weight << "\n";
   }
@@ -110,6 +171,10 @@ std::string FaultPlan::ToText() const {
         break;
       case Kind::kChurnBurst:
         out << " " << a.a << " " << a.count << " " << a.period;
+        break;
+      case Kind::kReconfig:
+        out << " " << a.a;
+        for (const ReconfigOp& op : a.reconfig) out << " " << FmtReconfigOp(op);
         break;
       case Kind::kCustom:
         break;
@@ -189,6 +254,10 @@ Result<FaultPlan> FaultPlan::FromText(const std::string& text) {
       int v = 0;
       fields >> v;
       plan.reliable = v != 0;
+    } else if (key == "epoch_gating") {
+      int v = 0;
+      fields >> v;
+      plan.epoch_gating = v != 0;
     } else if (key == "copy") {
       FaultPlan::CopySpec c;
       uint32_t weight = 0;
@@ -232,6 +301,19 @@ Result<FaultPlan> FaultPlan::FromText(const std::string& text) {
         if (a.count < 1 || a.period < 1) {
           return bad("churn needs count >= 1 and period >= 1");
         }
+      } else if (kind_name == "reconfig") {
+        a.kind = Kind::kReconfig;
+        fields >> a.a;
+        if (fields.fail()) return bad("reconfig needs a proposer");
+        std::string token;
+        while (fields >> token) {
+          ReconfigOp op;
+          Status s = ParseReconfigOp(token, &op);
+          if (!s.ok()) return bad(s.message());
+          a.reconfig.push_back(op);
+        }
+        fields.clear();  // The op loop legitimately hits end-of-line.
+        if (a.reconfig.empty()) return bad("reconfig needs at least one op");
       } else {
         return bad("unknown action kind '" + kind_name + "'");
       }
@@ -284,6 +366,17 @@ Result<FaultPlan> FaultPlan::FromText(const std::string& text) {
               "partition group references processor " + std::to_string(p) +
               " >= processors");
         }
+      }
+    }
+    for (const ReconfigOp& op : a.reconfig) {
+      if (op.obj >= plan.n_objects) {
+        return Status::InvalidArgument("reconfig op references object " +
+                                       std::to_string(op.obj) + " >= objects");
+      }
+      if (!in_range(op.proc)) {
+        return Status::InvalidArgument("reconfig op references processor " +
+                                       std::to_string(op.proc) +
+                                       " >= processors");
       }
     }
   }
@@ -349,6 +442,7 @@ FaultPlan GeneratePlan(uint64_t seed, const GeneratorConfig& cfg) {
   // (flags off) keep generating byte-identical plans for existing seeds.
   if (cfg.enable_amnesia) plan.durability = cfg.amnesia_durability;
   if (cfg.reliable) plan.reliable = true;  // Stamp only; no rng draw.
+  if (cfg.enable_reconfig) plan.epoch_gating = cfg.epoch_gating;  // Stamp.
   if (cfg.weighted_placements && n >= 3 && rng.Bernoulli(0.5)) {
     // Quorum-style placements: 3..n holders per object, and half the time
     // one copy carries a double vote (the paper's a²b configurations).
@@ -371,6 +465,10 @@ FaultPlan GeneratePlan(uint64_t seed, const GeneratorConfig& cfg) {
   }
   const uint32_t n_events =
       static_cast<uint32_t>(rng.UniformInt(cfg.min_events, cfg.max_events));
+  // Epochs only move forward, so cap reconfig events well under the
+  // directory's kMaxEpochs slots even if every batch commits.
+  uint32_t reconfigs = 0;
+  constexpr uint32_t kMaxReconfigEvents = 6;
   for (uint32_t e = 0; e < n_events; ++e) {
     // Fault window [start, end) inside the storm; the undo action fires at
     // `end` so every scripted fault is eventually lifted even before the
@@ -382,7 +480,16 @@ FaultPlan GeneratePlan(uint64_t seed, const GeneratorConfig& cfg) {
     net::FaultAction on, off;
     on.at = start;
     off.at = end;
-    switch (rng.Uniform(cfg.enable_amnesia ? 6 : 5)) {
+    // Kind menu: slots 0-4 always; slot 5 = amnesia (enable_amnesia); slot
+    // 6 = reconfig (enable_reconfig). With amnesia off but reconfig on, the
+    // extra slot drawn as 5 is remapped to 6, so legacy draw sequences
+    // (neither or amnesia-only) are untouched.
+    uint32_t kinds = 5;
+    if (cfg.enable_amnesia) ++kinds;
+    if (cfg.enable_reconfig) ++kinds;
+    uint32_t kind_draw = static_cast<uint32_t>(rng.Uniform(kinds));
+    if (kind_draw == 5 && !cfg.enable_amnesia) kind_draw = 6;
+    switch (kind_draw) {
       case 0: {  // Partition into two non-empty groups.
         if (n < 2) continue;
         std::vector<std::vector<ProcessorId>> groups(2);
@@ -415,6 +522,34 @@ FaultPlan GeneratePlan(uint64_t seed, const GeneratorConfig& cfg) {
         off.kind = Kind::kRecoverProcessor;
         on.a = off.a = static_cast<ProcessorId>(rng.Uniform(n));
         break;
+      }
+      case 6: {  // Reconfig batch (only drawn with enable_reconfig).
+        if (reconfigs >= kMaxReconfigEvents) continue;
+        ++reconfigs;
+        on.kind = Kind::kReconfig;
+        on.a = static_cast<ProcessorId>(rng.Uniform(n));  // Proposer.
+        const uint32_t n_ops = static_cast<uint32_t>(rng.UniformInt(1, 2));
+        for (uint32_t i = 0; i < n_ops; ++i) {
+          ReconfigOp op;
+          op.obj = static_cast<ObjectId>(rng.Uniform(plan.n_objects));
+          op.proc = static_cast<ProcessorId>(rng.Uniform(n));
+          switch (rng.Uniform(3)) {
+            case 0:
+              op.kind = ReconfigOp::Kind::kAddCopy;
+              op.weight = static_cast<Weight>(rng.UniformInt(1, 2));
+              break;
+            case 1:
+              op.kind = ReconfigOp::Kind::kRemoveCopy;
+              break;
+            default:
+              op.kind = ReconfigOp::Kind::kSetWeight;
+              op.weight = static_cast<Weight>(rng.UniformInt(1, 2));
+              break;
+          }
+          on.reconfig.push_back(op);
+        }
+        plan.actions.push_back(std::move(on));
+        continue;  // No undo: epochs only move forward.
       }
       case 2: {  // Symmetric link cut.
         if (n < 2) continue;
@@ -473,6 +608,7 @@ RunOutcome RunPlan(const FaultPlan& plan, const RunOptions& opts) {
   cfg.protocol = plan.protocol;
   cfg.durability = plan.durability;
   cfg.reliable.enabled = plan.reliable;
+  cfg.vp.epoch_gating = plan.epoch_gating;
   cfg.tracing = opts.tracing || !opts.trace_out.empty();
   cfg.net.drop_prob = plan.drop_prob;
   cfg.net.slow_prob = plan.slow_prob;
@@ -485,6 +621,16 @@ RunOutcome RunPlan(const FaultPlan& plan, const RunOptions& opts) {
     cfg.has_custom_placement = true;
   }
   harness::Cluster cluster(cfg);
+  const bool vp_protocol =
+      plan.protocol == harness::Protocol::kVirtualPartition;
+  if (vp_protocol) {
+    // kReconfig actions queue a batch at the proposer; without the hook
+    // (non-VP protocols) they are no-ops.
+    cluster.injector().SetReconfigHook(
+        [&cluster](ProcessorId p, std::vector<ReconfigOp> ops) {
+          cluster.ProposeReconfig(p, std::move(ops));
+        });
+  }
 
   // Phase 1: settle. Views form under the (possibly already faulty)
   // network before any workload or scripted fault.
@@ -542,9 +688,24 @@ RunOutcome RunPlan(const FaultPlan& plan, const RunOptions& opts) {
                                      2 * vp.probe_retries * vp.delta +
                                      sim::Millis(5);
   cluster.RunFor(delta_window);
-  const bool vp_protocol =
-      plan.protocol == harness::Protocol::kVirtualPartition;
   const bool converged = !vp_protocol || cluster.VpConverged();
+  // On a convergence failure, capture each node's view state for the
+  // witness: which sides stalled, and on which vp ids, is the whole
+  // diagnosis (only violating runs pay for this; traces are unaffected).
+  std::string convergence_detail;
+  if (vp_protocol && !converged) {
+    for (ProcessorId p = 0; p < plan.n_processors; ++p) {
+      const auto& n = static_cast<const core::VpNode&>(cluster.node(p));
+      convergence_detail +=
+          " p" + std::to_string(p) +
+          (cluster.graph().Alive(p) ? "" : "(dead)") + ":" +
+          (n.assigned() ? "" : "unassigned,") + "cur=(" +
+          std::to_string(n.cur_id().n) + "," + std::to_string(n.cur_id().p) +
+          ") max=(" + std::to_string(n.max_id().n) + "," +
+          std::to_string(n.max_id().p) + ") epoch=" +
+          std::to_string(n.epoch());
+    }
+  }
 
   // Phase 5: drain. Outcome-notification retries and recovery complete so
   // the recorded history is closed before certification.
@@ -564,6 +725,8 @@ RunOutcome RunPlan(const FaultPlan& plan, const RunOptions& opts) {
   out.retransmits = out.metrics.CounterValue("rel.retransmits");
   out.delivery_timeouts = out.metrics.CounterValue("rel.timed_out");
   out.dups_suppressed = out.metrics.CounterValue("rel.dups_suppressed");
+  out.reconfigs_committed = out.metrics.CounterValue("vp.reconfigs_committed");
+  out.final_epoch = cluster.LatestEpoch();
   out.converged = converged;
 
   out.safety_ok = rec.safety_violations().empty();
@@ -619,7 +782,11 @@ RunOutcome RunPlan(const FaultPlan& plan, const RunOptions& opts) {
         }
       }
     }
-    const storage::CopyPlacement& placement = cluster.placement();
+    // Check against the FINAL epoch's placement: a copy reconfigured away
+    // in an earlier epoch is legitimately stale, while every copy the
+    // latest placement names — including ones added mid-run — must be
+    // current after the recovery drain.
+    const storage::CopyPlacement& placement = cluster.FinalPlacement();
     for (ObjectId obj = 0;
          obj < placement.object_count() && state_witness.empty(); ++obj) {
       for (ProcessorId p : placement.CopyHolders(obj)) {
@@ -650,7 +817,8 @@ RunOutcome RunPlan(const FaultPlan& plan, const RunOptions& opts) {
     out.failure = "state-durability: " + state_witness;
   } else if (!out.converged) {
     out.failure = "convergence: views did not agree within pi + 8*delta of "
-                  "the final heal";
+                  "the final heal;" +
+                  convergence_detail;
   }
 
   history::TraceOptions trace_opts;

@@ -74,6 +74,15 @@ struct FaultPlan {
   /// plans and their traces are untouched.
   bool reliable = false;
 
+  /// Epoch gating for online reconfiguration (VpConfig::epoch_gating).
+  /// Default on; setting it false runs kReconfig actions through the
+  /// deliberately broken ungated path (reconfigurations commit without the
+  /// authoritativeness check, active transactions are not drained, and
+  /// stale-epoch messages are accepted) — the negative control campaigns
+  /// must catch violating 1SR. Serialized only when false, so legacy plan
+  /// files stay byte-identical.
+  bool epoch_gating = true;
+
   /// One weighted physical copy. An empty `placement` means full
   /// replication with unit weights.
   struct CopySpec {
@@ -126,6 +135,13 @@ struct GeneratorConfig {
   /// Stamp plans with reliable = true (no rng draw, so seeds keep their
   /// plans byte-identical apart from the stamped flag).
   bool reliable = false;
+  /// Mix online-reconfiguration events (kReconfig actions: add/remove copy,
+  /// re-weight) into plans. Off by default; all its extra rng draws are
+  /// gated on the flag so legacy seeds keep their plans byte-identical.
+  bool enable_reconfig = false;
+  /// Epoch gating stamped onto plans when enable_reconfig is set (no rng
+  /// draw). False = the ungated negative control.
+  bool epoch_gating = true;
 };
 
 /// Generates a randomized fault-storm plan. Pure function of (seed, cfg).
@@ -161,6 +177,11 @@ struct RunOutcome {
   uint64_t retransmits = 0;
   uint64_t delivery_timeouts = 0;
   uint64_t dups_suppressed = 0;
+
+  /// Online-reconfiguration accounting (zeros for plans without kReconfig
+  /// actions): committed epoch advances and the cluster's final epoch.
+  uint64_t reconfigs_committed = 0;
+  EpochId final_epoch = 0;
 
   /// Full metrics snapshot of the run's cluster registry (counters, gauge
   /// maxima, histogram percentiles). Serial-mode registry: two runs of the

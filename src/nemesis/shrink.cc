@@ -33,6 +33,9 @@ bool ActionReferences(const net::FaultAction& a, ProcessorId p) {
       if (member == p) return true;
     }
   }
+  for (const ReconfigOp& op : a.reconfig) {
+    if (op.proc == p) return true;
+  }
   return false;
 }
 
@@ -112,6 +115,28 @@ ShrinkResult ShrinkPlan(const FaultPlan& failing, const ShrinkConfig& config) {
         }
       }
       if (chunk == 1) break;
+    }
+
+    // 1.5 Thin reconfig batches: a multi-op kReconfig action shrinks one op
+    //     at a time (whole-action removal is pass 1's job). Plans without
+    //     reconfig actions — every legacy plan — spend zero evaluations
+    //     here, so their shrink sequences are untouched.
+    for (size_t i = 0; i < cur.actions.size() && !eval.Exhausted(); ++i) {
+      if (cur.actions[i].kind != net::FaultAction::Kind::kReconfig) continue;
+      for (size_t j = 0; cur.actions[i].reconfig.size() > 1 &&
+                         j < cur.actions[i].reconfig.size() &&
+                         !eval.Exhausted();) {
+        FaultPlan candidate = cur;
+        candidate.actions[i].reconfig.erase(
+            candidate.actions[i].reconfig.begin() + j);
+        if (eval.Fails(candidate, &cur_out)) {
+          cur = std::move(candidate);
+          improved = true;
+          // Same `j` now addresses the next op.
+        } else {
+          ++j;
+        }
+      }
     }
 
     // 2. Calm each background network knob.

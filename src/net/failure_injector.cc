@@ -30,6 +30,8 @@ std::string FaultKindName(FaultAction::Kind kind) {
       return "churn";
     case Kind::kCrashAmnesia:
       return "crash_amnesia";
+    case Kind::kReconfig:
+      return "reconfig";
     case Kind::kCustom:
       return "custom";
   }
@@ -139,6 +141,16 @@ void FailureInjector::CrashAmnesiaAt(sim::SimTime t, ProcessorId p) {
   Schedule(std::move(a));
 }
 
+void FailureInjector::ReconfigAt(sim::SimTime t, ProcessorId p,
+                                 std::vector<ReconfigOp> ops) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kReconfig;
+  a.a = p;
+  a.reconfig = std::move(ops);
+  Schedule(std::move(a));
+}
+
 void FailureInjector::At(sim::SimTime t, std::function<void()> fn) {
   FaultAction a;
   a.at = t;
@@ -205,6 +217,9 @@ void FailureInjector::Apply(const FaultAction& action) {
                                 });
       return;  // Sub-actions count themselves; the burst shell does not.
     }
+    case Kind::kReconfig:
+      if (on_reconfig_) on_reconfig_(action.a, action.reconfig);
+      break;
     case Kind::kCustom:
       if (action.custom) action.custom();
       break;

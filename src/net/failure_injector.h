@@ -34,6 +34,8 @@ struct FaultAction {
     kCrashAmnesia,  // Crashes `a` AND destroys its volatile state: on the
                     // matching recover, the harness reboots the node from
                     // stable storage (WAL replay).
+    kReconfig,    // Proposes the `reconfig` batch at processor `a` (via the
+                  // reconfig hook); the batch commits at a vp boundary.
     kCustom,      // Runs `custom`.
   };
 
@@ -45,6 +47,8 @@ struct FaultAction {
   /// kChurnBurst: number of crash/recover cycles and the gap between flips.
   uint32_t count = 0;
   sim::Duration period = 0;
+  /// kReconfig: the placement-change batch handed to the reconfig hook.
+  std::vector<ReconfigOp> reconfig;
   std::function<void()> custom;
 };
 
@@ -87,6 +91,7 @@ class FailureInjector {
   void ChurnBurstAt(sim::SimTime t, ProcessorId p, uint32_t count,
                     sim::Duration period);
   void CrashAmnesiaAt(sim::SimTime t, ProcessorId p);
+  void ReconfigAt(sim::SimTime t, ProcessorId p, std::vector<ReconfigOp> ops);
   void At(sim::SimTime t, std::function<void()> fn);
 
   /// Enables the stochastic fault processes.
@@ -107,6 +112,15 @@ class FailureInjector {
     on_recover_ = std::move(on_recover);
   }
 
+  /// Harness hook for kReconfig actions: `on_reconfig(p, ops)` should queue
+  /// the batch at processor p (the injector itself knows nothing about
+  /// protocol nodes). kReconfig actions are silently dropped when no hook is
+  /// installed (e.g. a reconfig plan replayed against a non-VP protocol).
+  void SetReconfigHook(
+      std::function<void(ProcessorId, std::vector<ReconfigOp>)> on_reconfig) {
+    on_reconfig_ = std::move(on_reconfig);
+  }
+
   uint64_t actions_applied() const { return actions_applied_; }
 
  private:
@@ -123,6 +137,7 @@ class FailureInjector {
   std::function<void()> on_change_;
   std::function<void(ProcessorId, bool)> on_crash_;
   std::function<void(ProcessorId)> on_recover_;
+  std::function<void(ProcessorId, std::vector<ReconfigOp>)> on_reconfig_;
   uint64_t actions_applied_ = 0;
 };
 

@@ -74,7 +74,7 @@ void NaiveViewNode::LogicalRead(TxnId txn, ObjectId obj,
   rec->participants.insert(target);
   ++stats_.phys_reads_sent;
   SendPhys(target, core::msg::kPhysRead,
-           PhysRead{txn, obj, kEpochDate, /*recovery=*/false,
+           PhysRead{txn, obj, kEpochDate, /*epoch=*/0, /*recovery=*/false,
                     /*for_update=*/false, op_id, {}},
            [this, op_id, target]() {
              OnDeliveryTimeout(op_id, target, /*write_phase=*/false);
@@ -126,7 +126,7 @@ void NaiveViewNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
     rec->participants.insert(q);
     ++stats_.phys_writes_sent;
     SendPhys(q, core::msg::kPhysWrite,
-             PhysWrite{txn, obj, value, date, op_id, {}},
+             PhysWrite{txn, obj, value, date, /*epoch=*/0, op_id, {}},
              [this, op_id, q]() {
                OnDeliveryTimeout(op_id, q, /*write_phase=*/true);
              });

@@ -109,7 +109,8 @@ void QuorumNode::LogicalRead(TxnId txn, ObjectId obj, core::ReadCallback cb) {
     ++stats_.phys_reads_sent;
     live.rel_ids[q] =
         SendPhys(q, core::msg::kPhysRead,
-                 PhysRead{txn, obj, kEpochDate, /*recovery=*/false,
+                 PhysRead{txn, obj, kEpochDate, /*epoch=*/0,
+                          /*recovery=*/false,
                           /*for_update=*/false, op_id, {}},
                  [this, op_id, q]() {
                    OnDeliveryTimeout(op_id, q, /*write_phase=*/false);
@@ -156,7 +157,8 @@ void QuorumNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
     ++stats_.phys_reads_sent;
     live.rel_ids[q] =
         SendPhys(q, core::msg::kPhysRead,
-                 PhysRead{txn, obj, kEpochDate, /*recovery=*/false,
+                 PhysRead{txn, obj, kEpochDate, /*epoch=*/0,
+                          /*recovery=*/false,
                           /*for_update=*/true, op_id, {}},
                  [this, op_id, q]() {
                    // Poll replies are read replies, so write_phase = false.
@@ -241,7 +243,7 @@ void QuorumNode::StartWritePhase2(uint64_t op_id) {
     ++stats_.phys_writes_sent;
     const uint64_t rel_id =
         SendPhys(q, core::msg::kPhysWrite,
-                 PhysWrite{txn, obj, value, new_date, op_id, {}},
+                 PhysWrite{txn, obj, value, new_date, /*epoch=*/0, op_id, {}},
                  [this, op_id, q]() {
                    OnDeliveryTimeout(op_id, q, /*write_phase=*/true);
                  });

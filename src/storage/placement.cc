@@ -60,4 +60,64 @@ std::vector<ObjectId> CopyPlacement::LocalObjects(ProcessorId p) const {
   return out;
 }
 
+void CopyPlacement::RemoveCopy(ObjectId obj, ProcessorId p) {
+  if (!HasObject(obj)) return;
+  PerObject& po = copies_[obj];
+  auto it = po.holders.find(p);
+  if (it == po.holders.end()) return;
+  if (po.holders.size() == 1) return;  // Never drop an object's last copy.
+  po.total_weight -= it->second;
+  po.holders.erase(it);
+  po.holder_list.erase(
+      std::find(po.holder_list.begin(), po.holder_list.end(), p));
+}
+
+CopyPlacement CopyPlacement::Apply(const std::vector<ReconfigOp>& ops) const {
+  CopyPlacement next = *this;
+  for (const ReconfigOp& op : ops) {
+    switch (op.kind) {
+      case ReconfigOp::Kind::kAddCopy:
+        if (next.HasObject(op.obj)) next.AddCopy(op.obj, op.proc, op.weight);
+        break;
+      case ReconfigOp::Kind::kRemoveCopy:
+        next.RemoveCopy(op.obj, op.proc);
+        break;
+      case ReconfigOp::Kind::kSetWeight:
+        if (next.HasCopy(op.obj, op.proc))
+          next.AddCopy(op.obj, op.proc, op.weight);
+        break;
+    }
+  }
+  return next;
+}
+
+PlacementDirectory::PlacementDirectory(CopyPlacement initial) {
+  slots_[0] = std::move(initial);
+  published_.store(1, std::memory_order_release);
+}
+
+const CopyPlacement& PlacementDirectory::At(EpochId epoch) const {
+  VP_CHECK(Has(epoch));
+  return slots_[epoch];
+}
+
+bool PlacementDirectory::Register(EpochId epoch,
+                                  const std::vector<ReconfigOp>& ops) {
+  std::lock_guard<std::mutex> lock(register_mu_);
+  const uint32_t published = published_.load(std::memory_order_relaxed);
+  if (epoch < published) return false;  // Already registered; first wins.
+  VP_CHECK(epoch == published);         // The chain never has gaps.
+  VP_CHECK(epoch < kMaxEpochs);
+  slots_[epoch] = slots_[epoch - 1].Apply(ops);
+  ops_[epoch] = ops;
+  published_.store(epoch + 1, std::memory_order_release);
+  return true;
+}
+
+const std::vector<ReconfigOp>& PlacementDirectory::OpsFor(
+    EpochId epoch) const {
+  VP_CHECK(Has(epoch));
+  return ops_[epoch];
+}
+
 }  // namespace vp::storage

@@ -1,10 +1,15 @@
 // The `copies: L → P(P)` function of the paper, extended with per-copy
-// weights (§4, R1: "possibly weighted majority"). Shared, immutable-after-
-// setup description of where every logical object's physical copies live.
+// weights (§4, R1: "possibly weighted majority"). A CopyPlacement is an
+// immutable-after-setup description of where every logical object's
+// physical copies live; online reconfiguration versions placements in a
+// PlacementDirectory — one frozen CopyPlacement per configuration epoch.
 #ifndef VPART_STORAGE_PLACEMENT_H_
 #define VPART_STORAGE_PLACEMENT_H_
 
+#include <array>
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -20,6 +25,14 @@ class CopyPlacement {
   /// Declares object `obj` to have a copy at `p` with vote weight `w`.
   /// Re-declaring a copy overwrites its weight.
   void AddCopy(ObjectId obj, ProcessorId p, Weight w = 1);
+
+  /// Removes `p`'s copy of `obj`. No-op if `p` holds no copy or if it is
+  /// the object's last copy (every object keeps at least one copy).
+  void RemoveCopy(ObjectId obj, ProcessorId p);
+
+  /// The placement one ReconfigOp batch away from this one (see
+  /// common/types.h for the tolerant per-op semantics).
+  CopyPlacement Apply(const std::vector<ReconfigOp>& ops) const;
 
   /// Declares `count` objects (ids 0..count-1), each fully replicated at
   /// every processor in [0, n) with weight 1.
@@ -67,6 +80,50 @@ class CopyPlacement {
   ObjectId object_count_ = 0;
   std::vector<PerObject> copies_;
   std::vector<ProcessorId> empty_;
+};
+
+/// Append-only chain of per-epoch placements: slot e holds the placement in
+/// force during configuration epoch e, derived from slot e-1 by one
+/// committed ReconfigOp batch.
+///
+/// Shared by every node of a cluster (the same way the single CopyPlacement
+/// was before reconfiguration existed) and safe to read from any thread
+/// without a lock: slots are frozen before the published-count release
+/// store, and readers acquire-load the count before touching a slot. Only
+/// registration takes a mutex — it is a view-formation-rate event, never a
+/// per-operation one.
+class PlacementDirectory {
+ public:
+  /// One epoch per slot; far above what any run reaches, and fixed so
+  /// published slots never move in memory.
+  static constexpr size_t kMaxEpochs = 64;
+
+  explicit PlacementDirectory(CopyPlacement initial);
+
+  /// Latest registered epoch (>= 0; epoch 0 is the initial placement).
+  EpochId LatestEpoch() const {
+    return published_.load(std::memory_order_acquire) - 1;
+  }
+  bool Has(EpochId epoch) const {
+    return epoch < published_.load(std::memory_order_acquire);
+  }
+
+  /// Placement in force during `epoch`. The epoch must be registered.
+  const CopyPlacement& At(EpochId epoch) const;
+
+  /// Registers `epoch` as the batch `ops` applied to epoch-1's placement.
+  /// Idempotent, first-wins: returns false (and changes nothing) if `epoch`
+  /// is already registered. `epoch` must be <= LatestEpoch()+1.
+  bool Register(EpochId epoch, const std::vector<ReconfigOp>& ops);
+
+  /// The ops that produced `epoch` from its predecessor (empty for 0).
+  const std::vector<ReconfigOp>& OpsFor(EpochId epoch) const;
+
+ private:
+  std::array<CopyPlacement, kMaxEpochs> slots_;
+  std::array<std::vector<ReconfigOp>, kMaxEpochs> ops_;
+  std::atomic<uint32_t> published_{0};
+  std::mutex register_mu_;  // serializes writers, never readers
 };
 
 }  // namespace vp::storage

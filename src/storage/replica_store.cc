@@ -44,7 +44,7 @@ Result<CopyVersion> ReplicaStore::Read(ObjectId obj) const {
 }
 
 Status ReplicaStore::StageWrite(TxnId txn, ObjectId obj, Value value,
-                                VpId date) {
+                                VpId date, EpochId epoch) {
   if (copies_.count(obj) == 0) return Status::NotFound("no local copy");
   auto it = stages_.find(obj);
   if (it != stages_.end() && !(it->second.txn == txn)) {
@@ -54,8 +54,8 @@ Status ReplicaStore::StageWrite(TxnId txn, ObjectId obj, Value value,
   ++stats_.stages;
   if (stable_ != nullptr) {
     const Stage& s = stages_[obj];
-    stable_->AppendWal(WalRecord{WalRecord::Type::kPrepare, txn, obj, s.value,
-                                 s.date, false});
+    stable_->AppendWal(WalRecord{WalRecord::Type::kPrepare, txn, epoch, obj,
+                                 s.value, s.date, false});
   }
   return Status::Ok();
 }

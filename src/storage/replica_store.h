@@ -74,8 +74,10 @@ class ReplicaStore {
 
   /// Stages `value` on behalf of `txn`. At most one stage per copy may
   /// exist (the CC layer's exclusive lock enforces this); staging over an
-  /// existing stage by the same txn replaces it.
-  Status StageWrite(TxnId txn, ObjectId obj, Value value, VpId date);
+  /// existing stage by the same txn replaces it. `epoch` stamps the WAL
+  /// prepare record with the configuration epoch the write ran under.
+  Status StageWrite(TxnId txn, ObjectId obj, Value value, VpId date,
+                    EpochId epoch = 0);
 
   /// True if `obj` has a staged-but-undecided write.
   bool HasStage(ObjectId obj) const { return stages_.count(obj) > 0; }

@@ -27,10 +27,20 @@ void StableStore::PersistCopy(ObjectId obj, const Value& value, VpId date,
   ctr_fsyncs_->Increment();
 }
 
-void StableStore::PersistViewMeta(VpId max_id, VpId cur_id) {
+void StableStore::PersistViewMeta(VpId max_id, VpId cur_id, EpochId epoch) {
   max_view_ = max_id;
   cur_view_ = cur_id;
+  epoch_ = epoch;
   has_view_meta_ = true;
+  ++stats_.fsyncs;
+  ctr_fsyncs_->Increment();
+}
+
+void StableStore::PersistReconfig(EpochId epoch,
+                                  const std::vector<ReconfigOp>& ops) {
+  for (const auto& [e, unused] : reconfigs_)
+    if (e == epoch) return;  // Re-announced commit; already on the device.
+  reconfigs_.emplace_back(epoch, ops);
   ++stats_.fsyncs;
   ctr_fsyncs_->Increment();
 }

@@ -12,9 +12,14 @@
 //   2. A write-ahead log of transaction prepare/outcome/decision records
 //      (see wal.h) so in-doubt transactions can be resolved after reboot.
 //   3. View metadata — the greatest virtual-partition id this processor has
-//      seen (max_id) and the id it last committed to (cur_id), so a reboot
-//      can generate a strictly larger vp id and never violate the
-//      recorder's monotonic-join check.
+//      seen (max_id), the id it last committed to (cur_id), and the
+//      configuration epoch it was serving, so a reboot can generate a
+//      strictly larger vp id (never violating the recorder's monotonic-join
+//      check) and resume in the epoch it actually occupied rather than
+//      guessing at the cluster's current one.
+//   4. The reconfiguration chain — every (epoch, ReconfigOp batch) this
+//      processor committed or learned, so a reboot can re-derive per-epoch
+//      placements and attribute replayed WAL records to the right one.
 //
 // Every mutation is an explicit persist point and counts one fsync; the
 // fsync/byte counters make recovery cost visible in bench output.
@@ -33,6 +38,7 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -93,7 +99,12 @@ class StableStore {
                    const std::vector<LogRecord>& log);
 
   /// Writes the view metadata (one fsync).
-  void PersistViewMeta(VpId max_id, VpId cur_id);
+  void PersistViewMeta(VpId max_id, VpId cur_id, EpochId epoch);
+
+  /// Appends one committed reconfiguration to the persisted chain (one
+  /// fsync). Idempotent per epoch: re-persisting an epoch already in the
+  /// chain is a no-op (the crash-retry path re-announces commits).
+  void PersistReconfig(EpochId epoch, const std::vector<ReconfigOp>& ops);
 
   /// Appends a transaction record (one fsync). Dropped entirely in kNoWal
   /// mode and while a reboot is replaying the existing log.
@@ -103,7 +114,13 @@ class StableStore {
   const WriteAheadLog& wal() const { return wal_; }
   VpId max_view() const { return max_view_; }
   VpId cur_view() const { return cur_view_; }
+  EpochId epoch() const { return epoch_; }
   bool has_view_meta() const { return has_view_meta_; }
+  /// Committed reconfigurations in epoch order.
+  const std::vector<std::pair<EpochId, std::vector<ReconfigOp>>>& reconfigs()
+      const {
+    return reconfigs_;
+  }
 
   /// Called by the harness when rebuilding the node after an amnesia crash.
   /// Returns the new incarnation number (first boot is incarnation 0).
@@ -129,7 +146,9 @@ class StableStore {
   WriteAheadLog wal_;
   VpId max_view_ = kEpochDate;
   VpId cur_view_ = kEpochDate;
+  EpochId epoch_ = 0;
   bool has_view_meta_ = false;
+  std::vector<std::pair<EpochId, std::vector<ReconfigOp>>> reconfigs_;
   uint32_t incarnation_ = 0;
   bool replaying_ = false;
   StableStats stats_;

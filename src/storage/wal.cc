@@ -15,8 +15,8 @@ const char* WalRecordTypeName(WalRecord::Type type) {
 }
 
 uint64_t WriteAheadLog::RecordBytes(const WalRecord& rec) {
-  // Fixed header: type + txn id + object id + date + outcome flag.
-  uint64_t bytes = 1 + 12 + 4 + 8 + 1;
+  // Fixed header: type + txn id + epoch + object id + date + outcome flag.
+  uint64_t bytes = 1 + 12 + 4 + 4 + 8 + 1;
   if (rec.type == WalRecord::Type::kPrepare) bytes += rec.value.size();
   return bytes;
 }

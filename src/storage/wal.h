@@ -32,6 +32,10 @@ struct WalRecord {
 
   Type type = Type::kPrepare;
   TxnId txn;
+  // Configuration epoch the transition executed under: every record — and
+  // hence every decision replayed after a crash — is attributable to
+  // exactly one epoch.
+  EpochId epoch = 0;
   // kPrepare only:
   ObjectId obj = kInvalidObject;
   Value value;

@@ -218,5 +218,80 @@ TEST(ThreadProtocols, RowaConcurrentTxnsAre1SR) {
   RunConcurrentWorkload(harness::Protocol::kRowa);
 }
 
+TEST(ThreadProtocols, ReconfigCommitsUnderConcurrentTraffic) {
+  // Online reconfiguration on real threads: client threads hammer the
+  // cluster while the main thread proposes an epoch advance. TSan watches
+  // the lock-free PlacementDirectory readers race the registering writer.
+  using TC = harness::ThreadCluster;
+  harness::ThreadClusterConfig cfg;
+  cfg.n_processors = 3;
+  cfg.n_objects = 4;
+  cfg.protocol = harness::Protocol::kVirtualPartition;
+  TC cluster(cfg);
+
+  constexpr int kThreads = 3;
+  constexpr int kTxnsPerThread = 20;
+  std::array<std::atomic<uint64_t>, 4> committed_per_obj{};
+  std::atomic<bool> proposed{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      int done = 0;
+      for (int attempt = 0; done < kTxnsPerThread && attempt < 2000;
+           ++attempt) {
+        const ObjectId obj = static_cast<ObjectId>((t + done) % 4);
+        TC::TxnResult r = cluster.RunTxn(
+            static_cast<ProcessorId>(t % 3),
+            {TC::Increment(obj), TC::Read((obj + 1) % 4)});
+        if (r.committed) {
+          committed_per_obj[obj].fetch_add(1);
+          ++done;
+          // Half-way through the first thread's quota, reconfigure: retire
+          // p2's copy of object 3 and double p1's vote on object 0.
+          if (t == 0 && done == kTxnsPerThread / 2 &&
+              !proposed.exchange(true)) {
+            cluster.ProposeReconfig(
+                0, {ReconfigOp{ReconfigOp::Kind::kRemoveCopy, 3, 2, 1},
+                    ReconfigOp{ReconfigOp::Kind::kSetWeight, 0, 1, 2}});
+          }
+        } else {
+          SleepMs(2);
+        }
+      }
+      EXPECT_EQ(done, kTxnsPerThread) << "client thread starved";
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  // The epoch must have committed while traffic was live.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (cluster.placements().LatestEpoch() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    SleepMs(10);
+  }
+  ASSERT_GE(cluster.placements().LatestEpoch(), 1u);
+  const storage::CopyPlacement& current =
+      cluster.placements().At(cluster.placements().LatestEpoch());
+  EXPECT_FALSE(current.HasCopy(3, 2));
+  EXPECT_EQ(current.WeightOf(0, 1), 2u);
+
+  TC::TxnResult readback = cluster.RunTxn(
+      0, {TC::Read(0), TC::Read(1), TC::Read(2), TC::Read(3)});
+  ASSERT_TRUE(readback.committed) << readback.failure.ToString();
+  for (int obj = 0; obj < 4; ++obj) {
+    EXPECT_EQ(readback.reads[obj],
+              std::to_string(committed_per_obj[obj].load()))
+        << "lost or phantom increment on object " << obj;
+  }
+
+  cluster.Stop();
+  EXPECT_GE(cluster.metrics().Snapshot().CounterValue(
+                "vp.reconfigs_committed"),
+            1u);
+  auto cert = cluster.Certify();
+  EXPECT_TRUE(cert.ok) << cert.detail;
+}
+
 }  // namespace
 }  // namespace vp
