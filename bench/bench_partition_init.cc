@@ -21,6 +21,7 @@ struct InitCost {
   uint64_t skipped_objects = 0;
   uint64_t fsyncs = 0;
   uint64_t wal_bytes = 0;
+  uint64_t copy_persist_bytes = 0;
   bool healed_ok = false;
 };
 
@@ -87,6 +88,8 @@ InitCost Measure(core::RecoveryMode mode, int missed_writes,
                          stats_before.recovery_skipped_objects;
   cost.fsyncs = stable_after.fsyncs - stable_at_start.fsyncs;
   cost.wal_bytes = stable_after.wal_bytes - stable_at_start.wal_bytes;
+  cost.copy_persist_bytes =
+      stable_after.copy_persist_bytes - stable_at_start.copy_persist_bytes;
   cost.healed_ok = true;
   for (ProcessorId p = 0; p < 5; ++p) {
     if (missed_writes > 0 &&
@@ -117,7 +120,14 @@ void Main() {
       "hot object)\n\n");
   Table table({"mode", "missed writes", "value bytes", "value fetches",
                "date polls", "bytes moved", "log records", "skipped objs",
-               "fsyncs", "wal bytes", "correct"});
+               "fsyncs", "wal bytes", "copy bytes", "correct"});
+  struct Row {
+    core::RecoveryMode mode;
+    int missed;
+    size_t value_size;
+    InitCost cost;
+  };
+  std::vector<Row> rows;
   for (core::RecoveryMode mode :
        {core::RecoveryMode::kFullRead, core::RecoveryMode::kPreviousSkip,
         core::RecoveryMode::kLogCatchup, core::RecoveryMode::kDatePoll}) {
@@ -133,11 +143,37 @@ void Main() {
                       std::to_string(c.skipped_objects),
                       std::to_string(c.fsyncs),
                       std::to_string(c.wal_bytes),
+                      std::to_string(c.copy_persist_bytes),
                       c.healed_ok ? "yes" : "NO"});
+        rows.push_back(Row{mode, missed, sz, c});
       }
     }
   }
   table.Print();
+  WriteBenchJson("BENCH_partition_init.json", "partition_init",
+                 [&](obs::JsonWriter& w) {
+    w.Field("backend", "sim");
+    w.Field("n_processors", 5);
+    w.Field("n_objects", 4);
+    w.BeginArray("rows");
+    for (const Row& row : rows) {
+      w.BeginObject();
+      w.Field("mode", ModeName(row.mode));
+      w.Field("missed_writes", static_cast<uint64_t>(row.missed));
+      w.Field("value_bytes", static_cast<uint64_t>(row.value_size));
+      w.Field("value_fetches", row.cost.recovery_msgs);
+      w.Field("date_polls", row.cost.date_polls);
+      w.Field("bytes_moved", row.cost.recovery_bytes);
+      w.Field("log_records", row.cost.log_records);
+      w.Field("skipped_objects", row.cost.skipped_objects);
+      w.Field("fsyncs", row.cost.fsyncs);
+      w.Field("wal_bytes", row.cost.wal_bytes);
+      w.Field("copy_persist_bytes", row.cost.copy_persist_bytes);
+      w.Field("correct", row.cost.healed_ok);
+      w.EndObject();
+    }
+    w.EndArray();
+  });
   std::printf(
       "\nExpected shape: full-read moves whole values on every join; "
       "log-catchup's\nbytes scale with missed writes only; previous-skip "

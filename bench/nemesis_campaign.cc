@@ -11,6 +11,8 @@
 //   nemesis_campaign --reliable ...                    # ack/retry delivery
 //   nemesis_campaign --reconfig --seeds=500            # reconfig storms
 //   nemesis_campaign --reconfig --no-epoch-gating ...  # ungated negative ctl
+//   nemesis_campaign --corruption --seeds=500          # bit rot / torn writes
+//   nemesis_campaign --corruption --integrity=nochecksum  # rot-serving ctl
 //   nemesis_campaign --first-seed=7 --trace-out=t.json # trace one run
 //   nemesis_campaign --replay=f.plan --trace-out=t.json
 //
@@ -83,11 +85,25 @@ void PrintOutcome(const RunOutcome& outcome) {
                 static_cast<unsigned long long>(outcome.stable.fsyncs));
     std::printf("  wal bytes     %llu\n",
                 static_cast<unsigned long long>(outcome.stable.wal_bytes));
+    std::printf("  copy bytes    %llu\n",
+                static_cast<unsigned long long>(
+                    outcome.stable.copy_persist_bytes));
     std::printf("  wal replayed  %llu\n",
                 static_cast<unsigned long long>(
                     outcome.stable.wal_replay_records));
     std::printf("  reboots       %llu\n",
                 static_cast<unsigned long long>(outcome.stable.reboots));
+    if (outcome.stable.torn_truncated > 0 || outcome.stable.quarantined > 0 ||
+        outcome.stable.scrub_repairs > 0) {
+      std::printf("  torn trunc    %llu\n",
+                  static_cast<unsigned long long>(
+                      outcome.stable.torn_truncated));
+      std::printf("  quarantined   %llu\n",
+                  static_cast<unsigned long long>(outcome.stable.quarantined));
+      std::printf("  scrub repairs %llu\n",
+                  static_cast<unsigned long long>(
+                      outcome.stable.scrub_repairs));
+    }
   }
   if (outcome.violation()) {
     std::printf("  witness: %s\n", outcome.failure.c_str());
@@ -152,6 +168,26 @@ int main(int argc, char** argv) {
       // baseline campaign).
       config.generator.enable_reconfig = true;
       config.generator.epoch_gating = false;
+    } else if (std::strcmp(argv[i], "--corruption") == 0) {
+      config.generator.enable_corruption = true;
+    } else if (ParseFlag(argv[i], "--integrity", &value)) {
+      // Negative control: serve rotted bytes verbatim. Implies --corruption
+      // (an integrity mode without corruption events changes nothing).
+      bool found = false;
+      for (vp::storage::IntegrityMode m :
+           {vp::storage::IntegrityMode::kChecksum,
+            vp::storage::IntegrityMode::kNoChecksum}) {
+        if (vp::storage::IntegrityModeName(m) == value) {
+          config.generator.integrity = m;
+          config.generator.enable_corruption = true;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "error: unknown integrity '%s'\n", value.c_str());
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--durability", &value)) {
       bool found = false;
       for (vp::storage::DurabilityMode m :
@@ -196,6 +232,7 @@ int main(int argc, char** argv) {
                    "          [--amnesia] [--durability=retain|wal|nowal]\n"
                    "          [--weighted-placements] [--harsh] [--reliable]\n"
                    "          [--reconfig] [--no-epoch-gating]\n"
+                   "          [--corruption] [--integrity=checksum|nochecksum]\n"
                    "          [--no-shrink] [--max-shrinks=N]\n"
                    "          [--shrink-budget=N] [--out-dir=DIR]\n"
                    "          [--replay=FILE] [--dump-seed=K]\n"

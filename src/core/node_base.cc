@@ -82,11 +82,32 @@ void NodeBase::ReplayWal() {
     EpochId epoch;
   };
   std::map<TxnId, std::map<ObjectId, PendingWrite>> pending;
+  // BeginReplay salvages the log first (checksummed integrity mode): an
+  // invalid tail is truncated — those frames never completed their fsync,
+  // so under presumed abort nothing externally visible depended on them —
+  // and mid-log rot quarantines the device.
   stable->BeginReplay();
-  for (const storage::WalRecord& rec : stable->wal().records()) {
+  if (stable->quarantined()) {
+    // A record in the middle of the log was rotted away. Whatever it was —
+    // a prepare whose in-doubt resolution would have applied a write, an
+    // outcome already applied to a copy — the copies derived from this log
+    // can no longer be trusted, so every local copy restarts at kEpochDate
+    // and the copy-update path rebuilds it from live copies before it
+    // serves reads or votes. Valid records still replay below: restoring
+    // decisions and re-staging intact prepares is sound regardless.
+    for (ObjectId obj : env_.store->LocalObjects()) {
+      env_.store->QuarantineCopy(obj);
+    }
+  }
+  for (const storage::WalFrame& frame : stable->wal().frames()) {
+    const storage::WalRecord& rec = frame.rec;
     stable->CountReplayedRecord();
     switch (rec.type) {
       case storage::WalRecord::Type::kPrepare:
+        // A checksum-less device replays torn garbage verbatim; a frame
+        // whose txn id is not even well formed has no coordinator to
+        // resolve against, so it cannot be re-staged.
+        if (!rec.txn.valid()) break;
         pending[rec.txn][rec.obj] = PendingWrite{rec.value, rec.date,
                                                  rec.epoch};
         break;

@@ -398,7 +398,32 @@ void VpNode::CommitToVp(VpId v, std::set<ProcessorId> view,
           break;
         }
       }
-      if (contained) continue;
+      // §6 soundness condition: containment alone is not enough. The
+      // transaction's reads stay current across the boundary only when the
+      // new view is a re-formation of the partition it executed in — every
+      // member arrives from rec.vp, so nobody carries committed writes this
+      // node's copies missed, and R5's same-previous skip leaves every
+      // non-dirty copy untouched. A member with a different previous
+      // partition may bring newer data that copy-update installs over
+      // values this transaction already read; letting it continue would
+      // commit a fused snapshot no serial order explains (e.g. a stale
+      // pre-join read next to a post-join read of the refreshed copy).
+      bool same_previous = true;
+      for (ProcessorId p : lview_) {
+        auto it = previous_.find(p);
+        if (it == previous_.end() || !(it->second == rec.vp)) {
+          same_previous = false;
+          break;
+        }
+      }
+      if (contained && same_previous) {
+        // The transaction continues in (and serializes with) this
+        // partition; keep its vp current so chained re-formations compare
+        // against the view it actually rides.
+        rec.vp = v;
+        env_.recorder->TxnSetVp(txn, v);
+        continue;
+      }
     }
     doomed.push_back(txn);
   }
@@ -549,19 +574,13 @@ void VpNode::HandleProbe(const net::Message& m) {
     Send(body.q, msg::kProbeAck, msg::ProbeAck{id_, body.seq});
   } else if (cur_id_ < body.v) {
     // Communication across partitions demonstrated; merge (Fig. 8 line 7).
-    // Epoch-aware runs fold the demonstrated id into max_id_ first: max_id
-    // must be the largest id *seen*, and the probe's id counts. Proposing
-    // the successor of a stale local max loses the creation race against
-    // the probing side (which ignores the lower id as stale) and costs a
-    // full extra probe period before the next merge attempt — breaking the
-    // Δ = π + 8δ convergence bound after a heal. Applied only once a
-    // reconfiguration has happened so legacy epoch-0 plans keep their
-    // pinned golden traces byte-for-byte; promoting the fold to
-    // unconditional (with a digest re-pin) is a ROADMAP item.
-    if (env_.placements != nullptr && env_.placements->LatestEpoch() > 0 &&
-        max_id_ < body.v) {
-      max_id_ = body.v;
-    }
+    // Fold the demonstrated id into max_id_ first: max_id must be the
+    // largest id *seen*, and the probe's id counts. Proposing the successor
+    // of a stale local max loses the creation race against the probing side
+    // (which ignores the lower id as stale) and costs a full extra probe
+    // period before the next merge attempt — breaking the Δ = π + 8δ
+    // convergence bound after a heal.
+    if (max_id_ < body.v) max_id_ = body.v;
     CreateNewVp();
   }
   // body.v < cur_id_: stale probe; ignore.
@@ -680,7 +699,7 @@ void VpNode::RecoverObjectFullRead(ObjectId obj) {
   const std::set<ProcessorId> targets = rec.awaiting;
   rec.timeout_event = env_.executor->ScheduleAfter(
       2 * config_.delta + config_.lock_timeout,
-      [this, obj, gen = rec.join_gen]() { RecoveryFailed(obj, gen); });
+      [this, op_id]() { RecoveryFailed(op_id); });
   pending_recoveries_[op_id] = std::move(rec);
 
   for (ProcessorId q : targets) {
@@ -734,7 +753,7 @@ void VpNode::RecoverObjectLogCatchup(ObjectId obj) {
   const std::set<ProcessorId> targets = rec.awaiting;
   rec.timeout_event = env_.executor->ScheduleAfter(
       2 * config_.delta + config_.lock_timeout,
-      [this, obj, gen = rec.join_gen]() { RecoveryFailed(obj, gen); });
+      [this, op_id]() { RecoveryFailed(op_id); });
   pending_recoveries_[op_id] = std::move(rec);
 
   for (ProcessorId q : targets) {
@@ -767,7 +786,7 @@ void VpNode::RecoverObjectDatePoll(ObjectId obj) {
   const std::set<ProcessorId> targets = rec.awaiting;
   rec.timeout_event = env_.executor->ScheduleAfter(
       2 * config_.delta + config_.lock_timeout,
-      [this, obj, gen = rec.join_gen]() { RecoveryFailed(obj, gen); });
+      [this, op_id]() { RecoveryFailed(op_id); });
   pending_recoveries_[op_id] = std::move(rec);
 
   for (ProcessorId q : targets) {
@@ -821,12 +840,12 @@ void VpNode::HandleDateReply(const net::Message& m) {
   PendingRecovery& rec = it->second;
   if (rec.join_gen != join_generation_) {
     env_.executor->Cancel(rec.timeout_event);
-    recovery_by_object_.erase(rec.obj);
+    UnindexRecovery(rec.obj, body.op_id);
     pending_recoveries_.erase(it);
     return;
   }
   if (!body.ok) {
-    RecoveryFailed(rec.obj, rec.join_gen);
+    RecoveryFailed(body.op_id);
     return;
   }
   if (rec.best_date < body.date) {
@@ -841,7 +860,7 @@ void VpNode::HandleDateReply(const net::Message& m) {
     const ObjectId obj = rec.obj;
     env_.executor->Cancel(rec.timeout_event);
     pending_recoveries_.erase(it);
-    recovery_by_object_.erase(obj);
+    UnindexRecovery(obj, body.op_id);
     Unlock(obj);
     return;
   }
@@ -852,9 +871,7 @@ void VpNode::HandleDateReply(const net::Message& m) {
   env_.executor->Cancel(rec.timeout_event);
   rec.timeout_event = env_.executor->ScheduleAfter(
       2 * config_.delta + config_.lock_timeout,
-      [this, obj = rec.obj, gen = rec.join_gen]() {
-        RecoveryFailed(obj, gen);
-      });
+      [this, op_id = body.op_id]() { RecoveryFailed(op_id); });
   ++stats_.recovery_value_fetches;
   ++stats_.recovery_reads_sent;
   SendPhys(rec.best_holder, msg::kPhysRead,
@@ -874,7 +891,7 @@ void VpNode::HandleRecoveryReadReply(uint64_t op_id, bool ok,
   if (rec.join_gen != join_generation_) {
     // Joined another partition meanwhile; this task is dead.
     env_.executor->Cancel(rec.timeout_event);
-    recovery_by_object_.erase(rec.obj);
+    UnindexRecovery(rec.obj, op_id);
     pending_recoveries_.erase(it);
     return;
   }
@@ -887,15 +904,13 @@ void VpNode::HandleRecoveryReadReply(uint64_t op_id, bool ok,
       rec.awaiting.erase(from);
       if (!rec.awaiting.empty()) return;
       if (rec.have_value) {
-        FinishRecovery(rec.obj, rec.join_gen);
+        FinishRecovery(op_id);
       } else {
-        RecoveryFailed(rec.obj, rec.join_gen);
+        RecoveryFailed(op_id);
       }
       return;
     }
-    const ObjectId obj = rec.obj;
-    const uint64_t gen = rec.join_gen;
-    RecoveryFailed(obj, gen);
+    RecoveryFailed(op_id);
     return;
   }
   rec.awaiting.erase(from);
@@ -904,7 +919,7 @@ void VpNode::HandleRecoveryReadReply(uint64_t op_id, bool ok,
     rec.best_date = date;
     rec.have_value = true;
   }
-  if (rec.awaiting.empty()) FinishRecovery(rec.obj, rec.join_gen);
+  if (rec.awaiting.empty()) FinishRecovery(op_id);
 }
 
 void VpNode::HandleLogReply(const net::Message& m) {
@@ -914,12 +929,12 @@ void VpNode::HandleLogReply(const net::Message& m) {
   PendingRecovery& rec = it->second;
   if (rec.join_gen != join_generation_) {
     env_.executor->Cancel(rec.timeout_event);
-    recovery_by_object_.erase(rec.obj);
+    UnindexRecovery(rec.obj, body.op_id);
     pending_recoveries_.erase(it);
     return;
   }
   if (!body.ok) {
-    RecoveryFailed(rec.obj, rec.join_gen);
+    RecoveryFailed(body.op_id);
     return;
   }
   auto& suffix = rec.records_by_src[m.src];
@@ -927,21 +942,26 @@ void VpNode::HandleLogReply(const net::Message& m) {
     suffix.push_back(storage::LogRecord{date, value, txn});
   }
   rec.awaiting.erase(m.src);
-  if (rec.awaiting.empty()) FinishRecovery(rec.obj, rec.join_gen);
+  if (rec.awaiting.empty()) FinishRecovery(body.op_id);
 }
 
-void VpNode::FinishRecovery(ObjectId obj, uint64_t join_gen) {
+void VpNode::UnindexRecovery(ObjectId obj, uint64_t op_id) {
   auto oit = recovery_by_object_.find(obj);
-  if (oit == recovery_by_object_.end()) return;
-  const uint64_t op_id = oit->second;
+  if (oit != recovery_by_object_.end() && oit->second == op_id) {
+    recovery_by_object_.erase(oit);
+  }
+}
+
+void VpNode::FinishRecovery(uint64_t op_id) {
   auto it = pending_recoveries_.find(op_id);
   if (it == pending_recoveries_.end()) return;
   PendingRecovery rec = std::move(it->second);
   env_.executor->Cancel(rec.timeout_event);
   pending_recoveries_.erase(it);
-  recovery_by_object_.erase(oit);
+  const ObjectId obj = rec.obj;
+  UnindexRecovery(obj, op_id);
   // Fig. 9 lines 15-17: install only if still in the same partition.
-  if (join_gen != join_generation_ || !assigned_) return;
+  if (rec.join_gen != join_generation_ || !assigned_) return;
 
   if (rec.log_mode) {
     // Pick the freshest source: the suffix whose final record carries the
@@ -969,17 +989,18 @@ void VpNode::FinishRecovery(ObjectId obj, uint64_t join_gen) {
   Unlock(obj);
 }
 
-void VpNode::RecoveryFailed(ObjectId obj, uint64_t join_gen) {
+void VpNode::RecoveryFailed(uint64_t op_id) {
   if (retired_) return;
-  auto oit = recovery_by_object_.find(obj);
-  if (oit != recovery_by_object_.end()) {
-    auto it = pending_recoveries_.find(oit->second);
-    if (it != pending_recoveries_.end()) {
-      env_.executor->Cancel(it->second.timeout_event);
-      pending_recoveries_.erase(it);
-    }
-    recovery_by_object_.erase(oit);
-  }
+  // Tear down by operation, never by object: a stale timeout or late reply
+  // from a superseded join must not destroy the bookkeeping of the current
+  // join's recovery for the same object.
+  auto it = pending_recoveries_.find(op_id);
+  if (it == pending_recoveries_.end()) return;
+  const ObjectId obj = it->second.obj;
+  const uint64_t join_gen = it->second.join_gen;
+  env_.executor->Cancel(it->second.timeout_event);
+  pending_recoveries_.erase(it);
+  UnindexRecovery(obj, op_id);
   if (Crashed() || join_gen != join_generation_) return;
   // A recovery read can fail because the remote copy is write-locked by a
   // live transaction (§6 condition (3) makes it wait) rather than because
@@ -998,6 +1019,13 @@ void VpNode::RecoveryFailed(ObjectId obj, uint64_t join_gen) {
 void VpNode::Unlock(ObjectId obj) {
   locked_.erase(obj);
   dirty_.erase(obj);  // Recovery completed; the copy is known fresh.
+  if (env_.store->ClearQuarantine(obj)) {
+    // Scrub round trip complete: the copy a lying device quarantined was
+    // rebuilt from live copies by the ordinary copy-update path.
+    if (env_.stable != nullptr) env_.stable->NoteScrubRepair();
+    tracer_->Instant(view_trace_, id_, env_.clock->Now(), "storage.repair",
+                     "storage", {{"obj", std::to_string(obj)}});
+  }
   MaybeEndViewChangeSpan();
   ReprocessDeferred();
 }

@@ -153,8 +153,14 @@ class VpNode : public NodeBase {
                                VpId date, ProcessorId from,
                                const std::string& error);
   void HandleLogReply(const net::Message& m);
-  void FinishRecovery(ObjectId obj, uint64_t join_gen);
-  void RecoveryFailed(ObjectId obj, uint64_t join_gen);
+  void FinishRecovery(uint64_t op_id);
+  void RecoveryFailed(uint64_t op_id);
+  /// Removes `op_id`'s entry from the by-object index — but only when the
+  /// index still points at it. A successor join may already have registered
+  /// a newer recovery for the same object; a stale operation's teardown must
+  /// never destroy the live one (that strands the object's R5 lock until an
+  /// unrelated view change happens to re-initialize it).
+  void UnindexRecovery(ObjectId obj, uint64_t op_id);
   void Unlock(ObjectId obj);
 
   // --- Logical operations ---

@@ -57,8 +57,8 @@ Cluster::Cluster(ClusterConfig config)
     stores_.push_back(std::make_unique<storage::ReplicaStore>());
     locks_.push_back(std::make_unique<cc::LockManager>(
         runtime_.executor(), runtime_.clock(), &metrics_));
-    stables_.push_back(
-        std::make_unique<storage::StableStore>(config_.durability));
+    stables_.push_back(std::make_unique<storage::StableStore>(
+        config_.durability, config_.integrity));
     stables_[p]->AttachMetrics(&metrics_);
     for (ObjectId obj : placement_.LocalObjects(p)) {
       auto it = config_.initial_values.find(obj);
@@ -85,6 +85,31 @@ Cluster::Cluster(ClusterConfig config)
         reboot_pending_[p] = false;
         Reboot(p);
       });
+  injector_.SetCorruptionHook([this](const net::FaultAction& a) {
+    using Kind = net::FaultAction::Kind;
+    storage::StableStore* stable = stables_[a.a].get();
+    switch (a.kind) {
+      case Kind::kBitRot:
+        if (a.corrupt_obj != kInvalidObject) {
+          stable->CorruptCopyImage(a.corrupt_obj);
+        } else {
+          stable->CorruptWalPrepare(a.wal_index);
+        }
+        break;
+      case Kind::kTornWrite:
+        if (a.corrupt_obj != kInvalidObject) {
+          stable->TearCopyImage(a.corrupt_obj);
+        } else {
+          stable->TearWalPrepare(a.wal_index);
+        }
+        break;
+      case Kind::kCrashAmnesiaTorn:
+        stable->TearTailOnCrash(/*drop=*/a.count != 0);
+        break;
+      default:
+        break;
+    }
+  });
 }
 
 std::unique_ptr<core::NodeBase> Cluster::MakeNode(ProcessorId p) {
@@ -255,6 +280,9 @@ storage::StableStats Cluster::AggregateStableStats() const {
     sum.copy_persist_bytes += st.copy_persist_bytes;
     sum.wal_replay_records += st.wal_replay_records;
     sum.reboots += st.reboots;
+    sum.torn_truncated += st.torn_truncated;
+    sum.quarantined += st.quarantined;
+    sum.scrub_repairs += st.scrub_repairs;
   }
   return sum;
 }

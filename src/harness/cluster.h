@@ -67,6 +67,12 @@ struct ClusterConfig {
   /// faults and reboot the node from its StableStore on recovery.
   storage::DurabilityMode durability = storage::DurabilityMode::kRetainMemory;
 
+  /// Integrity model of the stable devices. kChecksum (default) frames WAL
+  /// records and copy images with checksums so reboot salvages torn tails
+  /// and quarantines rotted copies; kNoChecksum is the negative control
+  /// that serves rotted bytes verbatim.
+  storage::IntegrityMode integrity = storage::IntegrityMode::kChecksum;
+
   Protocol protocol = Protocol::kVirtualPartition;
   core::VpConfig vp;
   protocols::QuorumConfig quorum;

@@ -29,6 +29,11 @@ std::set<std::string> PlanCoverage(const FaultPlan& plan) {
   // "reconfig" itself lands in `kinds` via FaultKindName above; the gating
   // pseudo-kind tells negative-control campaigns apart in the table.
   if (!plan.epoch_gating) kinds.insert("gating_disabled");
+  // "bit_rot"/"torn_write"/"crash_torn" land via FaultKindName; the
+  // integrity pseudo-kind tells the rot-serving control apart.
+  if (plan.integrity == storage::IntegrityMode::kNoChecksum) {
+    kinds.insert("nochecksum_control");
+  }
   return kinds;
 }
 
@@ -57,6 +62,9 @@ CampaignResult RunCampaign(const CampaignConfig& config,
     result.stable.copy_persist_bytes += outcome.stable.copy_persist_bytes;
     result.stable.wal_replay_records += outcome.stable.wal_replay_records;
     result.stable.reboots += outcome.stable.reboots;
+    result.stable.torn_truncated += outcome.stable.torn_truncated;
+    result.stable.quarantined += outcome.stable.quarantined;
+    result.stable.scrub_repairs += outcome.stable.scrub_repairs;
     for (const auto& [name, value] : outcome.metrics.counters) {
       result.metrics[name] += value;
     }
@@ -120,6 +128,12 @@ std::string FormatCampaign(const CampaignConfig& config,
     out << "  copy bytes  " << result.stable.copy_persist_bytes << "\n";
     out << "  replayed    " << result.stable.wal_replay_records << "\n";
     out << "  reboots     " << result.stable.reboots << "\n";
+    if (result.stable.torn_truncated > 0 || result.stable.quarantined > 0 ||
+        result.stable.scrub_repairs > 0) {
+      out << "  torn trunc  " << result.stable.torn_truncated << "\n";
+      out << "  quarantined " << result.stable.quarantined << "\n";
+      out << "  scrub reps  " << result.stable.scrub_repairs << "\n";
+    }
   }
   if (!result.metrics.empty()) {
     out << "metrics (counters summed over runs):\n";

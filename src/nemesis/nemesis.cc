@@ -145,6 +145,10 @@ std::string FaultPlan::ToText() const {
   if (reliable) out << "reliable 1\n";
   // Only emitted when disabled (the non-default), for the same reason.
   if (!epoch_gating) out << "epoch_gating 0\n";
+  // Only emitted when non-default, for the same reason.
+  if (integrity != storage::IntegrityMode::kChecksum) {
+    out << "integrity " << storage::IntegrityModeName(integrity) << "\n";
+  }
   for (const CopySpec& c : placement) {
     out << "copy " << c.obj << " " << c.proc << " " << c.weight << "\n";
   }
@@ -175,6 +179,18 @@ std::string FaultPlan::ToText() const {
       case Kind::kReconfig:
         out << " " << a.a;
         for (const ReconfigOp& op : a.reconfig) out << " " << FmtReconfigOp(op);
+        break;
+      case Kind::kBitRot:
+      case Kind::kTornWrite:
+        out << " " << a.a << " ";
+        if (a.corrupt_obj != kInvalidObject) {
+          out << "copy:" << a.corrupt_obj;
+        } else {
+          out << "wal:" << a.wal_index;
+        }
+        break;
+      case Kind::kCrashAmnesiaTorn:
+        out << " " << a.a << " " << a.count;
         break;
       case Kind::kCustom:
         break;
@@ -250,6 +266,19 @@ Result<FaultPlan> FaultPlan::FromText(const std::string& text) {
         }
       }
       if (!found) return bad("unknown durability mode '" + name + "'");
+    } else if (key == "integrity") {
+      std::string name;
+      fields >> name;
+      bool found = false;
+      for (storage::IntegrityMode m : {storage::IntegrityMode::kChecksum,
+                                       storage::IntegrityMode::kNoChecksum}) {
+        if (storage::IntegrityModeName(m) == name) {
+          plan.integrity = m;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return bad("unknown integrity mode '" + name + "'");
     } else if (key == "reliable") {
       int v = 0;
       fields >> v;
@@ -314,6 +343,29 @@ Result<FaultPlan> FaultPlan::FromText(const std::string& text) {
         }
         fields.clear();  // The op loop legitimately hits end-of-line.
         if (a.reconfig.empty()) return bad("reconfig needs at least one op");
+      } else if (kind_name == "bit_rot" || kind_name == "torn_write") {
+        a.kind = kind_name == "bit_rot" ? Kind::kBitRot : Kind::kTornWrite;
+        std::string target;
+        fields >> a.a >> target;
+        if (fields.fail()) {
+          return bad(kind_name + " needs a processor and a target");
+        }
+        try {
+          if (target.rfind("wal:", 0) == 0) {
+            a.wal_index = static_cast<uint32_t>(std::stoul(target.substr(4)));
+          } else if (target.rfind("copy:", 0) == 0) {
+            a.corrupt_obj =
+                static_cast<ObjectId>(std::stoul(target.substr(5)));
+          } else {
+            return bad(kind_name + " target must be wal:<idx> or copy:<obj>");
+          }
+        } catch (...) {
+          return bad("bad number in " + kind_name + " target '" + target +
+                     "'");
+        }
+      } else if (kind_name == "crash_torn") {
+        a.kind = Kind::kCrashAmnesiaTorn;
+        fields >> a.a >> a.count;
       } else {
         return bad("unknown action kind '" + kind_name + "'");
       }
@@ -367,6 +419,11 @@ Result<FaultPlan> FaultPlan::FromText(const std::string& text) {
               " >= processors");
         }
       }
+    }
+    if (a.corrupt_obj != kInvalidObject && a.corrupt_obj >= plan.n_objects) {
+      return Status::InvalidArgument("corruption action references object " +
+                                     std::to_string(a.corrupt_obj) +
+                                     " >= objects");
     }
     for (const ReconfigOp& op : a.reconfig) {
       if (op.obj >= plan.n_objects) {
@@ -443,6 +500,14 @@ FaultPlan GeneratePlan(uint64_t seed, const GeneratorConfig& cfg) {
   if (cfg.enable_amnesia) plan.durability = cfg.amnesia_durability;
   if (cfg.reliable) plan.reliable = true;  // Stamp only; no rng draw.
   if (cfg.enable_reconfig) plan.epoch_gating = cfg.epoch_gating;  // Stamp.
+  if (cfg.enable_corruption) {
+    plan.integrity = cfg.integrity;  // Stamp only; no rng draw.
+    // Corruption only manifests through a reboot-from-device, so the plan
+    // needs the amnesia fault model even without enable_amnesia.
+    if (plan.durability == storage::DurabilityMode::kRetainMemory) {
+      plan.durability = storage::DurabilityMode::kWal;
+    }
+  }
   if (cfg.weighted_placements && n >= 3 && rng.Bernoulli(0.5)) {
     // Quorum-style placements: 3..n holders per object, and half the time
     // one copy carries a double vote (the paper's a²b configurations).
@@ -480,15 +545,18 @@ FaultPlan GeneratePlan(uint64_t seed, const GeneratorConfig& cfg) {
     net::FaultAction on, off;
     on.at = start;
     off.at = end;
-    // Kind menu: slots 0-4 always; slot 5 = amnesia (enable_amnesia); slot
-    // 6 = reconfig (enable_reconfig). With amnesia off but reconfig on, the
-    // extra slot drawn as 5 is remapped to 6, so legacy draw sequences
-    // (neither or amnesia-only) are untouched.
-    uint32_t kinds = 5;
-    if (cfg.enable_amnesia) ++kinds;
-    if (cfg.enable_reconfig) ++kinds;
-    uint32_t kind_draw = static_cast<uint32_t>(rng.Uniform(kinds));
-    if (kind_draw == 5 && !cfg.enable_amnesia) kind_draw = 6;
+    // Kind menu: slots 0-4 always; slot 5 = amnesia (enable_amnesia), slot
+    // 6 = reconfig (enable_reconfig), slot 7 = corruption
+    // (enable_corruption). Enabled extra slots are packed densely after 4
+    // and a draw >= 5 indexes into that packed menu, so legacy draw
+    // sequences (any prefix of flags off) are untouched.
+    std::vector<uint32_t> extra;
+    if (cfg.enable_amnesia) extra.push_back(5);
+    if (cfg.enable_reconfig) extra.push_back(6);
+    if (cfg.enable_corruption) extra.push_back(7);
+    uint32_t kind_draw = static_cast<uint32_t>(
+        rng.Uniform(5 + static_cast<uint32_t>(extra.size())));
+    if (kind_draw >= 5) kind_draw = extra[kind_draw - 5];
     switch (kind_draw) {
       case 0: {  // Partition into two non-empty groups.
         if (n < 2) continue;
@@ -510,7 +578,8 @@ FaultPlan GeneratePlan(uint64_t seed, const GeneratorConfig& cfg) {
         break;
       }
       case 1: {  // Crash + recover (amnesia variant when enabled).
-        on.kind = cfg.enable_amnesia && rng.Bernoulli(0.5)
+        on.kind = (cfg.enable_amnesia || cfg.enable_corruption) &&
+                          rng.Bernoulli(0.5)
                       ? Kind::kCrashAmnesia
                       : Kind::kCrashProcessor;
         off.kind = Kind::kRecoverProcessor;
@@ -551,6 +620,33 @@ FaultPlan GeneratePlan(uint64_t seed, const GeneratorConfig& cfg) {
         plan.actions.push_back(std::move(on));
         continue;  // No undo: epochs only move forward.
       }
+      case 7: {  // Device corruption (only drawn with enable_corruption).
+        // Rot or shear bytes at rest, then amnesia-crash and recover the
+        // same processor: corruption only manifests when the device is
+        // next loaded, so without the reboot it would never be observed.
+        // Campaign-generated WAL rot targets prepare records only — a
+        // decision record is the single durable witness of a commit, so
+        // rotting one models an unrecoverable device, not a recoverable
+        // fault (unit tests cover detection/quarantine of that case).
+        on.kind = rng.Bernoulli(0.5) ? Kind::kBitRot : Kind::kTornWrite;
+        on.a = static_cast<ProcessorId>(rng.Uniform(n));
+        if (rng.Bernoulli(0.5)) {
+          on.corrupt_obj = static_cast<ObjectId>(rng.Uniform(plan.n_objects));
+        } else {
+          on.wal_index = static_cast<uint32_t>(rng.Uniform(4));
+        }
+        net::FaultAction crash, rec;
+        crash.kind = Kind::kCrashAmnesia;
+        crash.a = on.a;
+        crash.at = start + (end - start) / 2;
+        rec.kind = Kind::kRecoverProcessor;
+        rec.a = on.a;
+        rec.at = end;
+        plan.actions.push_back(std::move(on));
+        plan.actions.push_back(std::move(crash));
+        plan.actions.push_back(std::move(rec));
+        continue;  // The triple is self-contained.
+      }
       case 2: {  // Symmetric link cut.
         if (n < 2) continue;
         on.kind = Kind::kLinkDown;
@@ -588,6 +684,14 @@ FaultPlan GeneratePlan(uint64_t seed, const GeneratorConfig& cfg) {
         continue;  // No paired undo.
       }
     }
+    // With corruption enabled, an amnesia crash sometimes tears its
+    // in-flight persist (half-written or dropped WAL tail record). Gated
+    // draws: legacy configs never reach them.
+    if (cfg.enable_corruption && on.kind == Kind::kCrashAmnesia &&
+        rng.Bernoulli(0.5)) {
+      on.kind = Kind::kCrashAmnesiaTorn;
+      on.count = rng.Bernoulli(0.5) ? 1 : 0;  // Drop vs half-write the tail.
+    }
     plan.actions.push_back(std::move(on));
     plan.actions.push_back(std::move(off));
   }
@@ -607,6 +711,7 @@ RunOutcome RunPlan(const FaultPlan& plan, const RunOptions& opts) {
   cfg.seed = plan.seed;
   cfg.protocol = plan.protocol;
   cfg.durability = plan.durability;
+  cfg.integrity = plan.integrity;
   cfg.reliable.enabled = plan.reliable;
   cfg.vp.epoch_gating = plan.epoch_gating;
   cfg.tracing = opts.tracing || !opts.trace_out.empty();

@@ -68,6 +68,14 @@ struct FaultPlan {
   /// negative control — campaigns must catch it losing committed writes.
   storage::DurabilityMode durability = storage::DurabilityMode::kRetainMemory;
 
+  /// Integrity model of the stable devices. kChecksum (default) salvages
+  /// torn WAL tails and quarantines rotted records/images on reboot;
+  /// kNoChecksum is the negative control that serves rotted bytes verbatim
+  /// — corruption campaigns must catch it violating durability or 1SR.
+  /// Serialized only when non-default, so legacy plan files stay
+  /// byte-identical.
+  storage::IntegrityMode integrity = storage::IntegrityMode::kChecksum;
+
   /// When true the cluster runs every physical operation through the
   /// reliable-delivery channel (ack/retransmit/backoff, net/
   /// reliable_channel.h) with its default knobs. Off by default so legacy
@@ -142,6 +150,17 @@ struct GeneratorConfig {
   /// Epoch gating stamped onto plans when enable_reconfig is set (no rng
   /// draw). False = the ungated negative control.
   bool epoch_gating = true;
+  /// Mix storage-corruption events into plans: at-rest bit rot / torn
+  /// writes against WAL prepare records and copy images (each paired with
+  /// an amnesia crash + recover of the same processor, since corruption
+  /// only manifests when the device is next loaded), plus a chance that an
+  /// amnesia crash tears its in-flight WAL persist. Off by default; all
+  /// its extra rng draws are gated on the flag so legacy seeds keep their
+  /// plans byte-identical. Forces kWal durability onto plans when set.
+  bool enable_corruption = false;
+  /// Integrity mode stamped onto plans when enable_corruption is set (no
+  /// rng draw). kNoChecksum = the rot-serving negative control.
+  storage::IntegrityMode integrity = storage::IntegrityMode::kChecksum;
 };
 
 /// Generates a randomized fault-storm plan. Pure function of (seed, cfg).

@@ -139,6 +139,22 @@ ShrinkResult ShrinkPlan(const FaultPlan& failing, const ShrinkConfig& config) {
       }
     }
 
+    // 1.75 Calm corruption ops: a torn amnesia crash that still fails as a
+    //      plain amnesia crash didn't need the tear. Plans without torn
+    //      crashes — every legacy plan — spend zero evaluations here.
+    for (size_t i = 0; i < cur.actions.size() && !eval.Exhausted(); ++i) {
+      if (cur.actions[i].kind != net::FaultAction::Kind::kCrashAmnesiaTorn) {
+        continue;
+      }
+      FaultPlan candidate = cur;
+      candidate.actions[i].kind = net::FaultAction::Kind::kCrashAmnesia;
+      candidate.actions[i].count = 0;
+      if (eval.Fails(candidate, &cur_out)) {
+        cur = std::move(candidate);
+        improved = true;
+      }
+    }
+
     // 2. Calm each background network knob.
     for (double FaultPlan::* knob :
          {&FaultPlan::drop_prob, &FaultPlan::slow_prob, &FaultPlan::dup_prob,

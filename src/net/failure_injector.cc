@@ -32,6 +32,12 @@ std::string FaultKindName(FaultAction::Kind kind) {
       return "crash_amnesia";
     case Kind::kReconfig:
       return "reconfig";
+    case Kind::kBitRot:
+      return "bit_rot";
+    case Kind::kTornWrite:
+      return "torn_write";
+    case Kind::kCrashAmnesiaTorn:
+      return "crash_torn";
     case Kind::kCustom:
       return "custom";
   }
@@ -141,6 +147,56 @@ void FailureInjector::CrashAmnesiaAt(sim::SimTime t, ProcessorId p) {
   Schedule(std::move(a));
 }
 
+void FailureInjector::CrashAmnesiaTornAt(sim::SimTime t, ProcessorId p,
+                                         bool drop_tail) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kCrashAmnesiaTorn;
+  a.a = p;
+  a.count = drop_tail ? 1 : 0;
+  Schedule(std::move(a));
+}
+
+void FailureInjector::BitRotWalAt(sim::SimTime t, ProcessorId p,
+                                  uint32_t wal_index) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kBitRot;
+  a.a = p;
+  a.wal_index = wal_index;
+  Schedule(std::move(a));
+}
+
+void FailureInjector::BitRotCopyAt(sim::SimTime t, ProcessorId p,
+                                   ObjectId obj) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kBitRot;
+  a.a = p;
+  a.corrupt_obj = obj;
+  Schedule(std::move(a));
+}
+
+void FailureInjector::TornWriteWalAt(sim::SimTime t, ProcessorId p,
+                                     uint32_t wal_index) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kTornWrite;
+  a.a = p;
+  a.wal_index = wal_index;
+  Schedule(std::move(a));
+}
+
+void FailureInjector::TornWriteCopyAt(sim::SimTime t, ProcessorId p,
+                                      ObjectId obj) {
+  FaultAction a;
+  a.at = t;
+  a.kind = FaultAction::Kind::kTornWrite;
+  a.a = p;
+  a.corrupt_obj = obj;
+  Schedule(std::move(a));
+}
+
 void FailureInjector::ReconfigAt(sim::SimTime t, ProcessorId p,
                                  std::vector<ReconfigOp> ops) {
   FaultAction a;
@@ -219,6 +275,17 @@ void FailureInjector::Apply(const FaultAction& action) {
     }
     case Kind::kReconfig:
       if (on_reconfig_) on_reconfig_(action.a, action.reconfig);
+      break;
+    case Kind::kBitRot:
+    case Kind::kTornWrite:
+      if (on_corrupt_) on_corrupt_(action);
+      break;
+    case Kind::kCrashAmnesiaTorn:
+      // Crash first, then tear the in-flight persist, then let the harness
+      // observe the (amnesiac) crash — so the reboot replays the torn log.
+      graph_->SetAlive(action.a, false);
+      if (on_corrupt_) on_corrupt_(action);
+      if (on_crash_) on_crash_(action.a, /*amnesia=*/true);
       break;
     case Kind::kCustom:
       if (action.custom) action.custom();

@@ -36,6 +36,15 @@ struct FaultAction {
                     // stable storage (WAL replay).
     kReconfig,    // Proposes the `reconfig` batch at processor `a` (via the
                   // reconfig hook); the batch commits at a vp boundary.
+    kBitRot,      // Flips bytes at rest on `a`'s stable device: in the copy
+                  // image of `corrupt_obj`, or (when corrupt_obj is
+                  // kInvalidObject) in the wal_index-th most recent WAL
+                  // prepare record. Only observable at the next reboot.
+    kTornWrite,     // Like kBitRot but shears the record/image instead
+                    // (half-written sector: length shortened, torn flag set).
+    kCrashAmnesiaTorn,  // kCrashAmnesia whose in-flight persist tears: the
+                        // WAL tail record is half-written (count = 0) or
+                        // dropped entirely (count != 0) before replay.
     kCustom,      // Runs `custom`.
   };
 
@@ -49,6 +58,10 @@ struct FaultAction {
   sim::Duration period = 0;
   /// kReconfig: the placement-change batch handed to the reconfig hook.
   std::vector<ReconfigOp> reconfig;
+  /// kBitRot/kTornWrite: the copy image to hit, or kInvalidObject to hit
+  /// the WAL instead (wal_index selects which prepare record, newest = 0).
+  ObjectId corrupt_obj = kInvalidObject;
+  uint32_t wal_index = 0;
   std::function<void()> custom;
 };
 
@@ -91,6 +104,11 @@ class FailureInjector {
   void ChurnBurstAt(sim::SimTime t, ProcessorId p, uint32_t count,
                     sim::Duration period);
   void CrashAmnesiaAt(sim::SimTime t, ProcessorId p);
+  void CrashAmnesiaTornAt(sim::SimTime t, ProcessorId p, bool drop_tail);
+  void BitRotWalAt(sim::SimTime t, ProcessorId p, uint32_t wal_index);
+  void BitRotCopyAt(sim::SimTime t, ProcessorId p, ObjectId obj);
+  void TornWriteWalAt(sim::SimTime t, ProcessorId p, uint32_t wal_index);
+  void TornWriteCopyAt(sim::SimTime t, ProcessorId p, ObjectId obj);
   void ReconfigAt(sim::SimTime t, ProcessorId p, std::vector<ReconfigOp> ops);
   void At(sim::SimTime t, std::function<void()> fn);
 
@@ -121,6 +139,16 @@ class FailureInjector {
     on_reconfig_ = std::move(on_reconfig);
   }
 
+  /// Harness hook for device corruption. Fires for kBitRot / kTornWrite
+  /// (mutate bytes at rest on action.a's stable device) and for
+  /// kCrashAmnesiaTorn (tear the WAL tail, between the crash itself and the
+  /// crash hook). Corruption actions are silently dropped when no hook is
+  /// installed (e.g. a corruption plan replayed against a storage-less
+  /// harness).
+  void SetCorruptionHook(std::function<void(const FaultAction&)> on_corrupt) {
+    on_corrupt_ = std::move(on_corrupt);
+  }
+
   uint64_t actions_applied() const { return actions_applied_; }
 
  private:
@@ -138,6 +166,7 @@ class FailureInjector {
   std::function<void(ProcessorId, bool)> on_crash_;
   std::function<void(ProcessorId)> on_recover_;
   std::function<void(ProcessorId, std::vector<ReconfigOp>)> on_reconfig_;
+  std::function<void(const FaultAction&)> on_corrupt_;
   uint64_t actions_applied_ = 0;
 };
 

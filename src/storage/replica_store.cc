@@ -9,11 +9,18 @@ namespace vp::storage {
 void ReplicaStore::AttachStable(StableStore* stable) {
   stable_ = stable;
   if (stable_ == nullptr) return;
-  // Reboot path: the device's images are the truth; volatile copies created
-  // so far (fresh initial values) are stale. First boot: the device is
-  // empty, so the initial images are persisted instead.
+  // Reboot path: the device's images are the truth — once they verify.
+  // Volatile copies created so far (fresh initial values) are stale. An
+  // image failing verification (bit rot / torn write at rest) is NOT
+  // loaded: the copy is quarantined instead, keeping the fresh initial
+  // value at kEpochDate so copy-update rebuilds it from live copies. First
+  // boot: the device is empty, so the initial images are persisted instead.
   for (const auto& [obj, image] : stable_->copies()) {
     Copy& copy = copies_[obj];
+    if (!stable_->ImageIntact(image)) {
+      QuarantineCopy(obj);
+      continue;
+    }
     copy.committed.value = image.value;
     copy.committed.date = image.date;
     copy.log = image.log;
@@ -21,6 +28,15 @@ void ReplicaStore::AttachStable(StableStore* stable) {
   for (const auto& [obj, copy] : copies_) {
     if (stable_->copies().count(obj) == 0) PersistCopy(obj, copy);
   }
+}
+
+void ReplicaStore::QuarantineCopy(ObjectId obj) {
+  auto it = copies_.find(obj);
+  if (it == copies_.end()) return;
+  if (!quarantined_.insert(obj).second) return;  // Already quarantined.
+  it->second.committed.date = kEpochDate;
+  it->second.log.clear();
+  if (stable_ != nullptr) stable_->NoteQuarantined();
 }
 
 void ReplicaStore::PersistCopy(ObjectId obj, const Copy& copy) {

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -61,8 +62,24 @@ class ReplicaStore {
   /// Attaches the processor's stable device. Committed-state mutations
   /// persist their copy image through it, and StageWrite appends a prepare
   /// record to its WAL. If the device already holds copy images from a
-  /// previous incarnation (crash-amnesia reboot), they are loaded now.
+  /// previous incarnation (crash-amnesia reboot), they are loaded now —
+  /// under the checksummed integrity mode each image is verified first, and
+  /// a failing image quarantines the copy (see QuarantineCopy) instead of
+  /// loading the rot.
   void AttachStable(StableStore* stable);
+
+  /// Marks `obj`'s copy untrustworthy: its date is forced to kEpochDate and
+  /// its log cleared, so the copy-update / missing-writes recovery path
+  /// rebuilds it in full from live copies before it serves reads or votes.
+  /// Counted in the stable device's storage.quarantined.
+  void QuarantineCopy(ObjectId obj);
+
+  bool IsQuarantined(ObjectId obj) const {
+    return quarantined_.count(obj) > 0;
+  }
+  /// Recovery completed for a quarantined copy (the scrub round trip).
+  /// Returns true if `obj` was quarantined (the caller counts the repair).
+  bool ClearQuarantine(ObjectId obj) { return quarantined_.erase(obj) > 0; }
 
   /// Creates the copy of `obj` with the given initial committed value.
   void CreateCopy(ObjectId obj, Value initial = "", VpId date = kEpochDate);
@@ -127,6 +144,7 @@ class ReplicaStore {
 
   std::unordered_map<ObjectId, Copy> copies_;
   std::unordered_map<ObjectId, Stage> stages_;
+  std::set<ObjectId> quarantined_;
   StoreStats stats_;
   StableStore* stable_ = nullptr;
 };

@@ -24,6 +24,19 @@
 // Every mutation is an explicit persist point and counts one fsync; the
 // fsync/byte counters make recovery cost visible in bench output.
 //
+// The device may lie. Corruption faults (bit rot, torn writes — injected by
+// the nemesis via the harness) mutate images and WAL frames at rest, and a
+// crash can tear the persist in flight. Under the checksummed integrity
+// mode every image and WAL frame is verified at load: BeginReplay salvages
+// the log (an invalid tail is truncated — wal.torn_truncated — while
+// mid-log rot quarantines the device's copies), and ReplicaStore::
+// AttachStable quarantines any image failing verification. A quarantined
+// copy restarts with its date forced to kEpochDate, so the protocol's
+// existing copy-update / missing-writes machinery rebuilds it from live
+// copies before it serves reads or votes — corruption degrades to the
+// already-proven stale-copy case (storage.quarantined /
+// storage.scrub_repairs count the round trip).
+//
 // Durability modes:
 //   kRetainMemory — legacy fault model: crashes keep volatile state, the
 //                   device is bookkeeping only (fsyncs still counted).
@@ -57,6 +70,21 @@ enum class DurabilityMode : uint8_t {
 
 const char* DurabilityModeName(DurabilityMode mode);
 
+/// What the device does about lying hardware.
+///   kChecksum   — images and WAL frames are verified at load; salvage and
+///                 quarantine recover from torn writes and bit rot.
+///   kNoChecksum — deliberately broken strawman: rotted bytes are served
+///                 verbatim and torn frames replay as whatever half-written
+///                 garbage they hold. Corruption campaigns must catch this
+///                 violating durability/1SR (negative control, mirroring
+///                 kNoWal).
+enum class IntegrityMode : uint8_t {
+  kChecksum,
+  kNoChecksum,
+};
+
+const char* IntegrityModeName(IntegrityMode mode);
+
 /// Counters for one processor's stable device.
 struct StableStats {
   uint64_t fsyncs = 0;
@@ -65,34 +93,58 @@ struct StableStats {
   uint64_t copy_persist_bytes = 0;
   uint64_t wal_replay_records = 0;
   uint64_t reboots = 0;
+  /// Invalid WAL tail frames truncated by salvage.
+  uint64_t torn_truncated = 0;
+  /// Copies quarantined after a failed load (bad image or mid-log rot).
+  uint64_t quarantined = 0;
+  /// Quarantined copies rebuilt from live copies via copy-update.
+  uint64_t scrub_repairs = 0;
 };
 
 class StableStore {
  public:
-  explicit StableStore(DurabilityMode mode) : mode_(mode) {
+  explicit StableStore(DurabilityMode mode,
+                       IntegrityMode integrity = IntegrityMode::kChecksum)
+      : mode_(mode), integrity_(integrity) {
     AttachMetrics(obs::MetricsRegistry::Default());
   }
 
   /// Mirrors fsync/WAL counters into `registry` ("wal.fsyncs",
-  /// "wal.appends", "wal.bytes", "wal.replay_records") from this call on;
-  /// the harness attaches its per-cluster registry at node construction.
+  /// "wal.appends", "wal.bytes", "wal.replay_records", "wal.torn_truncated",
+  /// "storage.quarantined", "storage.scrub_repairs") from this call on; the
+  /// harness attaches its per-cluster registry at node construction.
   void AttachMetrics(obs::MetricsRegistry* registry) {
     ctr_fsyncs_ = registry->counter("wal.fsyncs");
     ctr_wal_appends_ = registry->counter("wal.appends");
     ctr_wal_bytes_ = registry->counter("wal.bytes");
     ctr_replayed_ = registry->counter("wal.replay_records");
+    ctr_torn_truncated_ = registry->counter("wal.torn_truncated");
+    ctr_quarantined_ = registry->counter("storage.quarantined");
+    ctr_scrub_repairs_ = registry->counter("storage.scrub_repairs");
   }
 
   DurabilityMode mode() const { return mode_; }
+  IntegrityMode integrity() const { return integrity_; }
   /// True when crashes destroy volatile state (kWal and kNoWal).
   bool amnesia() const { return mode_ != DurabilityMode::kRetainMemory; }
 
-  /// Persisted committed image of one copy.
+  /// Persisted committed image of one copy, framed with the checksum it was
+  /// written with. Corruption mutates the payload (or tears the image)
+  /// while the framing keeps its as-written value.
   struct StableCopy {
     Value value;
     VpId date = kEpochDate;
     std::vector<LogRecord> log;
+    uint64_t checksum = 0;
+    bool torn = false;
   };
+
+  /// FNV-1a checksum over an image's payload.
+  static uint64_t CopyChecksum(const Value& value, VpId date,
+                               const std::vector<LogRecord>& log);
+  /// Image verification under this device's integrity mode (kNoChecksum
+  /// accepts everything — rot is served verbatim).
+  bool ImageIntact(const StableCopy& copy) const;
 
   /// Writes the full committed image of `obj` (one fsync).
   void PersistCopy(ObjectId obj, const Value& value, VpId date,
@@ -122,6 +174,29 @@ class StableStore {
     return reconfigs_;
   }
 
+  // --- Device-fault entry points (driven by the harness corruption hook) ---
+
+  /// Bit rot in the `index`-th most recent *prepare* frame (modulo the
+  /// number of prepares; no-op without any). Campaign rot targets the data
+  /// plane: a commit decision is the single durable witness of its commit,
+  /// so rotting one is outside the repairable envelope by construction —
+  /// unit tests cover detection (quarantine) for that case via RotWalFrame.
+  void CorruptWalPrepare(uint32_t index);
+  /// Torn write discovered at rest in the `index`-th most recent prepare.
+  void TearWalPrepare(uint32_t index);
+  /// Direct frame corruption by absolute index (unit tests).
+  void RotWalFrame(size_t index) { wal_.RotRecord(index); }
+  void TearWalFrame(size_t index) { wal_.TearRecord(index); }
+  /// Bit rot / torn write in `obj`'s persisted image.
+  void CorruptCopyImage(ObjectId obj);
+  void TearCopyImage(ObjectId obj);
+  /// Crash tearing of the persist in flight: the newest WAL frame is
+  /// dropped (`drop`) or half-written. A torn in-flight *decision* cannot
+  /// be modeled retroactively — completing that fsync is what announced the
+  /// commit — so that case (and an empty log) tears a phantom in-flight
+  /// frame instead.
+  void TearTailOnCrash(bool drop);
+
   /// Called by the harness when rebuilding the node after an amnesia crash.
   /// Returns the new incarnation number (first boot is incarnation 0).
   uint32_t BeginIncarnation();
@@ -129,19 +204,36 @@ class StableStore {
 
   /// Brackets WAL replay: appends are suppressed (replayed stages must not
   /// be re-logged) and replayed records are counted. Re-entrant safe so a
-  /// double crash during replay starts over cleanly.
+  /// double crash during replay starts over cleanly — the salvage pass is
+  /// idempotent, so a restarted replay converges to the same truncation
+  /// point. Under kChecksum, BeginReplay runs salvage: an invalid tail is
+  /// truncated (wal.torn_truncated) and mid-log rot sets quarantined().
   void BeginReplay();
   void EndReplay();
   bool replaying() const { return replaying_; }
+  /// True when the last salvage found corruption the log cannot explain as
+  /// a torn in-flight write; every local copy must be rebuilt from live
+  /// copies before serving (see NodeBase::ReplayWal).
+  bool quarantined() const { return quarantined_; }
   void CountReplayedRecord() {
     ++stats_.wal_replay_records;
     ctr_replayed_->Increment();
+  }
+  /// Accounting hooks for the quarantine → copy-update round trip.
+  void NoteQuarantined() {
+    ++stats_.quarantined;
+    ctr_quarantined_->Increment();
+  }
+  void NoteScrubRepair() {
+    ++stats_.scrub_repairs;
+    ctr_scrub_repairs_->Increment();
   }
 
   const StableStats& stats() const { return stats_; }
 
  private:
   DurabilityMode mode_;
+  IntegrityMode integrity_;
   std::map<ObjectId, StableCopy> copies_;
   WriteAheadLog wal_;
   VpId max_view_ = kEpochDate;
@@ -151,11 +243,15 @@ class StableStore {
   std::vector<std::pair<EpochId, std::vector<ReconfigOp>>> reconfigs_;
   uint32_t incarnation_ = 0;
   bool replaying_ = false;
+  bool quarantined_ = false;
   StableStats stats_;
   obs::Counter* ctr_fsyncs_ = nullptr;
   obs::Counter* ctr_wal_appends_ = nullptr;
   obs::Counter* ctr_wal_bytes_ = nullptr;
   obs::Counter* ctr_replayed_ = nullptr;
+  obs::Counter* ctr_torn_truncated_ = nullptr;
+  obs::Counter* ctr_quarantined_ = nullptr;
+  obs::Counter* ctr_scrub_repairs_ = nullptr;
 };
 
 }  // namespace vp::storage

@@ -15,6 +15,17 @@
 //   kDecision — coordinator decided commit for txn. Abort decisions are
 //               never logged (presumed abort).
 //
+// Every record is framed with its on-device length and an FNV-1a checksum
+// of its content, exactly as written. The device may lie afterwards: a
+// crash can tear the in-flight frame (torn tail) and at-rest faults can
+// flip bytes in a frame (bit rot) — the frame then fails verification
+// while still carrying whatever content the rot produced, which is what a
+// checksum-less reader would serve verbatim. Salvage() is the recovery
+// pass: it truncates an invalid tail (safe under presumed abort — a frame
+// that never completed its fsync never had externally visible effects) and
+// flags mid-log corruption, which cannot be truncated away and poisons
+// everything derived from the log (see StableStore quarantine).
+//
 // Replay is a single forward pass; see NodeBase::ReplayWal.
 #ifndef VPART_STORAGE_WAL_H_
 #define VPART_STORAGE_WAL_H_
@@ -46,21 +57,70 @@ struct WalRecord {
 
 const char* WalRecordTypeName(WalRecord::Type type);
 
+/// One record as framed on the device: the content plus the length and
+/// checksum that were written alongside it. Corruption mutates the content
+/// (or tears the frame) while the framing keeps its as-written values, so
+/// verification fails exactly when content and framing disagree.
+struct WalFrame {
+  WalRecord rec;
+  uint32_t len = 0;       // Frame length as written.
+  uint64_t checksum = 0;  // FNV-1a of the content as written.
+  bool torn = false;      // Half-written by a crashed persist.
+};
+
 /// Append-only record sequence with byte accounting. Each record models one
 /// device write; the owning StableStore charges the fsync.
 class WriteAheadLog {
  public:
   void Append(WalRecord rec);
 
-  const std::vector<WalRecord>& records() const { return records_; }
+  const std::vector<WalFrame>& frames() const { return frames_; }
   uint64_t bytes() const { return bytes_; }
   void Clear();
 
   /// Size one record would occupy on the device (header + payload bytes).
   static uint64_t RecordBytes(const WalRecord& rec);
+  /// FNV-1a checksum over the record's serialized content.
+  static uint64_t Checksum(const WalRecord& rec);
+  /// Frame verification: not torn, and length + checksum match the content.
+  static bool Intact(const WalFrame& frame);
+
+  // --- Device-fault entry points (simulated corruption) ---
+
+  /// Bit rot: flips a byte of frame `index`'s content at rest. The framing
+  /// keeps its as-written checksum, so verification now fails while the
+  /// rotted content is what a checksum-less reader replays. Returns false
+  /// (no-op) for an out-of-range index.
+  bool RotRecord(size_t index);
+
+  /// Torn write at rest: frame `index` turns out to be half-written (its
+  /// payload truncated, its framing short). Returns false if out of range.
+  bool TearRecord(size_t index);
+
+  /// Crash tearing of the newest frame (the persist in flight at crash
+  /// time): `drop` removes it outright, otherwise it is half-written.
+  void TearTail(bool drop);
+
+  /// A phantom in-flight frame: garbage that never completed its write.
+  /// Used when the crash tears a persist whose completion was never
+  /// observed by the node (empty log, or a tail whose completion was
+  /// already externalized — see StableStore::TearTailOnCrash).
+  void AppendTornPhantom();
+
+  /// Salvage pass over the frames (run by StableStore::BeginReplay under
+  /// the checksummed integrity mode). Invalid frames at the tail are
+  /// truncated; an invalid frame *before* valid frames cannot be explained
+  /// as a torn in-flight write, so it is dropped and reported as mid-log
+  /// corruption (the caller quarantines the device's copies).
+  struct SalvageResult {
+    uint32_t tail_truncated = 0;
+    uint32_t mid_dropped = 0;
+    bool quarantined() const { return mid_dropped > 0; }
+  };
+  SalvageResult Salvage();
 
  private:
-  std::vector<WalRecord> records_;
+  std::vector<WalFrame> frames_;
   uint64_t bytes_ = 0;
 };
 

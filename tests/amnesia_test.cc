@@ -214,6 +214,118 @@ TEST(Amnesia, DoubleCrashReplaysTheWalTwiceIdempotently) {
   EXPECT_TRUE(cluster.Certify().ok);
 }
 
+TEST(Amnesia, TornTailSalvageLeavesThePrepareInDoubt) {
+  ClusterConfig config;
+  config.n_processors = 3;
+  config.n_objects = 1;
+  config.seed = 15;
+  config.protocol = Protocol::kVirtualPartition;
+  config.durability = DurabilityMode::kWal;
+  Cluster cluster(config);
+  cluster.RunFor(sim::Seconds(2));
+
+  core::NodeBase& node = cluster.node(0);
+  const TxnId txn = node.NewTxnId();
+  node.Begin(txn);
+  bool write_ok = false;
+  node.LogicalWrite(txn, 0, "X", [&](Status s) { write_ok = s.ok(); });
+  cluster.RunFor(sim::Millis(200));
+  ASSERT_TRUE(write_ok);
+  Status commit_status = Status::Internal("callback not run");
+  node.Commit(txn, [&](Status s) { commit_status = s; });
+
+  // Step until p1 has persisted its outcome record — that persist is the
+  // one the crash tears in flight. The crafted log is then
+  //   [prepare X (intact), outcome (half-written)].
+  for (int i = 0; i < 200 && cluster.stable(1).wal().frames().size() < 2; ++i)
+    cluster.RunFor(sim::Millis(5));
+  ASSERT_EQ(cluster.stable(1).wal().frames().size(), 2u);
+  cluster.injector().CrashAmnesiaTornAt(cluster.scheduler().Now(), 1,
+                                        /*drop_tail=*/false);
+  cluster.injector().RecoverAt(cluster.scheduler().Now() + sim::Millis(300),
+                               1);
+  cluster.RunFor(sim::Seconds(4));
+
+  ASSERT_TRUE(commit_status.ok()) << commit_status.ToString();
+  // Salvage truncated exactly the half-written outcome; the intact prepare
+  // replayed and went back in doubt.
+  EXPECT_EQ(cluster.stable(1).stats().torn_truncated, 1u);
+  EXPECT_EQ(cluster.stable(1).stats().wal_replay_records, 1u);
+  EXPECT_EQ(cluster.stable(1).stats().quarantined, 0u);
+  // The in-doubt sweep asked the coordinator and resolved to commit — once:
+  // no duplicate stage survives and every copy agrees.
+  EXPECT_FALSE(cluster.store(1).HasStage(0));
+  for (ProcessorId p = 0; p < 3; ++p) {
+    EXPECT_EQ(cluster.store(p).Read(0).value().value, "X") << "p" << p;
+  }
+  EXPECT_TRUE(cluster.recorder().safety_violations().empty());
+  EXPECT_TRUE(cluster.Certify().ok);
+}
+
+/// Runs the back-to-back torn-crash schedule and returns the observables a
+/// determinism check compares.
+struct DoubleTornResult {
+  uint64_t torn_truncated = 0;
+  uint64_t replayed = 0;
+  uint64_t reboots = 0;
+  std::vector<Value> copies;
+  bool certified = false;
+};
+
+DoubleTornResult RunDoubleTornCrash() {
+  ClusterConfig config;
+  config.n_processors = 3;
+  config.n_objects = 1;
+  config.seed = 16;
+  config.protocol = Protocol::kVirtualPartition;
+  config.durability = DurabilityMode::kWal;
+  Cluster cluster(config);
+  cluster.RunFor(sim::Seconds(2));
+
+  testutil::TxnOutcome txn =
+      testutil::RunTxn(cluster, 0, {testutil::Write(0, "X")});
+  EXPECT_TRUE(txn.committed);
+  cluster.RunFor(sim::Millis(500));
+
+  // Two torn crashes in quick succession: the second lands right after the
+  // first reboot's salvage+replay, before the cluster has settled, so the
+  // second salvage runs over an already-salvaged log plus the new tear.
+  const sim::SimTime t = cluster.scheduler().Now();
+  cluster.injector().CrashAmnesiaTornAt(t + sim::Millis(10), 1,
+                                        /*drop_tail=*/false);
+  cluster.injector().RecoverAt(t + sim::Millis(120), 1);
+  cluster.injector().CrashAmnesiaTornAt(t + sim::Millis(130), 1,
+                                        /*drop_tail=*/false);
+  cluster.injector().RecoverAt(t + sim::Millis(250), 1);
+  cluster.RunFor(sim::Seconds(4));
+
+  DoubleTornResult out;
+  out.torn_truncated = cluster.stable(1).stats().torn_truncated;
+  out.replayed = cluster.stable(1).stats().wal_replay_records;
+  out.reboots = cluster.stable(1).stats().reboots;
+  for (ProcessorId p = 0; p < 3; ++p) {
+    out.copies.push_back(cluster.store(p).Read(0).value().value);
+  }
+  out.certified = cluster.Certify().ok;
+  EXPECT_TRUE(cluster.recorder().safety_violations().empty());
+  return out;
+}
+
+TEST(Amnesia, DoubleTornCrashSalvagesDeterministically) {
+  DoubleTornResult a = RunDoubleTornCrash();
+  DoubleTornResult b = RunDoubleTornCrash();
+  // Both runs salvage to the same truncation point and replay the same
+  // records — the salvage pass is a pure function of the log.
+  EXPECT_EQ(a.torn_truncated, b.torn_truncated);
+  EXPECT_EQ(a.replayed, b.replayed);
+  EXPECT_EQ(a.reboots, 2u);
+  EXPECT_GE(a.torn_truncated, 2u);  // Each crash tore one persist.
+  EXPECT_EQ(a.copies, b.copies);
+  for (const Value& v : a.copies) EXPECT_EQ(v, "X");
+  EXPECT_TRUE(a.certified);
+  EXPECT_TRUE(b.certified);
+}
+
 TEST(AmnesiaPlan, RoundTripKeepsDurabilityPlacementAndAmnesiaActions) {
   nemesis::FaultPlan plan;
   plan.n_processors = 4;

@@ -128,6 +128,130 @@ TEST(NemesisPlan, GeneratorIsAPureFunctionOfSeed) {
   EXPECT_NE(GeneratePlan(8).ToText(), a.ToText());
 }
 
+TEST(CorruptionPlan, RoundTripKeepsCorruptionActionsAndIntegrity) {
+  FaultPlan plan;
+  plan.n_processors = 4;
+  plan.n_objects = 3;
+  plan.durability = storage::DurabilityMode::kWal;
+  plan.integrity = storage::IntegrityMode::kNoChecksum;
+
+  FaultAction a;
+  a.at = sim::Millis(200);
+  a.kind = FaultAction::Kind::kBitRot;
+  a.a = 1;
+  a.wal_index = 2;
+  plan.actions.push_back(a);
+
+  a = {};
+  a.at = sim::Millis(300);
+  a.kind = FaultAction::Kind::kBitRot;
+  a.a = 2;
+  a.corrupt_obj = 1;
+  plan.actions.push_back(a);
+
+  a = {};
+  a.at = sim::Millis(400);
+  a.kind = FaultAction::Kind::kTornWrite;
+  a.a = 0;
+  a.corrupt_obj = 2;
+  plan.actions.push_back(a);
+
+  a = {};
+  a.at = sim::Millis(500);
+  a.kind = FaultAction::Kind::kCrashAmnesiaTorn;
+  a.a = 3;
+  a.count = 1;  // drop_tail.
+  plan.actions.push_back(a);
+
+  const std::string text = plan.ToText();
+  EXPECT_NE(text.find("integrity nochecksum"), std::string::npos);
+  EXPECT_NE(text.find("action bit_rot 200000 1 wal:2"), std::string::npos);
+  EXPECT_NE(text.find("action bit_rot 300000 2 copy:1"), std::string::npos);
+  EXPECT_NE(text.find("action torn_write 400000 0 copy:2"), std::string::npos);
+  EXPECT_NE(text.find("action crash_torn 500000 3 1"), std::string::npos);
+
+  Result<FaultPlan> parsed = FaultPlan::FromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().ToText(), text);
+  EXPECT_EQ(parsed.value().integrity, storage::IntegrityMode::kNoChecksum);
+  ASSERT_EQ(parsed.value().actions.size(), 4u);
+  EXPECT_EQ(parsed.value().actions[0].wal_index, 2u);
+  EXPECT_EQ(parsed.value().actions[0].corrupt_obj, kInvalidObject);
+  EXPECT_EQ(parsed.value().actions[1].corrupt_obj, 1u);
+  EXPECT_EQ(parsed.value().actions[3].count, 1u);
+}
+
+TEST(CorruptionPlan, DefaultIntegrityIsNotSerialized) {
+  // Legacy plans must stay byte-identical: the integrity key only appears
+  // when the mode differs from the checksummed default.
+  FaultPlan plan;
+  EXPECT_EQ(plan.ToText().find("integrity"), std::string::npos);
+  Result<FaultPlan> parsed = FaultPlan::FromText(plan.ToText());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().integrity, storage::IntegrityMode::kChecksum);
+}
+
+TEST(CorruptionPlan, ParserRejectsBadCorruptionLines) {
+  EXPECT_FALSE(FaultPlan::FromText("integrity trustme\n").ok());
+  EXPECT_FALSE(FaultPlan::FromText("action bit_rot 10 0\n").ok())
+      << "missing target";
+  EXPECT_FALSE(FaultPlan::FromText("action bit_rot 10 0 sector:3\n").ok())
+      << "unknown target kind";
+  EXPECT_FALSE(FaultPlan::FromText("action torn_write 10 0 wal:x\n").ok())
+      << "non-numeric index";
+  EXPECT_FALSE(
+      FaultPlan::FromText("objects 2\naction bit_rot 10 0 copy:5\n").ok())
+      << "object out of range";
+}
+
+TEST(CorruptionPlan, GeneratorWithCorruptionIsDeterministicAndCovers) {
+  GeneratorConfig cfg;
+  cfg.enable_corruption = true;
+  bool saw_rot = false;
+  bool saw_torn = false;
+  bool saw_crash_torn = false;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    const FaultPlan a = GeneratePlan(seed, cfg);
+    const FaultPlan b = GeneratePlan(seed, cfg);
+    EXPECT_EQ(a.ToText(), b.ToText()) << "seed " << seed;
+    Result<FaultPlan> parsed = FaultPlan::FromText(a.ToText());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    for (const FaultAction& act : a.actions) {
+      if (act.kind == FaultAction::Kind::kBitRot) saw_rot = true;
+      if (act.kind == FaultAction::Kind::kTornWrite) saw_torn = true;
+      if (act.kind == FaultAction::Kind::kCrashAmnesiaTorn) {
+        saw_crash_torn = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_rot);
+  EXPECT_TRUE(saw_torn);
+  EXPECT_TRUE(saw_crash_torn);
+
+  // Without the knob the generator's output is untouched by the new draws.
+  const FaultPlan legacy = GeneratePlan(5, GeneratorConfig{});
+  EXPECT_EQ(legacy.integrity, storage::IntegrityMode::kChecksum);
+  for (const FaultAction& act : legacy.actions) {
+    EXPECT_NE(act.kind, FaultAction::Kind::kBitRot);
+    EXPECT_NE(act.kind, FaultAction::Kind::kTornWrite);
+    EXPECT_NE(act.kind, FaultAction::Kind::kCrashAmnesiaTorn);
+  }
+}
+
+TEST(CorruptionRun, StormTraceIsDeterministic) {
+  GeneratorConfig cfg;
+  cfg.enable_corruption = true;
+  const FaultPlan plan = GeneratePlan(9, cfg);
+  const RunOutcome a = RunPlan(plan);
+  const RunOutcome b = RunPlan(plan);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.stable.torn_truncated, b.stable.torn_truncated);
+  EXPECT_EQ(a.stable.quarantined, b.stable.quarantined);
+  EXPECT_EQ(a.stable.scrub_repairs, b.stable.scrub_repairs);
+  EXPECT_FALSE(a.violation()) << a.failure;
+}
+
 TEST(NemesisRun, TraceIsByteIdenticalAcrossRuns) {
   // The determinism contract behind campaign search, shrinking, and
   // --replay: the same plan (including duplication, reordering, one-way

@@ -52,12 +52,12 @@ struct Golden {
 TEST(RuntimeParity, PinnedConfigurationsMatchGoldenDigests) {
   using harness::Protocol;
   const Golden kGolden[] = {
-      {3, Protocol::kVirtualPartition, false, false, 0xcbe8f733be5c7313ULL},
-      {3, Protocol::kVirtualPartition, true, true, 0xd72c80823bed30feULL},
+      {3, Protocol::kVirtualPartition, false, false, 0xf0e6103c6be783ceULL},
+      {3, Protocol::kVirtualPartition, true, true, 0xcacf0d4bc06f3774ULL},
       {3, Protocol::kQuorum, true, true, 0x560e43276e93835fULL},
       {3, Protocol::kMajorityVoting, true, true, 0x560e43276e93835fULL},
-      {438, Protocol::kVirtualPartition, false, false, 0x6f8fd249adec6950ULL},
-      {438, Protocol::kVirtualPartition, true, true, 0xaf343c50da09ea67ULL},
+      {438, Protocol::kVirtualPartition, false, false, 0x3ae6e0d59e0a2964ULL},
+      {438, Protocol::kVirtualPartition, true, true, 0xfb63ed9a7c02c097ULL},
       {438, Protocol::kQuorum, true, true, 0xe8d3308c6e26ce8cULL},
       {438, Protocol::kMajorityVoting, true, true, 0xe8d3308c6e26ce8cULL},
   };
@@ -71,15 +71,15 @@ TEST(RuntimeParity, PinnedConfigurationsMatchGoldenDigests) {
 
 TEST(RuntimeParity, SmokeSweepMatchesGoldenDigests) {
   const uint64_t kSmoke[25] = {
-      0x3d65f07d98d2a152ULL, 0xe80a3c851ba7a537ULL, 0x00528ae93a178364ULL,
-      0xcbe8f733be5c7313ULL, 0xa8f5e078d2a951c1ULL, 0xd56ac553964929feULL,
-      0x8b0a5cf1bd6fa969ULL, 0xbe7ae78676dd2d44ULL, 0xe9a20e8a73bbab6eULL,
-      0x48ca541c64b7223fULL, 0x112562c978a5a16fULL, 0xecc4e1ef8564a832ULL,
-      0x34ba8ff650b078adULL, 0x9b1541383507e700ULL, 0x7c5373431242a3f4ULL,
-      0xba28e395cacd942cULL, 0x448414fda6f6bfc8ULL, 0x83bad56432dd8ad4ULL,
-      0x38a6887dc3cfeaccULL, 0xb6bd8de13a0d3598ULL, 0x977fccb80726ba5fULL,
-      0x9e210dece5b98e78ULL, 0xb4bc94fc424ad140ULL, 0xd5dcf528c7a158d4ULL,
-      0x70ff937c2dcad98aULL,
+      0x8f23814d3b03268dULL, 0xa7d9f0b0af278586ULL, 0xb1166e3017ae9b2eULL,
+      0xf0e6103c6be783ceULL, 0xac9718d4e491d71eULL, 0xff1db59e0422b387ULL,
+      0x749c339213ecd1a0ULL, 0x7f3aa9907ffd5b3eULL, 0xe176f28d6bfd4482ULL,
+      0x55c30c57e24f958aULL, 0x42082ecb890163a9ULL, 0x8829b64b72459b03ULL,
+      0xc1789eddb2508d79ULL, 0xca3e3dc06ab28b73ULL, 0x75338a03f140728bULL,
+      0x2dbcdb980edb7d69ULL, 0x82a97c03fbbea209ULL, 0xbcf464771310baa0ULL,
+      0x3f60aa20be68e5a7ULL, 0xb9f8b98c663a9f36ULL, 0x125a95b70583b981ULL,
+      0xab02c8f7d37b1e49ULL, 0xf6d07ecc763322f8ULL, 0x382f42d8dcb45b39ULL,
+      0x8d8172d811dd056aULL,
   };
   for (uint64_t seed = 0; seed < 25; ++seed) {
     EXPECT_EQ(DigestFor(seed, harness::Protocol::kVirtualPartition,
