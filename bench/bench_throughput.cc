@@ -12,11 +12,16 @@
 //
 // Usage:
 //   bench_throughput [--smoke] [--protocol=NAME] [--clients=N]
-//                    [--duration-ms=N] [--out=PATH] [--trace-out=PATH]
-//                    [--overhead-check]
+//                    [--duration-ms=N] [--threads=1,2,4,8] [--out=PATH]
+//                    [--trace-out=PATH] [--overhead-check]
 //
 // --smoke shrinks the run for CI (TSan job): short window, fewer clients,
 // all protocols, full certification.
+// --threads runs an additional worker-count scaling sweep (E18): the first
+// selected protocol is re-run at each listed ThreadRuntime worker count and
+// the per-count throughput, certification verdict and runtime counters
+// (mailbox pushes vs. timer-heap lock acquisitions) land in a "scaling"
+// array in the JSON. Any uncertified point fails the run.
 // --trace-out enables causal tracing for the first protocol's run and
 // writes its Chrome trace_event JSON there.
 // --overhead-check runs VP twice uninstrumented and once with tracing on,
@@ -51,10 +56,14 @@ struct Options {
   std::string trace_out;
   /// Instrumentation-overhead guard mode (see file comment).
   bool overhead_check = false;
+  /// Worker counts for the E18 scaling sweep; empty = no sweep.
+  std::vector<uint32_t> threads;
 };
 
 struct ProtoResult {
   std::string protocol;
+  /// Runtime worker threads the run actually used (after clamping).
+  uint32_t workers = 0;
   uint64_t committed = 0;
   uint64_t aborted = 0;
   double txns_per_sec = 0;
@@ -74,12 +83,14 @@ double PercentileMs(std::vector<runtime::Duration>& lat, double q) {
 }
 
 ProtoResult RunOne(harness::Protocol proto, const Options& opts,
-                   bool tracing = false, const std::string& trace_out = {}) {
+                   bool tracing = false, const std::string& trace_out = {},
+                   uint32_t workers = 0) {
   using TC = harness::ThreadCluster;
   harness::ThreadClusterConfig cfg;
   cfg.n_processors = 3;
   cfg.n_objects = 16;
   cfg.protocol = proto;
+  cfg.runtime.workers = workers;  // 0 = runtime default.
   cfg.tracing = tracing || !trace_out.empty();
   // Wall-clock-realistic VP bounds. The sim defaults (δ=5ms, π=100ms) are
   // tuned for modeled delays; on an oversubscribed host a busy worker pool
@@ -141,6 +152,7 @@ ProtoResult RunOne(harness::Protocol proto, const Options& opts,
 
   ProtoResult result;
   result.protocol = harness::ProtocolName(proto);
+  result.workers = cluster.runtime().workers();
   result.committed = committed.load();
   result.aborted = aborted.load();
   result.txns_per_sec =
@@ -164,7 +176,8 @@ ProtoResult RunOne(harness::Protocol proto, const Options& opts,
 }
 
 void WriteJson(const std::string& path, const Options& opts,
-               const std::vector<ProtoResult>& results) {
+               const std::vector<ProtoResult>& results,
+               const std::vector<ProtoResult>& scaling) {
   WriteBenchJson(path, "throughput", [&](obs::JsonWriter& w) {
     w.Field("backend", "thread");
     w.Field("n_processors", 3);
@@ -177,6 +190,7 @@ void WriteJson(const std::string& path, const Options& opts,
     for (const ProtoResult& r : results) {
       w.BeginObject();
       w.Field("protocol", r.protocol);
+      w.Field("workers", static_cast<uint64_t>(r.workers));
       w.Field("committed", r.committed);
       w.Field("aborted", r.aborted);
       w.Field("txns_per_sec", r.txns_per_sec, 1);
@@ -187,6 +201,31 @@ void WriteJson(const std::string& path, const Options& opts,
       w.EndObject();
     }
     w.EndArray();
+    // E18: worker-count scaling sweep (first selected protocol only).
+    // Kept separate from `results` so existing diff tooling keyed on the
+    // per-protocol entries is unaffected.
+    if (!scaling.empty()) {
+      w.BeginArray("scaling");
+      for (const ProtoResult& r : scaling) {
+        w.BeginObject();
+        w.Field("protocol", r.protocol);
+        w.Field("workers", static_cast<uint64_t>(r.workers));
+        w.Field("committed", r.committed);
+        w.Field("aborted", r.aborted);
+        w.Field("txns_per_sec", r.txns_per_sec, 1);
+        w.Field("p50_commit_ms", r.p50_ms);
+        w.Field("p99_commit_ms", r.p99_ms);
+        w.Field("certified_1sr", r.certified_1sr);
+        w.Field("wheel_lock_acquisitions",
+                r.metrics.CounterValue("runtime.wheel_lock_acquisitions"));
+        w.Field("mailbox_pushes",
+                r.metrics.CounterValue("runtime.mailbox_pushes"));
+        w.Field("cross_shard_wakeups",
+                r.metrics.CounterValue("runtime.cross_shard_wakeups"));
+        w.EndObject();
+      }
+      w.EndArray();
+    }
   });
 }
 
@@ -245,6 +284,17 @@ int Main(int argc, char** argv) {
       opts.clients = static_cast<uint32_t>(std::atoi(v));
     } else if (const char* v = val("--duration-ms=")) {
       opts.duration_ms = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = val("--threads=")) {
+      for (const char* s = v; *s != '\0';) {
+        char* end = nullptr;
+        const long n = std::strtol(s, &end, 10);
+        if (end == s || n <= 0) {
+          std::fprintf(stderr, "bad --threads list: %s\n", v);
+          return 2;
+        }
+        opts.threads.push_back(static_cast<uint32_t>(n));
+        s = (*end == ',') ? end + 1 : end;
+      }
     } else if (const char* v = val("--out=")) {
       opts.out = v;
     } else if (const char* v = val("--trace-out=")) {
@@ -298,7 +348,38 @@ int Main(int argc, char** argv) {
     }
     results.push_back(std::move(r));
   }
-  WriteJson(opts.out, opts, results);
+
+  // E18: worker-count scaling sweep over the first selected protocol.
+  std::vector<ProtoResult> scaling;
+  if (!opts.threads.empty()) {
+    const harness::Protocol proto = protos.front();
+    std::printf(
+        "\nE18: worker scaling, %s (%u clients, %u ms window, %u hw threads)\n"
+        "%8s %12s %10s %12s %16s %16s  %s\n",
+        harness::ProtocolName(proto).c_str(), opts.clients, opts.duration_ms,
+        std::thread::hardware_concurrency(), "workers", "txns/sec",
+        "committed", "p99 (ms)", "heap-lock acqs", "mailbox pushes", "1SR");
+    for (uint32_t workers : opts.threads) {
+      ProtoResult r = RunOne(proto, opts, /*tracing=*/false, {}, workers);
+      std::printf(
+          "%8u %12.1f %10llu %12.3f %16llu %16llu  %s\n", r.workers,
+          r.txns_per_sec, static_cast<unsigned long long>(r.committed),
+          r.p99_ms,
+          static_cast<unsigned long long>(
+              r.metrics.CounterValue("runtime.wheel_lock_acquisitions")),
+          static_cast<unsigned long long>(
+              r.metrics.CounterValue("runtime.mailbox_pushes")),
+          r.certified_1sr ? "yes" : "NO");
+      if (!r.certified_1sr) {
+        std::fprintf(stderr, "1SR violation (%s, %u workers): %s\n",
+                     r.protocol.c_str(), r.workers, r.certify_detail.c_str());
+        all_certified = false;
+      }
+      scaling.push_back(std::move(r));
+    }
+  }
+
+  WriteJson(opts.out, opts, results, scaling);
   return all_certified ? 0 : 1;
 }
 

@@ -43,8 +43,9 @@ ThreadCluster::ThreadCluster(ThreadClusterConfig config)
   for (ProcessorId p = 0; p < n; ++p) nodes_.push_back(MakeNode(p));
   // Start on the owning strand: Start registers the transport endpoint and
   // arms timers, and every later touch of node state happens on its strand.
+  // The runtime was just constructed, so these cannot race a Stop.
   for (ProcessorId p = 0; p < n; ++p) {
-    runtime_.RunOn(p, [this, p] { nodes_[p]->Start(); });
+    VP_CHECK(runtime_.RunOn(p, [this, p] { nodes_[p]->Start(); }));
   }
 }
 
@@ -86,7 +87,9 @@ void ThreadCluster::ProposeReconfig(ProcessorId p,
                                     std::vector<ReconfigOp> ops) {
   VP_CHECK(config_.protocol == Protocol::kVirtualPartition);
   core::NodeBase* node = nodes_[p].get();
-  runtime_.RunOn(p, [node, ops = std::move(ops)]() mutable {
+  // A false return means the runtime already stopped; the proposal is
+  // simply not queued (nothing to clean up).
+  (void)runtime_.RunOn(p, [node, ops = std::move(ops)]() mutable {
     static_cast<core::VpNode*>(node)->ProposeReconfig(std::move(ops));
   });
 }
@@ -98,11 +101,21 @@ ThreadCluster::TxnResult ThreadCluster::RunTxn(ProcessorId at,
   TxnResult result;
   const runtime::TimePoint begin = runtime_.clock()->Now();
 
+  // Any RunOn that reports the runtime stopped aborts the transaction with
+  // an explicit status instead of waiting on a promise no task will ever
+  // fulfill (the Stop/RunOn hang the sharded runtime's drain closes).
+  const Status stopped = Status::Unavailable("runtime stopped");
+
   TxnId txn;
-  runtime_.RunOn(at, [&] {
-    txn = node->NewTxnId();
-    node->Begin(txn);
-  });
+  if (!runtime_.RunOn(at, [&] {
+        txn = node->NewTxnId();
+        node->Begin(txn);
+      })) {
+    result.committed = false;
+    result.failure = stopped;
+    result.latency = runtime_.clock()->Now() - begin;
+    return result;
+  }
 
   // One blocking round trip per operation: the call into the node runs on
   // its strand, the protocol callback fulfills the promise, the client
@@ -110,11 +123,13 @@ ThreadCluster::TxnResult ThreadCluster::RunTxn(ProcessorId at,
   auto read_step = [&](ObjectId obj, Value* out) -> Status {
     std::promise<Result<core::ReadResult>> done;
     std::future<Result<core::ReadResult>> fut = done.get_future();
-    runtime_.RunOn(at, [&] {
-      node->LogicalRead(txn, obj, [&done](Result<core::ReadResult> r) {
-        done.set_value(std::move(r));
-      });
-    });
+    if (!runtime_.RunOn(at, [&] {
+          node->LogicalRead(txn, obj, [&done](Result<core::ReadResult> r) {
+            done.set_value(std::move(r));
+          });
+        })) {
+      return stopped;
+    }
     Result<core::ReadResult> r = fut.get();
     if (!r.ok()) return r.status();
     *out = r.value().value;
@@ -123,10 +138,12 @@ ThreadCluster::TxnResult ThreadCluster::RunTxn(ProcessorId at,
   auto write_step = [&](ObjectId obj, Value value) -> Status {
     std::promise<Status> done;
     std::future<Status> fut = done.get_future();
-    runtime_.RunOn(at, [&] {
-      node->LogicalWrite(txn, obj, std::move(value),
-                         [&done](Status s) { done.set_value(s); });
-    });
+    if (!runtime_.RunOn(at, [&] {
+          node->LogicalWrite(txn, obj, std::move(value),
+                             [&done](Status s) { done.set_value(s); });
+        })) {
+      return stopped;
+    }
     return fut.get();
   };
 
@@ -156,7 +173,9 @@ ThreadCluster::TxnResult ThreadCluster::RunTxn(ProcessorId at,
   }
 
   if (!failed.ok()) {
-    runtime_.RunOn(at, [&] { node->Abort(txn); });
+    // Best effort: if the runtime stopped, there is no strand to abort on
+    // (and no lock manager task left to care).
+    (void)runtime_.RunOn(at, [&] { node->Abort(txn); });
     result.committed = false;
     result.failure = failed;
     result.latency = runtime_.clock()->Now() - begin;
@@ -165,9 +184,14 @@ ThreadCluster::TxnResult ThreadCluster::RunTxn(ProcessorId at,
 
   std::promise<Status> decided;
   std::future<Status> fut = decided.get_future();
-  runtime_.RunOn(at, [&] {
-    node->Commit(txn, [&decided](Status s) { decided.set_value(s); });
-  });
+  if (!runtime_.RunOn(at, [&] {
+        node->Commit(txn, [&decided](Status s) { decided.set_value(s); });
+      })) {
+    result.committed = false;
+    result.failure = stopped;
+    result.latency = runtime_.clock()->Now() - begin;
+    return result;
+  }
   const Status commit = fut.get();
   result.committed = commit.ok();
   if (!commit.ok()) result.failure = commit;

@@ -102,6 +102,11 @@ class ThreadCluster {
 
   /// Runs one transaction, coordinated at `at`, to its decision. On an
   /// operation failure the transaction is aborted and the failure reported.
+  /// A call racing Stop() returns an aborted result with an Unavailable
+  /// "runtime stopped" status instead of blocking forever; callers should
+  /// still quiesce clients before Stop — a transaction whose protocol
+  /// round trips are already in flight when the runtime halts keeps
+  /// waiting on callbacks that will never fire.
   TxnResult RunTxn(ProcessorId at, const std::vector<Op>& ops);
 
   /// Stops the runtime (idempotent): timers are dropped, workers join.

@@ -1,0 +1,93 @@
+// A lock-free multi-producer single-consumer FIFO queue (Vyukov's
+// non-intrusive MPSC design): producers link nodes with one atomic
+// exchange, the consumer pops with one atomic load — no mutex on either
+// side. This is the mailbox under each ThreadRuntime shard: every
+// ScheduleAfter(0, ...) (message deliveries, RunOn closures, self-strand
+// continuations — the dominant schedule source) becomes a push here
+// instead of an acquisition of a shared timer-wheel lock.
+//
+// Contract:
+//   * Push  — any thread, any number of threads concurrently.
+//   * Pop / Empty — exactly one consumer thread (the shard's worker).
+//   * FIFO per producer; cross-producer order is the tail-exchange order.
+//
+// The Dekker handshake with the shard's sleep flag relies on Push being a
+// seq_cst RMW on tail_ and Empty() using seq_cst loads: a producer that
+// pushed before reading `sleeping == false` is guaranteed that the
+// consumer's post-flag Empty() recheck observes the node (or the producer
+// observes the flag). See ThreadRuntime::WakeShard / WorkerLoop.
+//
+// A pop can transiently fail while a producer is between its tail exchange
+// and the next-pointer store ("mid-push"). Empty() distinguishes that state
+// from true emptiness so the consumer spins instead of sleeping through it.
+#ifndef VPART_RUNTIME_MPSC_QUEUE_H_
+#define VPART_RUNTIME_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <utility>
+
+namespace vp::runtime {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node;
+    head_ = stub;
+    tail_.store(stub, std::memory_order_relaxed);
+  }
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+  ~MpscQueue() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Enqueues `value`. Wait-free for the producer (one allocation, one RMW).
+  void Push(T value) {
+    Node* n = new Node;
+    n->value = std::move(value);
+    // seq_cst: this RMW is the producer's half of the sleep handshake.
+    Node* prev = tail_.exchange(n, std::memory_order_seq_cst);
+    // Publish the link last; the consumer's acquire load of `next` pairs
+    // with this store and makes *n->value visible.
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  /// Dequeues into `out`. Returns false if the queue is empty *or* a
+  /// producer is mid-push (retry; Empty() disambiguates). Consumer only.
+  bool Pop(T* out) {
+    Node* head = head_;
+    Node* next = head->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    *out = std::move(next->value);
+    head_ = next;  // `next` becomes the new stub; its value was moved out.
+    delete head;
+    return true;
+  }
+
+  /// True iff the queue is truly empty (no node pushed and fully linked,
+  /// and no producer mid-push). Consumer only; safe to sleep on when true
+  /// given the seq_cst handshake described above.
+  bool Empty() const {
+    return head_->next.load(std::memory_order_seq_cst) == nullptr &&
+           tail_.load(std::memory_order_seq_cst) == head_;
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  Node* head_;  // Consumer-owned stub; only the consumer reads/writes it.
+  std::atomic<Node*> tail_;
+};
+
+}  // namespace vp::runtime
+
+#endif  // VPART_RUNTIME_MPSC_QUEUE_H_

@@ -5,9 +5,15 @@
 // This is the runtime-agnostic successor of sim::Timer (sim/timer.h); the
 // generation guard makes it safe on concurrent backends too, where Cancel
 // is best-effort: a superseded expiry that slips past Cancel still finds a
-// stale generation and does nothing. All methods must be called from the
-// owning strand (protocol state machines own their timers and already run
-// serialized).
+// stale generation and does nothing. On the sharded ThreadRuntime this
+// guard carries real weight — an expiry fires on the owning strand's shard
+// while the Cancel may have raced it from anywhere (tombstones only stop
+// tasks still in the shard's timer heap; a task already dispatched, or one
+// scheduled due-now into the mailbox, runs regardless), and the generation
+// check on the owning strand is what makes that harmless. All methods must
+// be called from the owning strand (protocol state machines own their
+// timers and already run serialized); the expiry closure also runs there,
+// so generation_ is strand-serialized end to end.
 #ifndef VPART_RUNTIME_TIMER_H_
 #define VPART_RUNTIME_TIMER_H_
 

@@ -9,13 +9,17 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "harness/thread_cluster.h"
 #include "net/message.h"
+#include "obs/metrics.h"
 #include "runtime/thread_runtime.h"
+#include "runtime/timer.h"
 
 namespace vp {
 namespace {
@@ -79,15 +83,138 @@ TEST(ThreadRuntimeWheel, CancelBeforeDueSkipsTask) {
   EXPECT_FALSE(ran.load());
 }
 
+TEST(ThreadRuntimeWheel, CrossShardCancelBeforeDueNeverRuns) {
+  // Strand 0 lives on shard 0, strand 1 on shard 1 (two workers). A task
+  // running on shard 0 cancels a not-yet-due timer in shard 1's heap; the
+  // tombstone lives in shard 1's state, so the cancel must route there
+  // and the callback must deterministically never run.
+  ThreadRuntime::Config cfg;
+  cfg.workers = 2;
+  ThreadRuntime rt(2, cfg);
+  std::atomic<bool> ran{false};
+  const runtime::TaskId id =
+      rt.executor(1)->ScheduleAfter(sim::Millis(80), [&] { ran = true; });
+  ASSERT_TRUE(rt.RunOn(0, [&] { rt.executor(1)->Cancel(id); }));
+  SleepMs(160);
+  rt.Stop();
+  EXPECT_FALSE(ran.load());
+}
+
+// Cancellation race across shards, the TSan exercise: strand 1 re-arms a
+// generation-guarded runtime::Timer with microsecond deadlines (expiries
+// fire on shard 1's worker) while a hammer task on strand 0 — a different
+// shard — concurrently CancelTask()s the most recently armed raw task on
+// shard 1. The Timer contract must hold throughout: a callback from a
+// superseded arm (its Set was followed by Reset/Set) never runs its body.
+TEST(ThreadRuntimeWheel, CrossShardCancelRaceTimerGenerationGuard) {
+  ThreadRuntime::Config cfg;
+  cfg.workers = 2;
+  ThreadRuntime rt(2, cfg);
+
+  constexpr int kRounds = 4000;
+  struct Driver {
+    ThreadRuntime* rt = nullptr;
+    std::unique_ptr<runtime::Timer> timer;
+    int round = 0;            // Strand-1-serialized.
+    int fired_round = -1;     // Strand-1-serialized.
+    std::atomic<int> violations{0};
+    std::atomic<runtime::TaskId> last_id{runtime::kInvalidTask};
+    std::atomic<bool> done{false};
+  };
+  Driver d;
+  d.rt = &rt;
+  d.timer = std::make_unique<runtime::Timer>(rt.executor(1));
+
+  // Strand 1: each round disarms the previous Set (generation bump) and
+  // arms a new one whose callback checks it fires only within its round.
+  std::function<void()> arm = [&] {
+    if (d.round >= kRounds) {
+      d.done.store(true, std::memory_order_release);
+      return;
+    }
+    const int r = ++d.round;
+    d.timer->Set(sim::Micros(r % 3 == 0 ? 0 : 20), [&d, r] {
+      // A stale (superseded) callback slipping past the generation guard
+      // would observe a later round.
+      if (r != d.round) d.violations.fetch_add(1);
+      d.fired_round = r;
+    });
+    // Publish a raw shard-1 task id for the cross-shard canceller; this
+    // decoy task shares the shard's tombstone structures with the Timer.
+    d.last_id.store(d.rt->executor(1)->ScheduleAfter(sim::Micros(10), [] {}),
+                    std::memory_order_release);
+    d.rt->executor(1)->ScheduleAfter(sim::Micros(15), [&arm] { arm(); });
+  };
+  ASSERT_TRUE(rt.RunOn(1, [&] { arm(); }));
+
+  // Strand 0: hammer cancels of shard 1's most recent raw task while its
+  // worker is popping/expiring the same heap.
+  std::function<void()> hammer = [&] {
+    if (d.done.load(std::memory_order_acquire)) return;
+    d.rt->executor(1)->Cancel(d.last_id.load(std::memory_order_acquire));
+    d.rt->executor(0)->ScheduleAfter(sim::Micros(5), [&hammer] { hammer(); });
+  };
+  ASSERT_TRUE(rt.RunOn(0, [&] { hammer(); }));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!d.done.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline) {
+    SleepMs(5);
+  }
+  EXPECT_TRUE(d.done.load()) << "driver stalled at round " << d.round;
+  rt.Stop();
+  EXPECT_EQ(d.violations.load(), 0)
+      << "a superseded timer callback ran its body";
+}
+
 TEST(ThreadRuntimeWheel, RunOnBlocksUntilTaskCompletes) {
   ThreadRuntime rt(3);
   std::atomic<int> side{0};
-  rt.RunOn(2, [&] {
+  EXPECT_TRUE(rt.RunOn(2, [&] {
     SleepMs(20);
     side = 42;
-  });
+  }));
   EXPECT_EQ(side.load(), 42);  // Visible the moment RunOn returns.
   rt.Stop();
+}
+
+TEST(ThreadRuntimeWheel, RunOnAfterStopReturnsFalse) {
+  ThreadRuntime rt(2);
+  rt.Stop();
+  std::atomic<bool> ran{false};
+  EXPECT_FALSE(rt.RunOn(0, [&] { ran = true; }));
+  EXPECT_FALSE(ran.load());
+}
+
+// Regression for the Stop/RunOn race: Stop used to clear the wheel while a
+// RunOn task sat in it, stranding the caller on a promise nothing would
+// ever fulfill. Now every RunOn terminates: either its closure ran (true)
+// or Stop's drain destroyed it and the broken promise reports false. The
+// loop below used to hang within a handful of iterations.
+TEST(ThreadRuntimeWheel, RunOnRacingStopTerminates) {
+  for (int iter = 0; iter < 25; ++iter) {
+    ThreadRuntime rt(2);
+    std::atomic<bool> started{false};
+    std::atomic<int> ran_true{0};
+    std::atomic<int> ran_false{0};
+    std::thread caller([&] {
+      started = true;
+      for (int i = 0; i < 10000; ++i) {
+        if (rt.RunOn(1, [] {})) {
+          ++ran_true;
+        } else {
+          ++ran_false;
+          return;  // Stopped; every later call would also return false.
+        }
+      }
+    });
+    while (!started.load()) SleepMs(1);
+    rt.Stop();
+    caller.join();  // The regression: this join used to never return.
+    // After Stop, the answer is always an immediate false.
+    EXPECT_FALSE(rt.RunOn(1, [] {}));
+  }
 }
 
 class RecordingEndpoint : public net::NodeInterface {
@@ -119,6 +246,97 @@ TEST(ThreadRuntimeTransport, PerLinkFifoOrder) {
   for (int i = 0; i < kMessages; ++i) {
     EXPECT_EQ(sink.received[i], std::to_string(i)) << "reordered at " << i;
   }
+}
+
+// Regression for the register/send race: a message sent to an alive but
+// not-yet-registered endpoint (node mid-Start) used to be silently lost in
+// DeliverOne. It is now re-queued and retried until the endpoint appears
+// (within Δ), with the retries counted.
+TEST(ThreadRuntimeTransport, SendBeforeRegisterIsRetriedNotLost) {
+  obs::MetricsRegistry reg(obs::RegistryMode::kConcurrent);
+  ThreadRuntime::Config cfg;
+  cfg.metrics = &reg;
+  cfg.delta = sim::Millis(200);  // Generous retry budget for slow CI hosts.
+  ThreadRuntime rt(2, cfg);
+  // Send while endpoint 1 is alive but unregistered; delivery must wait.
+  rt.transport()->Send(0, 1, "early-0", std::any{});
+  rt.transport()->Send(0, 1, "early-1", std::any{});
+  SleepMs(10);  // Let at least one delivery attempt find no endpoint.
+  RecordingEndpoint sink;
+  rt.transport()->Register(1, &sink);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool done = false;
+    if (!rt.RunOn(1, [&] { done = sink.received.size() >= 2; })) break;
+    if (done) break;
+    SleepMs(5);
+  }
+  rt.Stop();
+  ASSERT_EQ(sink.received.size(), 2u);
+  EXPECT_EQ(sink.received[0], "early-0");  // FIFO survives the retries.
+  EXPECT_EQ(sink.received[1], "early-1");
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_GE(snap.CounterValue("net.msgs_retried_unregistered"), 1u);
+  EXPECT_EQ(snap.CounterValue("net.msgs_dropped_unregistered"), 0u);
+  EXPECT_EQ(snap.CounterValue("net.msgs_delivered"), 2u);
+}
+
+// If the endpoint never registers, retries stop after Δ and the loss is
+// observable as a counted drop rather than silence.
+TEST(ThreadRuntimeTransport, NeverRegisteredDropsAreCounted) {
+  obs::MetricsRegistry reg(obs::RegistryMode::kConcurrent);
+  ThreadRuntime::Config cfg;
+  cfg.metrics = &reg;
+  cfg.delta = sim::Millis(5);  // Short budget: give up fast.
+  ThreadRuntime rt(2, cfg);
+  rt.transport()->Send(0, 1, "lost", std::any{});
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (reg.Snapshot().CounterValue("net.msgs_dropped_unregistered") == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    SleepMs(5);
+  }
+  rt.Stop();
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("net.msgs_dropped_unregistered"), 1u);
+  EXPECT_EQ(snap.CounterValue("net.msgs_delivered"), 0u);
+}
+
+// net.msgs_sent / net.msgs_remote must count only traffic that actually
+// entered a link: sends dropped because an endpoint is dead are accounted
+// as net.msgs_dropped_dead instead of inflating message-cost numbers.
+TEST(ThreadRuntimeTransport, DeadDropsDoNotCountAsSends) {
+  obs::MetricsRegistry reg(obs::RegistryMode::kConcurrent);
+  ThreadRuntime::Config cfg;
+  cfg.metrics = &reg;
+  ThreadRuntime rt(2, cfg);
+  RecordingEndpoint sink;
+  rt.transport()->Register(1, &sink);
+  rt.SetAlive(1, false);
+  rt.transport()->Send(0, 1, "to-dead", std::any{});
+  rt.SetAlive(0, false);
+  rt.SetAlive(1, true);
+  rt.transport()->Send(0, 1, "from-dead", std::any{});
+  SleepMs(20);
+  rt.SetAlive(0, true);
+  rt.transport()->Send(0, 1, "ok", std::any{});
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool done = false;
+    if (!rt.RunOn(1, [&] { done = !sink.received.empty(); })) break;
+    if (done) break;
+    SleepMs(5);
+  }
+  rt.Stop();
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("net.msgs_dropped_dead"), 2u);
+  EXPECT_EQ(snap.CounterValue("net.msgs_sent"), 1u);
+  EXPECT_EQ(snap.CounterValue("net.msgs_remote"), 1u);
+  EXPECT_EQ(snap.CounterValue("net.msgs_delivered"), 1u);
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(sink.received[0], "ok");
 }
 
 TEST(ThreadRuntimeTransport, DeadProcessorsDropTraffic) {
