@@ -12,8 +12,8 @@
 //
 // Usage:
 //   bench_throughput [--smoke] [--protocol=NAME] [--clients=N]
-//                    [--duration-ms=N] [--threads=1,2,4,8] [--out=PATH]
-//                    [--trace-out=PATH] [--overhead-check]
+//                    [--duration-ms=N] [--threads=1,2,4,8] [--zipf=THETA]
+//                    [--out=PATH] [--trace-out=PATH] [--overhead-check]
 //
 // --smoke shrinks the run for CI (TSan job): short window, fewer clients,
 // all protocols, full certification.
@@ -22,13 +22,29 @@
 // the per-count throughput, certification verdict and runtime counters
 // (mailbox pushes vs. timer-heap lock acquisitions) land in a "scaling"
 // array in the JSON. Any uncertified point fails the run.
+// --zipf=THETA replaces the conflict-free object choice with Zipf(THETA)
+// draws over all 16 objects (0 = uniform, 0.99 = YCSB-style hot keys), so
+// clients collide on hot objects and the lock_wait / abort axes carry
+// signal. The theta is recorded in the JSON.
 // --trace-out enables causal tracing for the first protocol's run and
 // writes its Chrome trace_event JSON there.
-// --overhead-check runs VP twice uninstrumented and once with tracing on,
-// and fails (exit 1) if the traced run's throughput drops below 90% of the
-// slower baseline. The guard is skipped when the baselines committed too
-// few transactions for the comparison to mean anything (short smoke
+// --overhead-check runs VP twice with the whole observability stack off
+// (flight recorder, invariant probes, tracing) and once with all of it on,
+// and fails (exit 1) if the instrumented run's throughput drops below 90%
+// of the slower baseline. The guard is skipped when the baselines committed
+// too few transactions for the comparison to mean anything (short smoke
 // windows under TSan).
+//
+// Every per-protocol JSON entry also carries the per-txn critical-path
+// attribution (E19): p50/mean of the txn.path.{lock_wait, quorum_rtt,
+// fsync, retransmit_stall, queueing}_us histograms plus txn.path.total_us,
+// and two validation ratios — component_p50_sum_over_total_p50 (sum of the
+// five component p50s over the total histogram's p50; the components sum
+// exactly to the coordinator-observed duration per txn, so this staying
+// near 1 validates the breakdown at the distribution level) and
+// attributed_p50_over_measured_p50 (coordinator-observed p50 over the
+// client-observed p50; the gap is client-side scheduling the node never
+// sees).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -40,6 +56,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/rng.h"
 #include "harness/thread_cluster.h"
 
 namespace vp::bench {
@@ -58,6 +75,9 @@ struct Options {
   bool overhead_check = false;
   /// Worker counts for the E18 scaling sweep; empty = no sweep.
   std::vector<uint32_t> threads;
+  /// Zipfian skew of the object-choice distribution; 0 = the conflict-free
+  /// legacy workload.
+  double zipf = 0.0;
 };
 
 struct ProtoResult {
@@ -74,6 +94,56 @@ struct ProtoResult {
   obs::MetricsSnapshot metrics;
 };
 
+// E19: per-txn critical-path attribution block. p50 and mean of each
+// txn.path.* component histogram, plus the ratio of attributed p50 total
+// to the measured (client-observed) p50 commit latency.
+void WritePathBreakdown(obs::JsonWriter& w, const ProtoResult& r) {
+  static constexpr const char* kComponents[] = {
+      "txn.path.lock_wait_us",        "txn.path.quorum_rtt_us",
+      "txn.path.fsync_us",            "txn.path.retransmit_stall_us",
+      "txn.path.queueing_us",         "txn.path.total_us",
+  };
+  w.BeginObject("critical_path");
+  for (const char* name : kComponents) {
+    const obs::MetricsSnapshot::HistogramEntry* h =
+        r.metrics.FindHistogram(name);
+    w.BeginObject(name);
+    w.Field("count", h != nullptr ? h->count : 0);
+    w.Field("p50_us", h != nullptr ? h->p50 : 0.0, 1);
+    w.Field("mean_us",
+            h != nullptr && h->count > 0
+                ? static_cast<double>(h->sum) / static_cast<double>(h->count)
+                : 0.0,
+            1);
+    w.EndObject();
+  }
+  const obs::MetricsSnapshot::HistogramEntry* total =
+      r.metrics.FindHistogram("txn.path.total_us");
+  // Per-txn the five components sum exactly to the coordinator-observed
+  // duration; p50s do not commute with sums, so this ratio staying near 1
+  // validates the instrumentation points against the latency distribution.
+  double component_p50_sum = 0;
+  for (const char* name : kComponents) {
+    if (std::strcmp(name, "txn.path.total_us") == 0) continue;
+    const obs::MetricsSnapshot::HistogramEntry* h =
+        r.metrics.FindHistogram(name);
+    if (h != nullptr) component_p50_sum += h->p50;
+  }
+  w.Field("component_p50_sum_over_total_p50",
+          total != nullptr && total->p50 > 0 ? component_p50_sum / total->p50
+                                             : 0.0,
+          3);
+  // Client-observed p50 exceeds the coordinator's: the gap is submit/wakeup
+  // scheduling the node never sees, not attribution error.
+  const double measured_p50_us = r.p50_ms * 1000.0;
+  w.Field("attributed_p50_over_measured_p50",
+          total != nullptr && measured_p50_us > 0
+              ? total->p50 / measured_p50_us
+              : 0.0,
+          3);
+  w.EndObject();
+}
+
 double PercentileMs(std::vector<runtime::Duration>& lat, double q) {
   if (lat.empty()) return 0;
   const size_t idx =
@@ -84,7 +154,7 @@ double PercentileMs(std::vector<runtime::Duration>& lat, double q) {
 
 ProtoResult RunOne(harness::Protocol proto, const Options& opts,
                    bool tracing = false, const std::string& trace_out = {},
-                   uint32_t workers = 0) {
+                   uint32_t workers = 0, bool observability = true) {
   using TC = harness::ThreadCluster;
   harness::ThreadClusterConfig cfg;
   cfg.n_processors = 3;
@@ -92,6 +162,7 @@ ProtoResult RunOne(harness::Protocol proto, const Options& opts,
   cfg.protocol = proto;
   cfg.runtime.workers = workers;  // 0 = runtime default.
   cfg.tracing = tracing || !trace_out.empty();
+  cfg.observability = observability;
   // Wall-clock-realistic VP bounds. The sim defaults (δ=5ms, π=100ms) are
   // tuned for modeled delays; on an oversubscribed host a busy worker pool
   // alone can exceed 2δ, and every missed probe deadline tears the view
@@ -109,20 +180,34 @@ ProtoResult RunOne(harness::Protocol proto, const Options& opts,
   std::atomic<uint64_t> aborted{0};
   std::vector<std::vector<runtime::Duration>> latencies(opts.clients);
 
+  // Object-choice distribution for --zipf: shared across threads (it is
+  // immutable after construction), drawn with a per-thread rng.
+  const ZipfGenerator zipf(16, opts.zipf > 0 ? opts.zipf : 0.0);
+
   std::vector<std::thread> threads;
   threads.reserve(opts.clients);
   for (uint32_t t = 0; t < opts.clients; ++t) {
     threads.emplace_back([&, t] {
+      Rng rng(0x5eedULL * (t + 1));
       uint64_t seq = 0;
       while (!stop.load(std::memory_order_acquire)) {
-        // Conflict-free by construction: thread t increments its own
-        // object in [0,8) and reads a rotating object in [8,16), so locks
-        // are acquired in ascending object order and (up to 8 clients) no
-        // two threads write the same object. The result is peak protocol
-        // throughput; contention behavior is a separate axis, covered by
-        // the simulator experiments (E8).
-        const ObjectId own = static_cast<ObjectId>(t % 8);
-        const ObjectId shared = static_cast<ObjectId>(8 + (t + seq) % 8);
+        ObjectId own, shared;
+        if (opts.zipf > 0) {
+          // Hot-key skew: both the incremented and the read object come
+          // from the Zipf draw, so threads collide on the head of the
+          // distribution and lock_wait / abort behavior carries signal.
+          own = static_cast<ObjectId>(zipf.Next(rng));
+          shared = static_cast<ObjectId>(zipf.Next(rng));
+        } else {
+          // Conflict-free by construction: thread t increments its own
+          // object in [0,8) and reads a rotating object in [8,16), so locks
+          // are acquired in ascending object order and (up to 8 clients) no
+          // two threads write the same object. The result is peak protocol
+          // throughput; contention behavior is a separate axis, covered by
+          // the simulator experiments (E8).
+          own = static_cast<ObjectId>(t % 8);
+          shared = static_cast<ObjectId>(8 + (t + seq) % 8);
+        }
         TC::TxnResult r = cluster.RunTxn(
             static_cast<ProcessorId>(t % cluster.size()),
             {TC::Increment(own), TC::Read(shared)});
@@ -184,6 +269,7 @@ void WriteJson(const std::string& path, const Options& opts,
     w.Field("n_objects", 16);
     w.Field("clients", opts.clients);
     w.Field("duration_ms", opts.duration_ms);
+    w.Field("zipf_theta", opts.zipf, 2);
     w.Field("hardware_threads",
             static_cast<uint64_t>(std::thread::hardware_concurrency()));
     w.BeginArray("results");
@@ -197,6 +283,7 @@ void WriteJson(const std::string& path, const Options& opts,
       w.Field("p50_commit_ms", r.p50_ms);
       w.Field("p99_commit_ms", r.p99_ms);
       w.Field("certified_1sr", r.certified_1sr);
+      WritePathBreakdown(w, r);
       r.metrics.WriteJson(w, "metrics");
       w.EndObject();
     }
@@ -229,22 +316,28 @@ void WriteJson(const std::string& path, const Options& opts,
   });
 }
 
-/// --overhead-check: the registry is always on, so the only switchable
-/// instrumentation is tracing. Two uninstrumented baselines bound the
-/// run-to-run noise; the traced run must stay within 10% of the slower one.
+/// --overhead-check: the registry is always on; the switchable
+/// instrumentation is the flight recorder + invariant probes
+/// (ThreadClusterConfig::observability) and tracing. Two baselines with all
+/// of it off bound the run-to-run noise; the fully instrumented run
+/// (recorder + probes + tracing) must stay within 10% of the slower one.
 int OverheadCheck(const Options& opts) {
   const harness::Protocol proto = harness::Protocol::kVirtualPartition;
   std::printf("overhead check: VP, %u clients, %u ms window\n", opts.clients,
               opts.duration_ms);
-  const ProtoResult base1 = RunOne(proto, opts);
-  const ProtoResult base2 = RunOne(proto, opts);
-  const ProtoResult traced = RunOne(proto, opts, /*tracing=*/true);
+  const ProtoResult base1 =
+      RunOne(proto, opts, /*tracing=*/false, {}, 0, /*observability=*/false);
+  const ProtoResult base2 =
+      RunOne(proto, opts, /*tracing=*/false, {}, 0, /*observability=*/false);
+  const ProtoResult traced =
+      RunOne(proto, opts, /*tracing=*/true, {}, 0, /*observability=*/true);
   const double base_floor = std::min(base1.txns_per_sec, base2.txns_per_sec);
-  std::printf("  baseline   %.1f / %.1f txns/sec (%llu / %llu committed)\n",
+  std::printf("  baseline     %.1f / %.1f txns/sec (%llu / %llu committed)\n",
               base1.txns_per_sec, base2.txns_per_sec,
               static_cast<unsigned long long>(base1.committed),
               static_cast<unsigned long long>(base2.committed));
-  std::printf("  traced     %.1f txns/sec (%llu committed)\n",
+  std::printf("  instrumented %.1f txns/sec (%llu committed, "
+              "recorder+probes+tracing)\n",
               traced.txns_per_sec,
               static_cast<unsigned long long>(traced.committed));
   // Below this many committed transactions the window is noise-dominated
@@ -260,11 +353,12 @@ int OverheadCheck(const Options& opts) {
   }
   if (traced.txns_per_sec < 0.9 * base_floor) {
     std::fprintf(stderr,
-                 "overhead check FAILED: traced %.1f < 90%% of baseline %.1f\n",
+                 "overhead check FAILED: instrumented %.1f < 90%% of "
+                 "baseline %.1f\n",
                  traced.txns_per_sec, base_floor);
     return 1;
   }
-  std::printf("  guard ok: traced within 10%% of baseline\n");
+  std::printf("  guard ok: recorder+probes+tracing within 10%% of baseline\n");
   return 0;
 }
 
@@ -297,6 +391,8 @@ int Main(int argc, char** argv) {
       }
     } else if (const char* v = val("--out=")) {
       opts.out = v;
+    } else if (const char* v = val("--zipf=")) {
+      opts.zipf = std::atof(v);
     } else if (const char* v = val("--trace-out=")) {
       opts.trace_out = v;
     } else if (arg == "--overhead-check") {
@@ -341,6 +437,21 @@ int Main(int argc, char** argv) {
                 r.protocol.c_str(), r.txns_per_sec,
                 static_cast<unsigned long long>(r.committed), r.p50_ms,
                 r.p99_ms, r.certified_1sr ? "yes" : "NO");
+    // E19: where the committed-txn critical path went (p50, microseconds).
+    {
+      auto p50 = [&r](const char* name) {
+        const obs::MetricsSnapshot::HistogramEntry* h =
+            r.metrics.FindHistogram(name);
+        return h != nullptr ? h->p50 : 0.0;
+      };
+      std::printf(
+          "    path p50 us: lock_wait %.0f  quorum_rtt %.0f  fsync %.0f  "
+          "retransmit %.0f  queueing %.0f  | total %.0f (measured %.0f)\n",
+          p50("txn.path.lock_wait_us"), p50("txn.path.quorum_rtt_us"),
+          p50("txn.path.fsync_us"), p50("txn.path.retransmit_stall_us"),
+          p50("txn.path.queueing_us"), p50("txn.path.total_us"),
+          r.p50_ms * 1000.0);
+    }
     if (!r.certified_1sr) {
       std::fprintf(stderr, "1SR violation (%s): %s\n", r.protocol.c_str(),
                    r.certify_detail.c_str());

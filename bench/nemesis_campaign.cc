@@ -15,15 +15,22 @@
 //   nemesis_campaign --corruption --integrity=nochecksum  # rot-serving ctl
 //   nemesis_campaign --first-seed=7 --trace-out=t.json # trace one run
 //   nemesis_campaign --replay=f.plan --trace-out=t.json
+//   nemesis_campaign --replay=f.plan --fdr-out=f.fdr   # flight-recorder dump
+//   nemesis_campaign --check-fdr=f.fdr                 # validate a dump
 //
 // --trace-out runs a single plan (the replayed plan, or the plan generated
 // from --first-seed) with causal tracing enabled and writes the run's
-// Chrome trace_event JSON for Perfetto.
+// Chrome trace_event JSON for Perfetto. --fdr-out writes the run's
+// flight-recorder dump (JSON lines, obs/flight_recorder.h) the same way.
+// --check-fdr parses a dump and reports its shape; non-zero exit on a
+// malformed or empty file (CI uses this to validate emitted artifacts).
 //
 // Campaign mode prints a pass/fail table plus fault-mix coverage; every
 // violation is shrunk to a minimal plan and saved as a replayable
-// nemesis_<protocol>_<seed>.plan file. Exit code is non-zero when any
-// violation was observed (campaign) or reproduced (replay).
+// nemesis_<protocol>_<seed>.plan file, alongside a .fdr dump holding each
+// node's last protocol events from the shrunk violating run. Exit code is
+// non-zero when any violation was observed (campaign) or reproduced
+// (replay).
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +41,7 @@
 #include "nemesis/campaign.h"
 #include "nemesis/nemesis.h"
 #include "nemesis/shrink.h"
+#include "obs/flight_recorder.h"
 
 namespace {
 
@@ -108,6 +116,9 @@ void PrintOutcome(const RunOutcome& outcome) {
   if (outcome.violation()) {
     std::printf("  witness: %s\n", outcome.failure.c_str());
   }
+  if (outcome.probe_flagged) {
+    std::printf("  probe first-bad-event: %s\n", outcome.probe_first.c_str());
+  }
   std::printf("metrics:\n%s", outcome.metrics.Format().c_str());
 }
 
@@ -127,7 +138,31 @@ int Replay(const std::string& path, const vp::nemesis::RunOptions& opts) {
   if (!opts.trace_out.empty()) {
     std::printf("wrote trace to %s\n", opts.trace_out.c_str());
   }
+  if (!opts.fdr_out.empty()) {
+    std::printf("wrote flight recorder to %s\n", opts.fdr_out.c_str());
+  }
   return outcome.violation() ? 1 : 0;
+}
+
+// Parses an .fdr dump, prints its shape, exit 0 iff well-formed and
+// non-empty. CI's forced-violation smoke validates its artifacts with this.
+int CheckFdr(const std::string& path) {
+  vp::Result<vp::obs::FlightRecorder::Parsed> parsed =
+      vp::obs::FlightRecorder::ParseFile(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  const vp::obs::FlightRecorder::Parsed& p = parsed.value();
+  std::printf("%s: %u nodes (ring capacity %zu), %zu events from %zu nodes\n",
+              path.c_str(), p.n_nodes, p.capacity, p.events.size(),
+              p.nodes.size());
+  if (p.events.empty()) {
+    std::fprintf(stderr, "error: %s holds no events\n", path.c_str());
+    return 2;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -137,6 +172,8 @@ int main(int argc, char** argv) {
   std::string replay_path;
   std::string out_dir = ".";
   std::string trace_out;
+  std::string fdr_out;
+  std::string check_fdr;
   uint64_t dump_seed = 0;
   bool have_dump_seed = false;
 
@@ -226,6 +263,10 @@ int main(int argc, char** argv) {
       have_dump_seed = true;
     } else if (ParseFlag(argv[i], "--trace-out", &value)) {
       trace_out = value;
+    } else if (ParseFlag(argv[i], "--fdr-out", &value)) {
+      fdr_out = value;
+    } else if (ParseFlag(argv[i], "--check-fdr", &value)) {
+      check_fdr = value;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seeds=N] [--first-seed=K] [--protocol=NAME]\n"
@@ -236,7 +277,8 @@ int main(int argc, char** argv) {
                    "          [--no-shrink] [--max-shrinks=N]\n"
                    "          [--shrink-budget=N] [--out-dir=DIR]\n"
                    "          [--replay=FILE] [--dump-seed=K]\n"
-                   "          [--trace-out=FILE]\n",
+                   "          [--trace-out=FILE] [--fdr-out=FILE]\n"
+                   "          [--check-fdr=FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -244,7 +286,9 @@ int main(int argc, char** argv) {
 
   vp::nemesis::RunOptions run_opts;
   run_opts.trace_out = trace_out;
+  run_opts.fdr_out = fdr_out;
 
+  if (!check_fdr.empty()) return CheckFdr(check_fdr);
   if (!replay_path.empty()) return Replay(replay_path, run_opts);
   if (have_dump_seed) {
     FaultPlan plan = vp::nemesis::GeneratePlan(dump_seed, config.generator);
@@ -252,17 +296,22 @@ int main(int argc, char** argv) {
     std::fputs(plan.ToText().c_str(), stdout);
     return 0;
   }
-  if (!trace_out.empty()) {
-    // Single traced run of the plan generated from --first-seed.
+  if (!trace_out.empty() || !fdr_out.empty()) {
+    // Single instrumented run of the plan generated from --first-seed.
     FaultPlan plan = vp::nemesis::GeneratePlan(config.first_seed,
                                                config.generator);
     plan.protocol = config.protocol;
-    std::printf("traced run of seed %llu (protocol=%s)\n",
+    std::printf("single run of seed %llu (protocol=%s)\n",
                 static_cast<unsigned long long>(config.first_seed),
                 vp::harness::ProtocolName(config.protocol).c_str());
     RunOutcome outcome = vp::nemesis::RunPlan(plan, run_opts);
     PrintOutcome(outcome);
-    std::printf("wrote trace to %s\n", trace_out.c_str());
+    if (!trace_out.empty()) {
+      std::printf("wrote trace to %s\n", trace_out.c_str());
+    }
+    if (!fdr_out.empty()) {
+      std::printf("wrote flight recorder to %s\n", fdr_out.c_str());
+    }
     return outcome.violation() ? 1 : 0;
   }
 
@@ -288,9 +337,10 @@ int main(int argc, char** argv) {
     std::filesystem::create_directories(out_dir, ec);
   }
   for (const vp::nemesis::CampaignFailure& failure : result.failures) {
-    const std::string path =
+    const std::string base =
         out_dir + "/nemesis_" + vp::harness::ProtocolName(config.protocol) +
-        "_" + std::to_string(failure.seed) + ".plan";
+        "_" + std::to_string(failure.seed);
+    const std::string path = base + ".plan";
     const vp::Status s = failure.shrunk.SaveFile(path);
     if (s.ok()) {
       std::printf("saved %s plan to %s (replay with --replay=%s)\n",
@@ -299,6 +349,21 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "error saving %s: %s\n", path.c_str(),
                    s.ToString().c_str());
+    }
+    // Sibling flight-recorder dump: the last protocol events of every node
+    // in the (shrunk) violating run, for first-bad-event forensics without
+    // a replay.
+    if (!failure.outcome.fdr.empty()) {
+      const std::string fdr_path = base + ".fdr";
+      std::FILE* f = std::fopen(fdr_path.c_str(), "w");
+      if (f != nullptr) {
+        std::fwrite(failure.outcome.fdr.data(), 1,
+                    failure.outcome.fdr.size(), f);
+        std::fclose(f);
+        std::printf("saved flight recorder to %s\n", fdr_path.c_str());
+      } else {
+        std::fprintf(stderr, "error saving %s\n", fdr_path.c_str());
+      }
     }
   }
   return result.violations > 0 ? 1 : 0;

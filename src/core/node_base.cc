@@ -18,6 +18,8 @@ NodeBase::NodeBase(ProcessorId id, NodeEnv env,
   metrics_ = env_.metrics != nullptr ? env_.metrics
                                      : obs::MetricsRegistry::Default();
   tracer_ = env_.tracer != nullptr ? env_.tracer : obs::Tracer::Disabled();
+  fdr_ = env_.fdr != nullptr ? env_.fdr : obs::FlightRecorder::Disabled();
+  path_hists_ = obs::PathHistograms::Create(metrics_);
   ctr_phys_reads_served_ = metrics_->counter("node.phys_reads_served");
   ctr_phys_writes_served_ = metrics_->counter("node.phys_writes_served");
   ctr_phys_nacks_ = metrics_->counter("node.phys_nacks");
@@ -39,7 +41,7 @@ NodeBase::NodeBase(ProcessorId id, NodeEnv env,
                              : 0;
     rel_ = std::make_unique<net::ReliableChannel>(
         env_.clock, env_.executor, env_.transport, id_, inc, env_.reliable,
-        metrics_, tracer_);
+        metrics_, tracer_, fdr_);
   }
 }
 
@@ -164,6 +166,7 @@ void NodeBase::Begin(TxnId txn) {
   ++stats_.txns_begun;
   tracer_->AsyncBegin(rec.trace, id_, rec.begun_at, "txn", "txn",
                       {{"txn", txn.ToString()}});
+  Fdr(obs::FdrKind::kTxnBegin, txn, rec.epoch);
 }
 
 void NodeBase::Abort(TxnId txn) { InternalAbort(txn); }
@@ -206,8 +209,11 @@ void NodeBase::Decide(TxnId txn, TxnRec* rec, bool committed) {
     // Commit decisions must survive a coordinator crash: participants in
     // doubt will query us, and presumed-abort turns a forgotten commit
     // into a lost write. Aborts need no record.
+    const runtime::TimePoint fsync_start = env_.clock->Now();
     env_.stable->AppendWal(storage::WalRecord{
         storage::WalRecord::Type::kDecision, txn, rec->epoch});
+    rec->path.AddFsync(
+        static_cast<uint64_t>(env_.clock->Now() - fsync_start));
   }
   rec->decided_at = env_.clock->Now();
   if (committed) {
@@ -217,10 +223,29 @@ void NodeBase::Decide(TxnId txn, TxnRec* rec, bool committed) {
     env_.recorder->TxnAbort(txn, rec->decided_at);
     ++stats_.txns_aborted;
   }
-  hist_txn_us_->Observe(static_cast<uint64_t>(rec->decided_at -
-                                              rec->begun_at));
+  const uint64_t total_us =
+      static_cast<uint64_t>(rec->decided_at - rec->begun_at);
+  hist_txn_us_->Observe(total_us);
+  Fdr(obs::FdrKind::kTxnDecide, txn, committed ? 1 : 0, total_us);
+  obs::Tracer::Args end_args = {{"outcome", committed ? "commit" : "abort"}};
+  if (committed) {
+    // Critical-path attribution: committed transactions only — an abort's
+    // path is cut short wherever the failure happened and would pollute
+    // the latency decomposition.
+    const obs::TxnPathTracker::Breakdown b = rec->path.Finalize(total_us);
+    path_hists_.Observe(b);
+    end_args.emplace_back("path.lock_wait_us",
+                          std::to_string(b.lock_wait_us));
+    end_args.emplace_back("path.quorum_rtt_us",
+                          std::to_string(b.quorum_rtt_us));
+    end_args.emplace_back("path.fsync_us", std::to_string(b.fsync_us));
+    end_args.emplace_back("path.retransmit_stall_us",
+                          std::to_string(b.retransmit_stall_us));
+    end_args.emplace_back("path.queueing_us",
+                          std::to_string(b.queueing_us));
+  }
   tracer_->AsyncEnd(rec->trace, id_, rec->decided_at, "txn", "txn",
-                    {{"outcome", committed ? "commit" : "abort"}});
+                    std::move(end_args));
   rec->outcome_unacked = rec->participants;
   if (!rec->outcome_unacked.empty()) {
     // The 2PC outcome phase: broadcast until the last participant acks.
@@ -330,9 +355,11 @@ void NodeBase::HandlePhysRead(const net::Message& m) {
   const bool recovery = req.recovery;
   const cc::LockMode mode =
       req.for_update ? cc::LockMode::kExclusive : cc::LockMode::kShared;
+  const runtime::TimePoint wait_start = env_.clock->Now();
   env_.locks->Acquire(
       locker, obj, mode, lock_timeout_,
-      [this, locker, obj, op_id, txn, recovery, reply_to, trace](Status s) {
+      [this, locker, obj, op_id, txn, recovery, reply_to, trace,
+       wait_start](Status s) {
         if (!s.ok()) {
           ctr_phys_nacks_->Increment();
           SendPhys(reply_to, msg::kPhysReadReply,
@@ -373,9 +400,17 @@ void NodeBase::HandlePhysRead(const net::Message& m) {
                                     env_.clock->Now());
         }
         ctr_phys_reads_served_->Increment();
+        // Recovery reads carry no transaction (the online probes must not
+        // key ordering rules on the synthetic lock holder), but their
+        // served value IS hashed: a rotted image served verbatim through
+        // copy-update is exactly what the durable-read probe exists for.
+        Fdr(obs::FdrKind::kPhysRead, recovery ? TxnId{} : txn, obj,
+            obs::FlightRecorder::HashValue(version.value().value));
         SendPhys(reply_to, msg::kPhysReadReply,
              msg::PhysReadReply{op_id, true, "", version.value().value,
-                                version.value().date},
+                                version.value().date,
+                                static_cast<uint64_t>(env_.clock->Now() -
+                                                      wait_start)},
              nullptr, trace);
       });
 }
@@ -422,9 +457,11 @@ void NodeBase::HandlePhysWrite(const net::Message& m) {
   const Value value = req.value;
   const VpId date = req.v;
   const EpochId epoch = req.epoch;
+  const runtime::TimePoint wait_start = env_.clock->Now();
   env_.locks->Acquire(
       txn, obj, cc::LockMode::kExclusive, lock_timeout_,
-      [this, txn, obj, op_id, value, date, epoch, reply_to, trace](Status s) {
+      [this, txn, obj, op_id, value, date, epoch, reply_to, trace,
+       wait_start](Status s) {
         if (!s.ok()) {
           ctr_phys_nacks_->Increment();
           SendPhys(reply_to, msg::kPhysWriteReply,
@@ -456,8 +493,13 @@ void NodeBase::HandlePhysWrite(const net::Message& m) {
         env_.recorder->PhysicalOp(id_, txn, obj, /*is_write=*/true,
                                   env_.clock->Now());
         ctr_phys_writes_served_->Increment();
+        Fdr(obs::FdrKind::kPhysWrite, txn, obj,
+            obs::FlightRecorder::HashValue(value));
         SendPhys(reply_to, msg::kPhysWriteReply,
-             msg::PhysWriteReply{op_id, true, ""}, nullptr, trace);
+             msg::PhysWriteReply{op_id, true, "",
+                                 static_cast<uint64_t>(env_.clock->Now() -
+                                                       wait_start)},
+             nullptr, trace);
       });
 }
 
@@ -492,12 +534,16 @@ void NodeBase::HandleLogQuery(const net::Message& m) {
 }
 
 void NodeBase::ApplyOutcomeLocally(TxnId txn, bool committed) {
-  if (env_.stable != nullptr && remote_outcomes_.count(txn) == 0) {
+  const bool first_application = remote_outcomes_.count(txn) == 0;
+  if (env_.stable != nullptr && first_application) {
     // Participant outcome memory (the stale-txn guard) must survive a
     // crash, and resolved prepares must not be re-staged on replay.
     env_.stable->AppendWal(storage::WalRecord{
         storage::WalRecord::Type::kOutcome, txn, CurrentEpoch(),
         kInvalidObject, Value(), kEpochDate, committed});
+  }
+  if (first_application) {
+    Fdr(obs::FdrKind::kOutcomeApplied, txn, committed ? 1 : 0);
   }
   remote_outcomes_[txn] = committed;
   auto it = remote_txns_.find(txn);

@@ -30,6 +30,8 @@
 #include "history/recorder.h"
 #include "net/network.h"
 #include "net/reliable_channel.h"
+#include "obs/critical_path.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/runtime.h"
@@ -70,6 +72,10 @@ struct NodeEnv {
   /// never null-checks either.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  /// Always-on flight recorder shared by the cluster (obs/
+  /// flight_recorder.h). Null = a process-global recorder that drops
+  /// everything, so node code never null-checks.
+  obs::FlightRecorder* fdr = nullptr;
 
   /// Builder for unit tests: wires every field except `stable` from a
   /// TestEnv (defined in core/test_env.h, where this is implemented).
@@ -141,6 +147,9 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
     uint64_t trace = 0;
     runtime::TimePoint begun_at = 0;
     runtime::TimePoint decided_at = 0;
+    /// Critical-path phase accumulator; finalized (and observed into the
+    /// txn.path.* histograms) at Decide for committed transactions.
+    obs::TxnPathTracker path;
   };
 
   /// Participant-side record of a transaction that touched local copies.
@@ -227,13 +236,29 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
   /// irrelevant before it arrives.
   uint64_t SendPhys(ProcessorId dst, const char* type, std::any body,
                     net::ReliableChannel::TimeoutFn on_timeout = nullptr,
-                    uint64_t trace = 0) {
+                    uint64_t trace = 0,
+                    net::ReliableChannel::RetransmitFn on_retransmit =
+                        nullptr) {
     if (rel_ == nullptr || dst == id_) {
       Send(dst, type, std::move(body), trace);
       return 0;
     }
     return rel_->Send(dst, type, std::move(body), std::move(on_timeout),
-                      trace);
+                      trace, std::move(on_retransmit));
+  }
+
+  /// Retransmit hook for SendPhys requests issued on behalf of `txn`:
+  /// charges each retransmission's stall (time since the previous copy of
+  /// the request went out) to the transaction's critical path, so
+  /// retransmit storms show up in txn.path.retransmit_stall rather than
+  /// inflating quorum RTT.
+  net::ReliableChannel::RetransmitFn RetransmitToPath(TxnId txn) {
+    return [this, txn](runtime::Duration stall) {
+      TxnRec* r = FindTxn(txn);
+      if (r != nullptr) {
+        r->path.AddRetransmitStall(static_cast<uint64_t>(stall));
+      }
+    };
   }
 
   /// Stops retransmitting a SendPhys whose reply no longer matters (e.g.
@@ -244,6 +269,20 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
   /// would (rightly) flag.
   void CancelPhys(uint64_t rel_id) {
     if (rel_ != nullptr && rel_id != 0) rel_->Cancel(rel_id);
+  }
+
+  /// Records a flight-recorder event stamped with this node and the
+  /// current runtime time. Pass TxnId{} for events not tied to a
+  /// transaction.
+  void Fdr(obs::FdrKind kind, TxnId txn, uint64_t a = 0, uint64_t b = 0) {
+    obs::FdrEvent e;
+    e.ts_us = static_cast<int64_t>(env_.clock->Now());
+    e.node = id_;
+    e.kind = kind;
+    e.txn = txn;
+    e.a = a;
+    e.b = b;
+    fdr_->Record(e);
   }
 
   /// Synthetic transaction id for short-lived recovery-read locks.
@@ -262,11 +301,13 @@ class NodeBase : public net::NodeInterface, public ReplicaControl {
   /// Observability (resolved from env_ in the constructor; never null).
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* fdr_ = nullptr;
   obs::Counter* ctr_phys_reads_served_ = nullptr;
   obs::Counter* ctr_phys_writes_served_ = nullptr;
   obs::Counter* ctr_phys_nacks_ = nullptr;
   obs::Histogram* hist_txn_us_ = nullptr;
   obs::Histogram* hist_outcome_ack_us_ = nullptr;
+  obs::PathHistograms path_hists_;
 
   /// Mutable: stats() refreshes the rel_* counters from the channel.
   mutable ProtocolStats stats_;

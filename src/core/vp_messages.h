@@ -99,6 +99,10 @@ struct PhysReadReply {
   std::string error;
   Value value;
   VpId date;
+  /// Time this request waited for its lock at the serving copy, reported
+  /// back so the coordinator can attribute it to txn.path.lock_wait
+  /// instead of quorum RTT.
+  uint64_t lock_wait_us = 0;
 };
 inline constexpr const char* kPhysReadReply = "read-reply";
 
@@ -117,6 +121,8 @@ struct PhysWriteReply {
   uint64_t op_id = 0;
   bool ok = false;
   std::string error;
+  /// Lock wait at the serving copy (see PhysReadReply::lock_wait_us).
+  uint64_t lock_wait_us = 0;
 };
 inline constexpr const char* kPhysWriteReply = "write-reply";
 

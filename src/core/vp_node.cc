@@ -162,6 +162,8 @@ void VpNode::Depart() {
   assigned_ = false;
   ++join_generation_;
   env_.recorder->DepartVp(id_, env_.clock->Now());
+  Fdr(obs::FdrKind::kViewDepart, TxnId{},
+      obs::FlightRecorder::PackVpId(cur_id_));
 }
 
 void VpNode::StartCreateVp(VpId new_id) {
@@ -208,6 +210,11 @@ void VpNode::FinishCreateVp(uint64_t generation) {
       if (epoch < e) epoch = e;
     }
     std::vector<ReconfigOp> reconfig;
+    // The trace stamped on the VpCommit broadcast: the reconfig trace when
+    // this formation carries a batch (so every member's epoch switch is
+    // attributable to the originating ProposeReconfig), the view-change
+    // trace otherwise.
+    uint64_t commit_trace = view_trace_;
     if (env_.placements != nullptr && epoch > 0 &&
         env_.placements->Has(epoch)) {
       // Carry the adopted epoch's ops so behind members can cross-check the
@@ -240,6 +247,7 @@ void VpNode::FinishCreateVp(uint64_t generation) {
         tracer_->AsyncEnd(reconfig_trace_, id_, now, "vp.reconfig", "vp",
                           {{"epoch", std::to_string(epoch)},
                            {"ops", std::to_string(reconfig.size())}});
+        commit_trace = reconfig_trace_;
         reconfig_trace_ = 0;
       } else {
         // Not authoritative for the change from this view; the batch stays
@@ -260,11 +268,11 @@ void VpNode::FinishCreateVp(uint64_t generation) {
       if (config_.commit_to_acceptors_only && view.count(p) == 0) continue;
       Send(p, msg::kVpCommit,
            msg::VpCommit{create_id_, view, previous, epoch, reconfig},
-           view_trace_);
+           commit_trace);
     }
     monitor_timer_.Reset();
     CommitToVp(create_id_, std::move(view), std::move(previous), epoch,
-               reconfig);
+               reconfig, commit_trace);
     return;
   }
   // The attempt failed (a higher invitation arrived). Progress guarantee:
@@ -311,7 +319,8 @@ void VpNode::HandleVpCommit(const net::Message& m) {
     return;
   }
   monitor_timer_.Reset();
-  CommitToVp(body.v, body.view, body.previous, body.epoch, body.reconfig);
+  CommitToVp(body.v, body.view, body.previous, body.epoch, body.reconfig,
+             m.trace);
 }
 
 void VpNode::OnMonitorTimeout() {
@@ -332,7 +341,8 @@ void VpNode::OnMonitorTimeout() {
 
 void VpNode::CommitToVp(VpId v, std::set<ProcessorId> view,
                         std::map<ProcessorId, VpId> previous, EpochId epoch,
-                        const std::vector<ReconfigOp>& reconfig) {
+                        const std::vector<ReconfigOp>& reconfig,
+                        uint64_t commit_trace) {
   ++join_generation_;
   cur_id_ = v;
   if (max_id_ < v) max_id_ = v;
@@ -351,8 +361,11 @@ void VpNode::CommitToVp(VpId v, std::set<ProcessorId> view,
     }
     epoch_ = epoch;
     gauge_epoch_->Set(epoch_);
-    tracer_->Instant(view_trace_, id_, env_.clock->Now(), "vp.epoch_switch",
-                     "vp", {{"epoch", std::to_string(epoch_)}});
+    tracer_->Instant(commit_trace != 0 ? commit_trace : view_trace_, id_,
+                     env_.clock->Now(), "vp.epoch_switch", "vp",
+                     {{"epoch", std::to_string(epoch_)}});
+    Fdr(obs::FdrKind::kEpochSwitch, TxnId{}, epoch_,
+        obs::FlightRecorder::PackVpId(v));
     if (env_.stable != nullptr && env_.placements != nullptr) {
       // Durable before the view serves: a reboot must resolve in-doubt
       // transactions against this placement, not an older one. A member
@@ -366,6 +379,8 @@ void VpNode::CommitToVp(VpId v, std::set<ProcessorId> view,
   }
   PersistViewMeta();
   ++stats_.vp_joins;
+  Fdr(obs::FdrKind::kViewCommit, TxnId{}, obs::FlightRecorder::PackVpId(v),
+      obs::FlightRecorder::MemberMask(lview_));
   env_.recorder->JoinVp(id_, v, lview_, env_.clock->Now());
   tracer_->Instant(view_trace_, id_, env_.clock->Now(), "vp.join", "vp",
                    {{"vp", v.ToString()},
@@ -1121,7 +1136,10 @@ void VpNode::LogicalRead(TxnId txn, ObjectId obj, ReadCallback cb) {
         pending_reads_.erase(it);
         ++stats_.reads_failed;
         TxnRec* r = FindTxn(pr2.txn);
-        if (r != nullptr) r->doomed = true;
+        if (r != nullptr) {
+          r->doomed = true;
+          r->path.OpCompleted(env_.clock->Now(), 0);
+        }
         InternalAbort(pr2.txn);
         if (!Crashed()) CreateNewVp();
         pr2.cb(Status::Timeout("no response from copy holder"));
@@ -1129,10 +1147,11 @@ void VpNode::LogicalRead(TxnId txn, ObjectId obj, ReadCallback cb) {
 
   ++stats_.phys_reads_sent;
   ctr_phys_reads_issued_->Increment();
+  rec->path.OpIssued(env_.clock->Now());
   SendPhys(pr.target, msg::kPhysRead,
            msg::PhysRead{txn, obj, cur_id_, epoch_, /*recovery=*/false,
                          /*for_update=*/false, op_id, rec->participants},
-           nullptr, pr.trace);
+           nullptr, pr.trace, RetransmitToPath(txn));
   pending_reads_[op_id] = std::move(pr);
 }
 
@@ -1168,7 +1187,10 @@ void VpNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
         pending_writes_.erase(it);
         ++stats_.writes_failed;
         TxnRec* r = FindTxn(pw2.txn);
-        if (r != nullptr) r->doomed = true;
+        if (r != nullptr) {
+          r->doomed = true;
+          r->path.OpCompleted(env_.clock->Now(), pw2.max_lock_wait_us);
+        }
         InternalAbort(pw2.txn);
         if (!Crashed()) CreateNewVp();
         pw2.cb(Status::Timeout("write-all incomplete"));
@@ -1182,12 +1204,13 @@ void VpNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
   const std::set<ProcessorId> footprint = rec->participants;
   for (ProcessorId q : targets) rec->participants.insert(q);
   ctr_phys_writes_issued_->Increment();
+  rec->path.OpIssued(env_.clock->Now());
   for (ProcessorId q : targets) {
     ++stats_.phys_writes_sent;
     SendPhys(q, msg::kPhysWrite,
              msg::PhysWrite{txn, obj, value, cur_id_, epoch_, op_id,
                             footprint},
-             nullptr, rec->trace);
+             nullptr, rec->trace, RetransmitToPath(txn));
   }
 }
 
@@ -1336,6 +1359,7 @@ bool VpNode::HandleProtocolMessage(const net::Message& m) {
         ++stats_.reads_ok;
         rec->participants.insert(m.src);
         const runtime::TimePoint now = env_.clock->Now();
+        rec->path.OpCompleted(now, body.lock_wait_us);
         env_.recorder->TxnRead(pr.txn, pr.obj, body.value, body.date, now);
         ctr_phys_reads_completed_->Increment();
         hist_phys_read_us_->Observe(
@@ -1369,11 +1393,12 @@ bool VpNode::HandleProtocolMessage(const net::Message& m) {
                                /*recovery=*/false,
                                /*for_update=*/false, op_id,
                                rec->participants},
-                 nullptr, pr.trace);
+                 nullptr, pr.trace, RetransmitToPath(pr.txn));
         pending_reads_[op_id] = std::move(pr);
       } else {
         ++stats_.reads_failed;
         rec->doomed = true;
+        rec->path.OpCompleted(env_.clock->Now(), body.lock_wait_us);
         InternalAbort(pr.txn);
         pr.cb(Status::Aborted("physical read failed: " + body.error));
       }
@@ -1395,12 +1420,16 @@ bool VpNode::HandleProtocolMessage(const net::Message& m) {
       return true;
     }
     rec->participants.insert(m.src);
+    if (pw.max_lock_wait_us < body.lock_wait_us) {
+      pw.max_lock_wait_us = body.lock_wait_us;
+    }
     if (!body.ok) {
       env_.executor->Cancel(pw.timeout_event);
       PendingWrite done = std::move(it->second);
       pending_writes_.erase(it);
       ++stats_.writes_failed;
       rec->doomed = true;
+      rec->path.OpCompleted(env_.clock->Now(), done.max_lock_wait_us);
       InternalAbort(done.txn);
       done.cb(Status::Aborted("physical write failed: " + body.error));
       return true;
@@ -1412,6 +1441,7 @@ bool VpNode::HandleProtocolMessage(const net::Message& m) {
       pending_writes_.erase(it);
       ++stats_.writes_ok;
       const runtime::TimePoint now = env_.clock->Now();
+      rec->path.OpCompleted(now, done.max_lock_wait_us);
       env_.recorder->TxnWrite(done.txn, done.obj, done.value, now);
       ctr_phys_writes_completed_->Increment();
       hist_phys_write_us_->Observe(

@@ -104,9 +104,15 @@ class VpNode : public NodeBase {
   void HandleVpOk(const net::Message& m);
   void HandleVpCommit(const net::Message& m);
   void OnMonitorTimeout();
+  /// `commit_trace` is the causal trace the VpCommit message carried (the
+  /// initiator's reconfig trace when the formation carries a reconfig
+  /// batch, its view-change trace otherwise); the epoch-switch instant is
+  /// attributed to it so a reconfiguration is traceable end to end across
+  /// every member that adopts its epoch.
   void CommitToVp(VpId v, std::set<ProcessorId> view,
                   std::map<ProcessorId, VpId> previous, EpochId epoch,
-                  const std::vector<ReconfigOp>& reconfig);
+                  const std::vector<ReconfigOp>& reconfig,
+                  uint64_t commit_trace = 0);
   /// True iff `view` holds a strict weighted majority of every object under
   /// both `cur` and `next` (the reconfig authoritativeness gate).
   bool AuthoritativeForReconfig(const storage::CopyPlacement& cur,
@@ -244,6 +250,9 @@ class VpNode : public NodeBase {
     bool failed = false;
     runtime::TimePoint issued_at = 0;
     uint64_t trace = 0;
+    /// Slowest participant-reported lock wait so far — the copy the
+    /// write-all actually waited on (critical-path attribution).
+    uint64_t max_lock_wait_us = 0;
   };
   std::map<uint64_t, PendingRead> pending_reads_;
   std::map<uint64_t, PendingWrite> pending_writes_;

@@ -1,5 +1,6 @@
 #include "harness/cluster.h"
 
+#include <string_view>
 #include <utility>
 
 #include "common/logging.h"
@@ -44,9 +45,22 @@ Cluster::Cluster(ClusterConfig config)
                      ? config_.placement
                      : storage::CopyPlacement::FullReplication(
                            config_.n_processors, config_.n_objects)),
-      placements_(placement_) {
+      placements_(placement_),
+      fdr_(obs::FdrMode::kSerial, config_.n_processors, config_.fdr_capacity),
+      probes_(/*thread_safe=*/false, &metrics_) {
   tracer_.set_enabled(config_.tracing);
   network_.AttachMetrics(&metrics_);
+  // Probes consume the recorder stream live; violations are echoed back
+  // into the rings so a dump shows the flag in its event context.
+  fdr_.set_listener(&probes_);
+  probes_.AttachRecorder(&fdr_);
+  // Legitimate pre-existing values for the durable-read probe: every
+  // configured initial value, plus the empty value unstaged copies serve.
+  probes_.AddKnownValue("");
+  probes_.AddKnownValue(config_.initial_value);
+  for (const auto& [obj, v] : config_.initial_values) {
+    probes_.AddKnownValue(v);
+  }
   const uint32_t n = config_.n_processors;
   stores_.reserve(n);
   locks_.reserve(n);
@@ -60,6 +74,47 @@ Cluster::Cluster(ClusterConfig config)
     stables_.push_back(std::make_unique<storage::StableStore>(
         config_.durability, config_.integrity));
     stables_[p]->AttachMetrics(&metrics_);
+    // Mirror stable-device activity into the flight recorder. The hook
+    // outlives reboots: the StableStore survives them and `p` is stable.
+    stables_[p]->set_event_hook([this, p](const char* what, uint64_t a,
+                                          uint64_t b) {
+      obs::FdrEvent e;
+      e.ts_us = static_cast<int64_t>(scheduler_.Now());
+      e.node = p;
+      const std::string_view w = what;
+      if (w == "wal") {
+        e.kind = obs::FdrKind::kWalAppend;
+        e.a = a;
+        e.b = b;
+        fdr_.Record(e);
+        e.kind = obs::FdrKind::kFsync;  // Every WAL append syncs the device.
+        e.a = 0;
+        e.b = a;
+      } else if (w == "copy") {
+        e.kind = obs::FdrKind::kFsync;
+        e.a = 1;
+        e.b = a;
+      } else if (w == "viewmeta") {
+        e.kind = obs::FdrKind::kFsync;
+        e.a = 2;
+        e.b = 0;
+      } else if (w == "reconfig") {
+        e.kind = obs::FdrKind::kFsync;
+        e.a = 3;
+        e.b = a;
+      } else if (w == "salvage.torn") {
+        e.kind = obs::FdrKind::kSalvage;
+        e.a = 0;
+        e.b = a;
+      } else if (w == "salvage.quarantine") {
+        e.kind = obs::FdrKind::kSalvage;
+        e.a = 1;
+        e.b = 0;
+      } else {
+        return;
+      }
+      fdr_.Record(e);
+    });
     for (ObjectId obj : placement_.LocalObjects(p)) {
       auto it = config_.initial_values.find(obj);
       const Value& init =
@@ -127,6 +182,7 @@ std::unique_ptr<core::NodeBase> Cluster::MakeNode(ProcessorId p) {
   env.reliable.jitter_seed ^= config_.seed;
   env.metrics = &metrics_;
   env.tracer = &tracer_;
+  env.fdr = &fdr_;
   switch (config_.protocol) {
     case Protocol::kVirtualPartition:
       return std::make_unique<core::VpNode>(p, env, config_.vp);

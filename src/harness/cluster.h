@@ -20,7 +20,9 @@
 #include "net/failure_injector.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/probes.h"
 #include "obs/trace.h"
 #include "protocols/naive_view_node.h"
 #include "protocols/quorum_node.h"
@@ -88,6 +90,11 @@ struct ClusterConfig {
   /// and the cluster's tracer records spans (see obs/trace.h). Metrics are
   /// always on — the serial registry is free on the sim backend.
   bool tracing = false;
+
+  /// Per-node flight-recorder ring capacity (events). The recorder is
+  /// always on — serial single-writer rings are cheap on the sim backend —
+  /// and feeds the online invariant probes. Zero disables both.
+  size_t fdr_capacity = obs::FlightRecorder::kDefaultCapacity;
 };
 
 class Cluster {
@@ -126,6 +133,12 @@ class Cluster {
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
   obs::Tracer& tracer() { return tracer_; }
+  /// Always-on flight recorder holding each node's last-N protocol events.
+  obs::FlightRecorder& fdr() { return fdr_; }
+  const obs::FlightRecorder& fdr() const { return fdr_; }
+  /// Online invariant probes consuming the flight-recorder stream.
+  obs::ProbeEngine& probes() { return probes_; }
+  const obs::ProbeEngine& probes() const { return probes_; }
 
   core::NodeBase& node(ProcessorId p) { return *nodes_[p]; }
   /// Typed access; aborts if the cluster runs a different protocol.
@@ -192,6 +205,10 @@ class Cluster {
   runtime::SimRuntime runtime_;
   storage::CopyPlacement placement_;
   storage::PlacementDirectory placements_;
+  /// Declared after metrics_ (probe counters) and before nodes_ (nodes
+  /// record into the rings). Sim runs single-threaded: serial mode.
+  obs::FlightRecorder fdr_;
+  obs::ProbeEngine probes_;
   history::Recorder recorder_;
   std::vector<std::unique_ptr<storage::ReplicaStore>> stores_;
   std::vector<std::unique_ptr<cc::LockManager>> locks_;

@@ -20,12 +20,23 @@ runtime::ThreadRuntime::Config WithMetrics(runtime::ThreadRuntime::Config c,
 
 ThreadCluster::ThreadCluster(ThreadClusterConfig config)
     : config_(std::move(config)),
+      fdr_(obs::FdrMode::kConcurrent, config_.n_processors,
+           config_.observability ? config_.fdr_capacity : 0),
+      probes_(/*thread_safe=*/true, &metrics_),
+      fdr_used_(config_.observability ? &fdr_
+                                      : obs::FlightRecorder::Disabled()),
       runtime_(config_.n_processors,
                WithMetrics(config_.runtime, &metrics_)),
       placement_(storage::CopyPlacement::FullReplication(
           config_.n_processors, config_.n_objects)),
       placements_(placement_) {
   tracer_.set_enabled(config_.tracing);
+  if (config_.observability) {
+    fdr_.set_listener(&probes_);
+    probes_.AttachRecorder(&fdr_);
+    probes_.AddKnownValue("");
+    probes_.AddKnownValue(config_.initial_value);
+  }
   const uint32_t n = config_.n_processors;
   stores_.reserve(n);
   locks_.reserve(n);
@@ -64,6 +75,7 @@ std::unique_ptr<core::NodeBase> ThreadCluster::MakeNode(ProcessorId p) {
   env.reliable = config_.reliable;
   env.metrics = &metrics_;
   env.tracer = &tracer_;
+  env.fdr = fdr_used_;
   switch (config_.protocol) {
     case Protocol::kVirtualPartition:
       return std::make_unique<core::VpNode>(p, env, config_.vp);

@@ -42,6 +42,12 @@ struct ThreadClusterConfig {
   /// Metrics are always on: the concurrent registry's sharded counters are
   /// a few relaxed atomic adds per event.
   bool tracing = false;
+  /// Flight recorder + online invariant probes. On by default — each ring
+  /// is single-writer (its node's strand) so recording is lock-free; off
+  /// is the baseline arm of bench_throughput --overhead-check.
+  bool observability = true;
+  /// Per-node flight-recorder ring capacity (events).
+  size_t fdr_capacity = obs::FlightRecorder::kDefaultCapacity;
 };
 
 class ThreadCluster {
@@ -61,6 +67,11 @@ class ThreadCluster {
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
   obs::Tracer& tracer() { return tracer_; }
+  /// Flight recorder (concurrent mode: per-strand single-writer rings).
+  /// Returns the process-global disabled instance when observability=false.
+  obs::FlightRecorder& fdr() { return *fdr_used_; }
+  obs::ProbeEngine& probes() { return probes_; }
+  const obs::ProbeEngine& probes() const { return probes_; }
   core::NodeBase& node(ProcessorId p) { return *nodes_[p]; }
   history::Recorder& recorder() { return recorder_; }
   /// Epoch chain shared by every node (slot 0 = the initial placement).
@@ -125,6 +136,12 @@ class ThreadCluster {
   /// registry in its constructor.
   obs::MetricsRegistry metrics_{obs::RegistryMode::kConcurrent};
   obs::Tracer tracer_;
+  /// Declared before nodes_ (nodes record into the rings). Dumps merge
+  /// per-ring snapshots; probe state is mutex-guarded (thread_safe=true).
+  obs::FlightRecorder fdr_;
+  obs::ProbeEngine probes_;
+  /// &fdr_ when observability is on, FlightRecorder::Disabled() otherwise.
+  obs::FlightRecorder* fdr_used_;
   runtime::ThreadRuntime runtime_;
   storage::CopyPlacement placement_;
   storage::PlacementDirectory placements_;

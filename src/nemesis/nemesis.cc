@@ -910,6 +910,9 @@ RunOutcome RunPlan(const FaultPlan& plan, const RunOptions& opts) {
     }
   }
 
+  out.probe_flagged = cluster.probes().flagged();
+  out.probe_first = cluster.probes().Describe();
+
   if (!out.safety_ok) {
     out.failure = "safety: " + safety_witness;
   } else if (!out.one_copy_sr) {
@@ -924,6 +927,25 @@ RunOutcome RunPlan(const FaultPlan& plan, const RunOptions& opts) {
     out.failure = "convergence: views did not agree within pi + 8*delta of "
                   "the final heal;" +
                   convergence_detail;
+  } else if (out.probe_flagged) {
+    // Every post-hoc check passed but an online probe fired mid-run: either
+    // the probe caught a real transient the drained history hides, or the
+    // probe itself is wrong. Both demand a look, so it counts as a failure
+    // — last, so a probe never masks a checker's richer witness.
+    out.failure = "probe: " + out.probe_first;
+  }
+
+  // Failures (and quarantine salvages, which are suspicious even when the
+  // checks pass) ship with the flight-recorder context of every node.
+  if (out.violation() || out.stable.quarantined > 0) {
+    out.fdr = cluster.fdr().Dump();
+  }
+  if (!opts.fdr_out.empty()) {
+    const Status fdr_write = cluster.fdr().WriteFile(opts.fdr_out);
+    if (!fdr_write.ok()) {
+      VP_LOG(kWarn, cluster.scheduler().Now())
+          << "fdr write failed: " << fdr_write.ToString();
+    }
   }
 
   history::TraceOptions trace_opts;

@@ -213,6 +213,21 @@ struct RunOutcome {
   /// First failed check with its witness; empty when all checks passed.
   std::string failure;
 
+  /// Flight-recorder dump (`.fdr` JSON lines, obs/flight_recorder.h):
+  /// captured whenever the run violated an invariant or a device salvage
+  /// quarantined state, so every failure ships with the last-N protocol
+  /// events of every node. Empty on clean runs (dumps are not free and
+  /// campaigns run thousands of them).
+  std::string fdr;
+
+  /// Online invariant probes (obs/probes.h): whether a probe flagged a
+  /// violation live, and the first-bad-event report ("rule: detail").
+  /// The probes see the violation at the moment it is recorded — at or
+  /// before the post-hoc checkers, whose witnesses only exist after the
+  /// run drains.
+  bool probe_flagged = false;
+  std::string probe_first;
+
   /// Canonical rendering of the committed/aborted transactions and view
   /// events. The determinism contract: equal plans ⇒ equal traces.
   std::string trace;
@@ -228,6 +243,9 @@ struct RunOptions {
   bool tracing = false;
   /// If nonempty, write the run's Chrome trace_event JSON here.
   std::string trace_out;
+  /// If nonempty, write the flight-recorder dump here unconditionally
+  /// (violating runs also carry the dump in RunOutcome::fdr).
+  std::string fdr_out;
 };
 
 /// Deterministically executes `plan` under `plan.protocol`.

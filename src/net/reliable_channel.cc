@@ -12,7 +12,8 @@ ReliableChannel::ReliableChannel(runtime::Clock* clock,
                                  ProcessorId self, uint32_t incarnation,
                                  ReliableConfig config,
                                  obs::MetricsRegistry* metrics,
-                                 obs::Tracer* tracer)
+                                 obs::Tracer* tracer,
+                                 obs::FlightRecorder* fdr)
     : clock_(clock),
       executor_(executor),
       transport_(transport),
@@ -33,6 +34,7 @@ ReliableChannel::ReliableChannel(runtime::Clock* clock,
            transport_ != nullptr);
   if (metrics == nullptr) metrics = obs::MetricsRegistry::Default();
   tracer_ = tracer != nullptr ? tracer : obs::Tracer::Disabled();
+  fdr_ = fdr != nullptr ? fdr : obs::FlightRecorder::Disabled();
   ctr_sends_ = metrics->counter("rel.sends");
   ctr_retransmits_ = metrics->counter("rel.retransmits");
   ctr_acks_ = metrics->counter("rel.acks");
@@ -57,7 +59,7 @@ runtime::Duration ReliableChannel::Jittered(runtime::Duration d) {
 
 uint64_t ReliableChannel::Send(ProcessorId dst, std::string type,
                                std::any body, TimeoutFn on_timeout,
-                               uint64_t trace) {
+                               uint64_t trace, RetransmitFn on_retransmit) {
   const uint64_t rel_id = next_rel_id_++;
   Pending p;
   p.dst = dst;
@@ -66,7 +68,9 @@ uint64_t ReliableChannel::Send(ProcessorId dst, std::string type,
   p.deadline = clock_->Now() + config_.delivery_deadline;
   p.next_delay = config_.retransmit_initial;
   p.on_timeout = std::move(on_timeout);
+  p.on_retransmit = std::move(on_retransmit);
   p.trace = trace;
+  p.last_tx = clock_->Now();
   auto [it, inserted] = pending_.emplace(rel_id, std::move(p));
   VP_CHECK(inserted);
   ++stats_.sends;
@@ -112,8 +116,20 @@ void ReliableChannel::OnTimer(uint64_t rel_id) {
   }
   ++stats_.retransmits;
   ctr_retransmits_->Increment();
-  tracer_->Instant(p.trace, self_, static_cast<uint64_t>(clock_->Now()),
+  const runtime::TimePoint now = clock_->Now();
+  tracer_->Instant(p.trace, self_, static_cast<uint64_t>(now),
                    "rel.retransmit", "rel", {{"type", p.type}});
+  {
+    obs::FdrEvent e;
+    e.ts_us = static_cast<int64_t>(now);
+    e.node = self_;
+    e.kind = obs::FdrKind::kRetransmit;
+    e.a = rel_id;
+    e.b = static_cast<uint64_t>(p.dst);
+    fdr_->Record(e);
+  }
+  if (p.on_retransmit) p.on_retransmit(now - p.last_tx);
+  p.last_tx = now;
   Transmit(rel_id, p);
   p.next_delay = std::min<runtime::Duration>(
       static_cast<runtime::Duration>(static_cast<double>(p.next_delay) *
@@ -194,6 +210,7 @@ void ReliableChannel::Shutdown() {
 void ReliableChannel::Orphan() {
   for (auto& [rel_id, p] : pending_) {
     p.on_timeout = nullptr;
+    p.on_retransmit = nullptr;
   }
 }
 

@@ -41,6 +41,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/message.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/runtime.h"
@@ -120,27 +121,35 @@ class ReliableChannel {
  public:
   /// Fires when a send's delivery deadline passes without an ack.
   using TimeoutFn = std::function<void()>;
+  /// Fires on each retransmission of a pending send with the time elapsed
+  /// since the previous transmission — the stall the lost copy cost the
+  /// caller. Critical-path attribution charges this window to
+  /// txn.path.retransmit_stall instead of quorum RTT.
+  using RetransmitFn = std::function<void(runtime::Duration stall)>;
   /// Receives the reconstructed inner message of a fresh envelope.
   using DeliverFn = std::function<void(const Message&)>;
 
-  /// `metrics`/`tracer` may be null (process-global fallbacks are used):
-  /// the channel mirrors its counters into the registry and, when tracing,
-  /// emits an instant event per retransmission carrying the payload's
-  /// trace id.
+  /// `metrics`/`tracer`/`fdr` may be null (process-global fallbacks are
+  /// used): the channel mirrors its counters into the registry, records a
+  /// flight-recorder event per retransmission, and, when tracing, emits an
+  /// instant event per retransmission carrying the payload's trace id.
   ReliableChannel(runtime::Clock* clock, runtime::Executor* executor,
                   runtime::Transport* transport, ProcessorId self,
                   uint32_t incarnation, ReliableConfig config,
                   obs::MetricsRegistry* metrics = nullptr,
-                  obs::Tracer* tracer = nullptr);
+                  obs::Tracer* tracer = nullptr,
+                  obs::FlightRecorder* fdr = nullptr);
 
   /// Sends `type`/`body` to `dst` with at-most-once delivery and
   /// retransmission until acked or `delivery_deadline` passes (then
   /// `on_timeout`, if given, fires once). Returns the message id. `trace`
   /// is the causal trace id stamped on every transmission of this message
   /// — retransmissions included — and restored on the delivered inner
-  /// message at the receiver.
+  /// message at the receiver. `on_retransmit`, if given, fires on every
+  /// retransmission with the stall since the previous copy went out.
   uint64_t Send(ProcessorId dst, std::string type, std::any body,
-                TimeoutFn on_timeout = nullptr, uint64_t trace = 0);
+                TimeoutFn on_timeout = nullptr, uint64_t trace = 0,
+                RetransmitFn on_retransmit = nullptr);
 
   /// Consumes channel traffic. For a "rel:*" envelope: acks it, drops
   /// duplicates, and hands first deliveries to `deliver` with the inner
@@ -160,8 +169,9 @@ class ReliableChannel {
   /// firing their on_timeout hooks.
   void Shutdown();
 
-  /// Detaches pending sends from their owner: every on_timeout hook is
-  /// cleared, but the messages themselves keep retransmitting until acked
+  /// Detaches pending sends from their owner: every on_timeout and
+  /// on_retransmit hook is cleared, but the messages themselves keep
+  /// retransmitting until acked
   /// or their deadline passes. Called when a node object is retired by a
   /// crash-amnesia reboot: in particular its coordinator ABORT broadcasts
   /// stay in flight, so a processor revived within the delivery deadline
@@ -181,7 +191,9 @@ class ReliableChannel {
     runtime::Duration next_delay = 0;
     runtime::TaskId timer = runtime::kInvalidTask;
     TimeoutFn on_timeout;
+    RetransmitFn on_retransmit;
     uint64_t trace = 0;  // rides on every (re)transmission
+    runtime::TimePoint last_tx = 0;  // when the latest copy went out
   };
 
   void Transmit(uint64_t rel_id, const Pending& p);
@@ -206,6 +218,7 @@ class ReliableChannel {
   ReliableStats stats_;
 
   obs::Tracer* tracer_;
+  obs::FlightRecorder* fdr_;
   obs::Counter* ctr_sends_;
   obs::Counter* ctr_retransmits_;
   obs::Counter* ctr_acks_;

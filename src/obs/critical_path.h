@@ -1,0 +1,146 @@
+// Per-transaction critical-path latency attribution.
+//
+// The coordinator threads phase timestamps through a transaction's
+// lifecycle (queued → locks granted at participants → physical ops
+// outstanding → decision persisted → outcome delivered) and decomposes the
+// measured commit latency into five additive components:
+//
+//   txn.path.lock_wait_us        time participants spent waiting for 2PL
+//                                locks, as reported in their replies (the
+//                                slowest holder per logical op — that is
+//                                the copy the op actually waited on);
+//   txn.path.retransmit_stall_us delay added by reliable-channel
+//                                retransmissions of this transaction's
+//                                physical requests;
+//   txn.path.quorum_rtt_us       the rest of the remote window: network
+//                                round trips plus replica service time
+//                                (the union of the intervals during which
+//                                at least one physical op was outstanding,
+//                                minus the two components above);
+//   txn.path.fsync_us            coordinator-side stable-device persists
+//                                (zero on the simulator's instantaneous
+//                                device and on the storage-less thread
+//                                backend — kept separate so a future
+//                                timed device slots in);
+//   txn.path.queueing_us         the residual: coordinator-side think/queue
+//                                time with nothing outstanding.
+//
+// The decomposition is exact by construction — clamped residuals make the
+// five components sum to precisely decided_at - begun_at for every
+// transaction — so the bench-level validation (component sum vs measured
+// commit latency) guards the *instrumentation points*, not float error:
+// a missed OpIssued/OpCompleted pair shows up as inflated queueing.
+#ifndef VPART_OBS_CRITICAL_PATH_H_
+#define VPART_OBS_CRITICAL_PATH_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace vp::obs {
+
+/// Accumulates one transaction's phase time at its coordinator. Embedded
+/// in the coordinator's transaction record; all calls arrive from that
+/// node's strand, in timestamp order.
+class TxnPathTracker {
+ public:
+  /// A logical operation issued its first physical request. Opens the
+  /// remote window if nothing else is outstanding.
+  void OpIssued(int64_t now_us) {
+    if (outstanding_++ == 0) window_start_ = now_us;
+  }
+
+  /// A logical operation resolved (reply, failure, or timeout); must pair
+  /// 1:1 with OpIssued. `lock_wait_us` is the slowest participant-reported
+  /// lock wait for the op (0 when it failed before any grant).
+  void OpCompleted(int64_t now_us, uint64_t lock_wait_us) {
+    lock_wait_us_ += lock_wait_us;
+    if (outstanding_ == 0) return;  // Defensive: unmatched completion.
+    if (--outstanding_ == 0) {
+      remote_us_ += static_cast<uint64_t>(now_us - window_start_);
+    }
+  }
+
+  /// Reliable-channel retransmission of one of this transaction's requests
+  /// stalled it for `stall_us` (time since the previous transmission).
+  void AddRetransmitStall(uint64_t stall_us) {
+    retransmit_us_ += stall_us;
+  }
+
+  /// Coordinator-side stable persist took `us` of wall time.
+  void AddFsync(uint64_t us) { fsync_us_ += us; }
+
+  struct Breakdown {
+    uint64_t lock_wait_us = 0;
+    uint64_t quorum_rtt_us = 0;
+    uint64_t fsync_us = 0;
+    uint64_t retransmit_stall_us = 0;
+    uint64_t queueing_us = 0;
+    uint64_t total_us = 0;
+  };
+
+  /// Decomposes `total_us` (decided_at - begun_at). The clamp order makes
+  /// the five components sum to exactly total_us: remote-phase components
+  /// never exceed the remote window, and queueing absorbs the rest.
+  Breakdown Finalize(uint64_t total_us) const {
+    Breakdown b;
+    b.total_us = total_us;
+    // An op still outstanding at decision time (doomed txn aborted under a
+    // pending op) contributes its window up to the decision implicitly:
+    // the open tail lands in queueing, which is acceptable for aborts.
+    const uint64_t remote = remote_us_ < total_us ? remote_us_ : total_us;
+    b.lock_wait_us = lock_wait_us_ < remote ? lock_wait_us_ : remote;
+    const uint64_t after_lock = remote - b.lock_wait_us;
+    b.retransmit_stall_us =
+        retransmit_us_ < after_lock ? retransmit_us_ : after_lock;
+    b.quorum_rtt_us = after_lock - b.retransmit_stall_us;
+    const uint64_t local = total_us - remote;
+    b.fsync_us = fsync_us_ < local ? fsync_us_ : local;
+    b.queueing_us = local - b.fsync_us;
+    return b;
+  }
+
+ private:
+  uint32_t outstanding_ = 0;
+  int64_t window_start_ = 0;
+  uint64_t remote_us_ = 0;
+  uint64_t lock_wait_us_ = 0;
+  uint64_t retransmit_us_ = 0;
+  uint64_t fsync_us_ = 0;
+};
+
+/// The `txn.path.*` histogram set, cached once per node (registry owns the
+/// histograms). Observed for every committed transaction at its
+/// coordinator, in both runtimes.
+struct PathHistograms {
+  Histogram* lock_wait = nullptr;
+  Histogram* quorum_rtt = nullptr;
+  Histogram* fsync = nullptr;
+  Histogram* retransmit_stall = nullptr;
+  Histogram* queueing = nullptr;
+  Histogram* total = nullptr;
+
+  static PathHistograms Create(MetricsRegistry* registry) {
+    PathHistograms h;
+    h.lock_wait = registry->histogram("txn.path.lock_wait_us");
+    h.quorum_rtt = registry->histogram("txn.path.quorum_rtt_us");
+    h.fsync = registry->histogram("txn.path.fsync_us");
+    h.retransmit_stall = registry->histogram("txn.path.retransmit_stall_us");
+    h.queueing = registry->histogram("txn.path.queueing_us");
+    h.total = registry->histogram("txn.path.total_us");
+    return h;
+  }
+
+  void Observe(const TxnPathTracker::Breakdown& b) {
+    lock_wait->Observe(b.lock_wait_us);
+    quorum_rtt->Observe(b.quorum_rtt_us);
+    fsync->Observe(b.fsync_us);
+    retransmit_stall->Observe(b.retransmit_stall_us);
+    queueing->Observe(b.queueing_us);
+    total->Observe(b.total_us);
+  }
+};
+
+}  // namespace vp::obs
+
+#endif  // VPART_OBS_CRITICAL_PATH_H_

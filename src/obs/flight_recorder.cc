@@ -1,0 +1,224 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace vp::obs {
+
+namespace {
+
+constexpr const char* kKindNames[] = {
+    "txn.begin",   "txn.decide", "outcome.applied", "phys.read",
+    "phys.write",  "view.commit", "view.depart",    "epoch.switch",
+    "wal.append",  "fsync",      "retransmit",      "salvage",
+    "probe.violation",
+};
+constexpr size_t kNumKinds = sizeof(kKindNames) / sizeof(kKindNames[0]);
+
+}  // namespace
+
+const char* FdrKindName(FdrKind kind) {
+  const auto i = static_cast<size_t>(kind);
+  return i < kNumKinds ? kKindNames[i] : "unknown";
+}
+
+bool FdrKindFromName(std::string_view name, FdrKind* out) {
+  for (size_t i = 0; i < kNumKinds; ++i) {
+    if (name == kKindNames[i]) {
+      *out = static_cast<FdrKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+FlightRecorder::FlightRecorder(FdrMode mode, uint32_t n_nodes,
+                               size_t capacity)
+    : mode_(mode), capacity_(capacity), rings_(capacity == 0 ? 0 : n_nodes) {
+  for (Ring& r : rings_) r.buf.resize(capacity_);
+}
+
+void FlightRecorder::Record(const FdrEvent& e) {
+  if (capacity_ == 0 || e.node >= rings_.size()) return;
+  Ring& ring = rings_[e.node];
+  const uint64_t next = ring.next.load(std::memory_order_relaxed);
+  ring.buf[next % capacity_] = e;
+  ring.next.store(next + 1, std::memory_order_release);
+  if (listener_ != nullptr) listener_->OnFdrEvent(e);
+}
+
+uint64_t FlightRecorder::HashValue(std::string_view value) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : value) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string FlightRecorder::Dump() const {
+  // Collect the surviving events of every ring, oldest first, then merge
+  // by (timestamp, node, ring order) so the file reads as one cluster-wide
+  // timeline.
+  std::vector<FdrEvent> events;
+  for (const Ring& ring : rings_) {
+    const uint64_t next = ring.next.load(std::memory_order_acquire);
+    const uint64_t n = std::min<uint64_t>(next, capacity_);
+    for (uint64_t i = 0; i < n; ++i) {
+      events.push_back(ring.buf[(next - n + i) % capacity_]);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FdrEvent& x, const FdrEvent& y) {
+                     if (x.ts_us != y.ts_us) return x.ts_us < y.ts_us;
+                     return x.node < y.node;
+                   });
+  std::ostringstream out;
+  out << "{\"fdr\":1,\"nodes\":" << rings_.size() << ",\"capacity\":"
+      << capacity_ << ",\"events\":" << events.size() << "}\n";
+  for (const FdrEvent& e : events) {
+    out << "{\"ts\":" << e.ts_us << ",\"node\":" << e.node << ",\"kind\":\""
+        << FdrKindName(e.kind) << "\"";
+    if (e.has_txn()) out << ",\"txn\":\"" << e.txn.ToString() << "\"";
+    out << ",\"a\":" << e.a << ",\"b\":" << e.b << "}\n";
+  }
+  return out.str();
+}
+
+Status FlightRecorder::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  const std::string dump = Dump();
+  const size_t written = std::fwrite(dump.data(), 1, dump.size(), f);
+  std::fclose(f);
+  if (written != dump.size()) return Status::Internal("short write " + path);
+  return Status::Ok();
+}
+
+namespace {
+
+/// Extracts the value after `"key":` in a single machine-generated dump
+/// line. Not a general JSON parser: it relies on Dump()'s fixed key order
+/// and absence of whitespace, and rejects lines that miss the key.
+bool FindField(const std::string& line, const char* key, std::string* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  size_t begin = at + needle.size();
+  size_t end;
+  if (begin < line.size() && line[begin] == '"') {
+    ++begin;
+    end = line.find('"', begin);
+  } else {
+    end = line.find_first_of(",}", begin);
+  }
+  if (end == std::string::npos || end < begin) return false;
+  *out = line.substr(begin, end - begin);
+  return true;
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParseI64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+/// Inverse of TxnId::ToString ("t<coordinator>.<seq>").
+bool ParseTxn(const std::string& s, TxnId* out) {
+  if (s.size() < 4 || s[0] != 't') return false;
+  const size_t dot = s.find('.');
+  if (dot == std::string::npos) return false;
+  uint64_t coord = 0, seq = 0;
+  if (!ParseU64(s.substr(1, dot - 1), &coord)) return false;
+  if (!ParseU64(s.substr(dot + 1), &seq)) return false;
+  out->coordinator = static_cast<ProcessorId>(coord);
+  out->seq = seq;
+  return true;
+}
+
+}  // namespace
+
+Result<FlightRecorder::Parsed> FlightRecorder::Parse(
+    const std::string& text) {
+  Parsed parsed;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!have_header) {
+      std::string field;
+      uint64_t v = 0;
+      if (!FindField(line, "fdr", &field) || !ParseU64(field, &v) || v != 1) {
+        return Status::InvalidArgument("line 1: not a .fdr header");
+      }
+      if (!FindField(line, "nodes", &field) || !ParseU64(field, &v)) {
+        return Status::InvalidArgument("line 1: missing node count");
+      }
+      parsed.n_nodes = static_cast<uint32_t>(v);
+      if (!FindField(line, "capacity", &field) || !ParseU64(field, &v)) {
+        return Status::InvalidArgument("line 1: missing capacity");
+      }
+      parsed.capacity = v;
+      have_header = true;
+      continue;
+    }
+    FdrEvent e;
+    std::string field;
+    const std::string where = "line " + std::to_string(line_no);
+    if (!FindField(line, "ts", &field) || !ParseI64(field, &e.ts_us)) {
+      return Status::InvalidArgument(where + ": bad ts");
+    }
+    uint64_t node = 0;
+    if (!FindField(line, "node", &field) || !ParseU64(field, &node)) {
+      return Status::InvalidArgument(where + ": bad node");
+    }
+    e.node = static_cast<ProcessorId>(node);
+    if (!FindField(line, "kind", &field) ||
+        !FdrKindFromName(field, &e.kind)) {
+      return Status::InvalidArgument(where + ": bad kind '" + field + "'");
+    }
+    if (FindField(line, "txn", &field) && !ParseTxn(field, &e.txn)) {
+      return Status::InvalidArgument(where + ": bad txn '" + field + "'");
+    }
+    if (!FindField(line, "a", &field) || !ParseU64(field, &e.a)) {
+      return Status::InvalidArgument(where + ": bad a");
+    }
+    if (!FindField(line, "b", &field) || !ParseU64(field, &e.b)) {
+      return Status::InvalidArgument(where + ": bad b");
+    }
+    parsed.nodes.insert(e.node);
+    parsed.events.push_back(e);
+  }
+  if (!have_header) return Status::InvalidArgument("empty .fdr input");
+  return parsed;
+}
+
+Result<FlightRecorder::Parsed> FlightRecorder::ParseFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+FlightRecorder* FlightRecorder::Disabled() {
+  static FlightRecorder* disabled =
+      new FlightRecorder(FdrMode::kSerial, 0, 0);
+  return disabled;
+}
+
+}  // namespace vp::obs

@@ -1,0 +1,149 @@
+#include "obs/probes.h"
+
+namespace vp::obs {
+
+namespace {
+constexpr const char* kRuleNames[] = {
+    "view-uniqueness",
+    "epoch-monotonic",
+    "commit-before-read",
+    "durable-read",
+};
+}  // namespace
+
+const char* ProbeRuleName(ProbeRule rule) {
+  const auto i = static_cast<size_t>(rule);
+  return i < sizeof(kRuleNames) / sizeof(kRuleNames[0]) ? kRuleNames[i]
+                                                        : "unknown";
+}
+
+ProbeEngine::ProbeEngine(bool thread_safe, MetricsRegistry* registry)
+    : thread_safe_(thread_safe) {
+  if (registry == nullptr) registry = MetricsRegistry::Default();
+  ctr_events_ = registry->counter("probe.events");
+  ctr_violations_ = registry->counter("probe.violations");
+}
+
+void ProbeEngine::AddKnownValue(std::string_view value) {
+  const uint64_t h = FlightRecorder::HashValue(value);
+  if (thread_safe_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    known_values_.insert(h);
+  } else {
+    known_values_.insert(h);
+  }
+}
+
+void ProbeEngine::OnFdrEvent(const FdrEvent& e) {
+  // Our own violation echoes re-enter here via the recorder; they carry no
+  // new information and recursing on them would deadlock the mutex.
+  if (e.kind == FdrKind::kProbeViolation) return;
+  ctr_events_->Increment();
+  if (thread_safe_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Check(e);
+  } else {
+    Check(e);
+  }
+}
+
+void ProbeEngine::Check(const FdrEvent& e) {
+  switch (e.kind) {
+    case FdrKind::kViewCommit: {
+      auto [it, inserted] = view_members_.emplace(e.a, e.b);
+      if (!inserted && it->second != e.b) {
+        Flag(e, ProbeRule::kViewUniqueness,
+             "vp " + std::to_string(e.a >> 8) + "," +
+                 std::to_string(e.a & 0xff) + " committed with members 0x" +
+                 std::to_string(it->second) + " then 0x" +
+                 std::to_string(e.b));
+      }
+      break;
+    }
+    case FdrKind::kEpochSwitch: {
+      auto [it, inserted] = last_epoch_.emplace(e.node, e.a);
+      if (!inserted) {
+        if (e.a < it->second) {
+          Flag(e, ProbeRule::kEpochMonotonic,
+               "node " + std::to_string(e.node) + " regressed epoch " +
+                   std::to_string(it->second) + " -> " +
+                   std::to_string(e.a));
+        } else {
+          it->second = e.a;
+        }
+      }
+      break;
+    }
+    case FdrKind::kOutcomeApplied:
+      if (e.a != 0) outcome_applied_.emplace(e.node, e.txn);
+      break;
+    case FdrKind::kPhysWrite:
+      if (outcome_applied_.count({e.node, e.txn}) > 0) {
+        Flag(e, ProbeRule::kCommitBeforeRead,
+             "write of " + e.txn.ToString() +
+                 " served after its commit was applied");
+      }
+      known_values_.insert(e.b);
+      break;
+    case FdrKind::kPhysRead:
+      if (e.has_txn() &&
+          outcome_applied_.count({e.node, e.txn}) > 0) {
+        Flag(e, ProbeRule::kCommitBeforeRead,
+             "read of " + e.txn.ToString() +
+                 " served after its commit was applied");
+      }
+      if (known_values_.count(e.b) == 0) {
+        Flag(e, ProbeRule::kDurableRead,
+             "node " + std::to_string(e.node) + " served obj " +
+                 std::to_string(e.a) +
+                 " with a value tracing to no staged write (hash " +
+                 std::to_string(e.b) + ")");
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void ProbeEngine::Flag(const FdrEvent& e, ProbeRule rule,
+                       std::string detail) {
+  ctr_violations_->Increment();
+  if (!first_.has_value()) {
+    first_ = Violation{rule, std::move(detail), e};
+    if (recorder_ != nullptr) {
+      FdrEvent mark;
+      mark.ts_us = e.ts_us;
+      mark.node = e.node;
+      mark.kind = FdrKind::kProbeViolation;
+      mark.txn = e.txn;
+      mark.a = static_cast<uint64_t>(rule);
+      recorder_->Record(mark);
+    }
+  }
+}
+
+bool ProbeEngine::flagged() const {
+  if (thread_safe_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_.has_value();
+  }
+  return first_.has_value();
+}
+
+std::optional<ProbeEngine::Violation> ProbeEngine::first() const {
+  if (thread_safe_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_;
+  }
+  return first_;
+}
+
+std::string ProbeEngine::Describe() const {
+  const std::optional<Violation> v = first();
+  if (!v.has_value()) return "";
+  return std::string(ProbeRuleName(v->rule)) + ": " + v->detail +
+         " (node " + std::to_string(v->event.node) + " at " +
+         std::to_string(v->event.ts_us) + "us)";
+}
+
+}  // namespace vp::obs

@@ -74,6 +74,11 @@ size_t Tracer::event_count() const {
   return events_.size();
 }
 
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
 std::string Tracer::ToJson() const {
   JsonWriter w(/*pretty=*/false);
   w.BeginObject();

@@ -84,6 +84,8 @@ class Tracer {
                std::string name, std::string cat, Args args = {});
 
   size_t event_count() const;
+  /// Snapshot of the recorded events (test and tooling introspection).
+  std::vector<TraceEvent> events() const;
   /// Chrome trace_event JSON document.
   std::string ToJson() const;
   bool WriteFile(const std::string& path) const;

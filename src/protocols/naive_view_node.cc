@@ -68,17 +68,22 @@ void NaiveViewNode::LogicalRead(TxnId txn, ObjectId obj,
         PendingRead done = std::move(it->second);
         pending_reads_.erase(it);
         ++stats_.reads_failed;
+        if (TxnRec* r = FindTxn(done.txn); r != nullptr) {
+          r->path.OpCompleted(env_.clock->Now(), 0);
+        }
         InternalAbort(done.txn);
         done.cb(Status::Timeout("copy holder unresponsive"));
       });
   rec->participants.insert(target);
   ++stats_.phys_reads_sent;
+  rec->path.OpIssued(env_.clock->Now());
   SendPhys(target, core::msg::kPhysRead,
            PhysRead{txn, obj, kEpochDate, /*epoch=*/0, /*recovery=*/false,
                     /*for_update=*/false, op_id, {}},
            [this, op_id, target]() {
              OnDeliveryTimeout(op_id, target, /*write_phase=*/false);
-           });
+           },
+           /*trace=*/0, RetransmitToPath(txn));
   pending_reads_[op_id] = std::move(pr);
 }
 
@@ -116,12 +121,16 @@ void NaiveViewNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
         PendingWrite done = std::move(it->second);
         pending_writes_.erase(it);
         ++stats_.writes_failed;
+        if (TxnRec* r = FindTxn(done.txn); r != nullptr) {
+          r->path.OpCompleted(env_.clock->Now(), done.max_lock_wait_us);
+        }
         InternalAbort(done.txn);
         done.cb(Status::Timeout("write-all-in-view incomplete"));
       });
   const VpId date{++write_counter_, id_};
   const std::set<ProcessorId> targets = pw.awaiting;
   pending_writes_[op_id] = std::move(pw);
+  rec->path.OpIssued(env_.clock->Now());
   for (ProcessorId q : targets) {
     rec->participants.insert(q);
     ++stats_.phys_writes_sent;
@@ -129,7 +138,8 @@ void NaiveViewNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
              PhysWrite{txn, obj, value, date, /*epoch=*/0, op_id, {}},
              [this, op_id, q]() {
                OnDeliveryTimeout(op_id, q, /*write_phase=*/true);
-             });
+             },
+             /*trace=*/0, RetransmitToPath(txn));
   }
 }
 
@@ -160,6 +170,9 @@ bool NaiveViewNode::HandleProtocolMessage(const net::Message& m) {
     PendingRead done = std::move(it->second);
     pending_reads_.erase(it);
     env_.executor->Cancel(done.timeout_event);
+    if (TxnRec* r = FindTxn(done.txn); r != nullptr) {
+      r->path.OpCompleted(env_.clock->Now(), body.lock_wait_us);
+    }
     if (!body.ok) {
       ++stats_.reads_failed;
       InternalAbort(done.txn);
@@ -179,11 +192,17 @@ bool NaiveViewNode::HandleProtocolMessage(const net::Message& m) {
     auto it = pending_writes_.find(body.op_id);
     if (it == pending_writes_.end()) return true;
     PendingWrite& pw = it->second;
+    if (pw.max_lock_wait_us < body.lock_wait_us) {
+      pw.max_lock_wait_us = body.lock_wait_us;
+    }
     if (!body.ok) {
       PendingWrite done = std::move(it->second);
       pending_writes_.erase(it);
       env_.executor->Cancel(done.timeout_event);
       ++stats_.writes_failed;
+      if (TxnRec* r = FindTxn(done.txn); r != nullptr) {
+        r->path.OpCompleted(env_.clock->Now(), done.max_lock_wait_us);
+      }
       InternalAbort(done.txn);
       done.cb(body.error == "delivery-timeout"
                   ? Status::Timeout("physical write delivery deadline passed")
@@ -196,6 +215,9 @@ bool NaiveViewNode::HandleProtocolMessage(const net::Message& m) {
       pending_writes_.erase(it);
       env_.executor->Cancel(done.timeout_event);
       ++stats_.writes_ok;
+      if (TxnRec* r = FindTxn(done.txn); r != nullptr) {
+        r->path.OpCompleted(env_.clock->Now(), done.max_lock_wait_us);
+      }
       env_.recorder->TxnWrite(done.txn, done.obj, done.value,
                               env_.clock->Now());
       done.cb(Status::Ok());

@@ -70,6 +70,8 @@ class NaiveViewNode : public core::NodeBase {
     Value value;
     core::WriteCallback cb;
     std::set<ProcessorId> awaiting;
+    /// Largest lock wait any reply reported, for critical-path attribution.
+    uint64_t max_lock_wait_us = 0;
     runtime::TaskId timeout_event = runtime::kInvalidTask;
   };
 

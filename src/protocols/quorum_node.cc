@@ -104,6 +104,7 @@ void QuorumNode::LogicalRead(TxnId txn, ObjectId obj, core::ReadCallback cb) {
       config_.op_timeout + config_.lock_timeout,
       [this, op_id]() { FailRead(op_id, Status::Timeout("read quorum")); });
   PendingRead& live = pending_reads_[op_id] = std::move(pr);
+  rec->path.OpIssued(env_.clock->Now());
   for (ProcessorId q : targets) {
     rec->participants.insert(q);
     ++stats_.phys_reads_sent;
@@ -114,7 +115,8 @@ void QuorumNode::LogicalRead(TxnId txn, ObjectId obj, core::ReadCallback cb) {
                           /*for_update=*/false, op_id, {}},
                  [this, op_id, q]() {
                    OnDeliveryTimeout(op_id, q, /*write_phase=*/false);
-                 });
+                 },
+                 /*trace=*/0, RetransmitToPath(txn));
   }
 }
 
@@ -151,6 +153,9 @@ void QuorumNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
         FailWrite(op_id, Status::Timeout("write version poll"));
       });
   PendingWrite& live = pending_writes_[op_id] = std::move(pw);
+  // One attribution window spans both phases: the version poll and the
+  // write are a single logical operation from the transaction's view.
+  rec->path.OpIssued(env_.clock->Now());
   // Phase 1: version poll under exclusive locks.
   for (ProcessorId q : targets) {
     rec->participants.insert(q);
@@ -163,7 +168,8 @@ void QuorumNode::LogicalWrite(TxnId txn, ObjectId obj, Value value,
                  [this, op_id, q]() {
                    // Poll replies are read replies, so write_phase = false.
                    OnDeliveryTimeout(op_id, q, /*write_phase=*/false);
-                 });
+                 },
+                 /*trace=*/0, RetransmitToPath(txn));
   }
 }
 
@@ -198,7 +204,10 @@ void QuorumNode::FailRead(uint64_t op_id, Status why) {
   CancelOutstanding(pr);
   ++stats_.reads_failed;
   TxnRec* rec = FindTxn(pr.txn);
-  if (rec != nullptr) rec->doomed = true;
+  if (rec != nullptr) {
+    rec->doomed = true;
+    rec->path.OpCompleted(env_.clock->Now(), pr.max_lock_wait_us);
+  }
   InternalAbort(pr.txn);
   pr.cb(why);
 }
@@ -212,7 +221,10 @@ void QuorumNode::FailWrite(uint64_t op_id, Status why) {
   CancelOutstanding(pw);
   ++stats_.writes_failed;
   TxnRec* rec = FindTxn(pw.txn);
-  if (rec != nullptr) rec->doomed = true;
+  if (rec != nullptr) {
+    rec->doomed = true;
+    rec->path.OpCompleted(env_.clock->Now(), pw.max_lock_wait_us);
+  }
   InternalAbort(pw.txn);
   pw.cb(why);
 }
@@ -246,7 +258,8 @@ void QuorumNode::StartWritePhase2(uint64_t op_id) {
                  PhysWrite{txn, obj, value, new_date, /*epoch=*/0, op_id, {}},
                  [this, op_id, q]() {
                    OnDeliveryTimeout(op_id, q, /*write_phase=*/true);
-                 });
+                 },
+                 /*trace=*/0, RetransmitToPath(txn));
     // Re-find: SendPhys itself never mutates pending_writes_, but keeping
     // the lookup inside the loop guards against future re-entrancy.
     auto live = pending_writes_.find(op_id);
@@ -284,6 +297,9 @@ bool QuorumNode::HandleProtocolMessage(const net::Message& m) {
         it != pending_reads_.end()) {
       PendingRead& pr = it->second;
       pr.outstanding.erase(m.src);
+      if (pr.max_lock_wait_us < body.lock_wait_us) {
+        pr.max_lock_wait_us = body.lock_wait_us;
+      }
       if (body.ok) {
         pr.votes_have += env_.placement->WeightOf(pr.obj, m.src);
         if (!pr.have_value || pr.best_date < body.date) {
@@ -303,6 +319,9 @@ bool QuorumNode::HandleProtocolMessage(const net::Message& m) {
         // outside the transaction's 2PL window.
         CancelOutstanding(done);
         ++stats_.reads_ok;
+        if (TxnRec* rec = FindTxn(done.txn); rec != nullptr) {
+          rec->path.OpCompleted(env_.clock->Now(), done.max_lock_wait_us);
+        }
         env_.recorder->TxnRead(done.txn, done.obj, done.best_value,
                                done.best_date, env_.clock->Now());
         done.cb(core::ReadResult{done.best_value, done.best_date, m.src});
@@ -330,6 +349,9 @@ bool QuorumNode::HandleProtocolMessage(const net::Message& m) {
       PendingWrite& pw = it->second;
       if (!pw.polling) return true;  // Stale poll reply.
       pw.outstanding.erase(m.src);
+      if (pw.max_lock_wait_us < body.lock_wait_us) {
+        pw.max_lock_wait_us = body.lock_wait_us;
+      }
       if (body.ok) {
         pw.votes_have += env_.placement->WeightOf(pw.obj, m.src);
         pw.pollers.insert(m.src);
@@ -370,11 +392,17 @@ bool QuorumNode::HandleProtocolMessage(const net::Message& m) {
       return true;
     }
     pw.outstanding.erase(m.src);
+    if (pw.max_lock_wait_us < body.lock_wait_us) {
+      pw.max_lock_wait_us = body.lock_wait_us;
+    }
     if (pw.outstanding.empty()) {
       PendingWrite done = std::move(it->second);
       pending_writes_.erase(it);
       env_.executor->Cancel(done.timeout_event);
       ++stats_.writes_ok;
+      if (TxnRec* rec = FindTxn(done.txn); rec != nullptr) {
+        rec->path.OpCompleted(env_.clock->Now(), done.max_lock_wait_us);
+      }
       env_.recorder->TxnWrite(done.txn, done.obj, done.value,
                               env_.clock->Now());
       done.cb(Status::Ok());

@@ -84,6 +84,8 @@ class QuorumNode : public core::NodeBase {
     Value best_value;
     VpId best_date;
     bool have_value = false;
+    /// Largest lock wait any reply reported, for critical-path attribution.
+    uint64_t max_lock_wait_us = 0;
     runtime::TaskId timeout_event = runtime::kInvalidTask;
   };
   struct PendingWrite {
@@ -99,6 +101,8 @@ class QuorumNode : public core::NodeBase {
     std::map<ProcessorId, uint64_t> rel_ids;  // As in PendingRead.
     std::set<ProcessorId> pollers;  // Copies that answered the poll.
     VpId max_date;
+    /// Largest lock wait across poll and write replies (attribution).
+    uint64_t max_lock_wait_us = 0;
     runtime::TaskId timeout_event = runtime::kInvalidTask;
   };
 

@@ -80,6 +80,7 @@ void StableStore::PersistCopy(ObjectId obj, const Value& value, VpId date,
   stats_.copy_persist_bytes += bytes;
   ++stats_.fsyncs;
   ctr_fsyncs_->Increment();
+  if (event_hook_) event_hook_("copy", bytes, 0);
 }
 
 void StableStore::PersistViewMeta(VpId max_id, VpId cur_id, EpochId epoch) {
@@ -89,6 +90,7 @@ void StableStore::PersistViewMeta(VpId max_id, VpId cur_id, EpochId epoch) {
   has_view_meta_ = true;
   ++stats_.fsyncs;
   ctr_fsyncs_->Increment();
+  if (event_hook_) event_hook_("viewmeta", 0, 0);
 }
 
 void StableStore::PersistReconfig(EpochId epoch,
@@ -98,6 +100,7 @@ void StableStore::PersistReconfig(EpochId epoch,
   reconfigs_.emplace_back(epoch, ops);
   ++stats_.fsyncs;
   ctr_fsyncs_->Increment();
+  if (event_hook_) event_hook_("reconfig", ops.size(), 0);
 }
 
 void StableStore::AppendWal(WalRecord rec) {
@@ -110,6 +113,9 @@ void StableStore::AppendWal(WalRecord rec) {
   ctr_wal_bytes_->Add(bytes);
   ctr_wal_appends_->Increment();
   ctr_fsyncs_->Increment();
+  if (event_hook_) {
+    event_hook_("wal", bytes, static_cast<uint64_t>(rec.type));
+  }
   wal_.Append(std::move(rec));
 }
 
@@ -185,8 +191,12 @@ void StableStore::BeginReplay() {
   if (salvaged.tail_truncated > 0) {
     stats_.torn_truncated += salvaged.tail_truncated;
     ctr_torn_truncated_->Add(salvaged.tail_truncated);
+    if (event_hook_) {
+      event_hook_("salvage.torn", salvaged.tail_truncated, 0);
+    }
   }
   quarantined_ = salvaged.quarantined();
+  if (quarantined_ && event_hook_) event_hook_("salvage.quarantine", 0, 0);
 }
 
 void StableStore::EndReplay() { replaying_ = false; }

@@ -50,6 +50,7 @@
 #define VPART_STORAGE_STABLE_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <utility>
 #include <vector>
@@ -122,6 +123,17 @@ class StableStore {
     ctr_quarantined_ = registry->counter("storage.quarantined");
     ctr_scrub_repairs_ = registry->counter("storage.scrub_repairs");
   }
+
+  /// Observability hook fired at every persist point and salvage action.
+  /// `what` names the device event — "wal" (a = record bytes, b = WalRecord
+  /// type), "copy" (a = image bytes), "viewmeta", "reconfig" (a = ops in
+  /// the batch), "salvage.torn" (a = frames truncated), or
+  /// "salvage.quarantine". The harness maps these to flight-recorder
+  /// events; the device itself knows neither clock nor node id, so the
+  /// closure supplies both.
+  using EventHook =
+      std::function<void(const char* what, uint64_t a, uint64_t b)>;
+  void set_event_hook(EventHook hook) { event_hook_ = std::move(hook); }
 
   DurabilityMode mode() const { return mode_; }
   IntegrityMode integrity() const { return integrity_; }
@@ -244,6 +256,7 @@ class StableStore {
   uint32_t incarnation_ = 0;
   bool replaying_ = false;
   bool quarantined_ = false;
+  EventHook event_hook_;
   StableStats stats_;
   obs::Counter* ctr_fsyncs_ = nullptr;
   obs::Counter* ctr_wal_appends_ = nullptr;
